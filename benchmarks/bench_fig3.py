@@ -1,0 +1,55 @@
+"""Figure 3 — evolution of the IMCIS interval bounds over the optimisation.
+
+One IMCIS run on the group repair model with history recording: the bounds
+widen monotonically, with the fast changes in the first rounds (the paper
+plots the x-axis in log scale for this reason).
+"""
+
+from pathlib import Path
+
+import numpy as np
+from conftest import scaled, write_report
+
+from repro.experiments import BoundEvolution, write_csv
+from repro.imcis import IMCISConfig, RandomSearchConfig, imcis_estimate
+from repro.models import repair_group
+
+OUT = Path(__file__).parent / "out"
+
+
+def run():
+    study = repair_group.make_study()
+    config = IMCISConfig(
+        confidence=study.confidence,
+        search=RandomSearchConfig(r_undefeated=scaled(1000, 1000), record_history=True),
+    )
+    return imcis_estimate(
+        study.imc,
+        study.proposal,
+        study.formula,
+        scaled(10_000, 10_000),
+        np.random.default_rng(7),
+        config,
+    )
+
+
+def test_fig3(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    evolution = BoundEvolution.from_result(result)
+    text = evolution.render()
+    print("\n" + text)
+    write_report("fig3", text)
+    write_csv(OUT / "fig3.csv", ["round", "lower", "upper"], evolution.rows())
+    benchmark.extra_info["improvements"] = len(evolution.rounds)
+    benchmark.extra_info["final_bounds"] = (
+        evolution.lower_bounds[-1],
+        evolution.upper_bounds[-1],
+    )
+    # Monotone widening, with most of the movement early (log-scale shape):
+    assert evolution.lower_bounds == sorted(evolution.lower_bounds, reverse=True)
+    assert evolution.upper_bounds == sorted(evolution.upper_bounds)
+    halfway = len(evolution.rounds) // 2
+    early_gain = evolution.upper_bounds[halfway] - evolution.upper_bounds[0]
+    total_gain = evolution.upper_bounds[-1] - evolution.upper_bounds[0]
+    if total_gain > 0:
+        assert early_gain / total_gain > 0.5

@@ -1,0 +1,35 @@
+"""Table I — random-search statistics on the illustrative example.
+
+Paper protocol: 100 repetitions × N = 10 000 traces, R = 1000. Reported
+values (paper → expected here): average ``nr`` ≈ 2181 (ours converges in the
+same 1–4k band), ``amin`` → 5.0e-5, ``amax`` → 5.5e-4, ``cmin``/``cmax``
+drifting from the centre 0.0498 towards 0.0493/0.0503.
+"""
+
+from conftest import scaled, write_report
+
+from repro.experiments import run_table1
+
+
+def run():
+    return run_table1(
+        repetitions=scaled(10, 100),
+        n_samples=scaled(10_000, 10_000),
+        r_undefeated=scaled(1000, 1000),
+        rng=2018,
+    )
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = result.render()
+    print("\n" + text)
+    write_report("table1", text)
+    summaries = result.summaries()
+    benchmark.extra_info["nr_average"] = summaries["nr"].average
+    benchmark.extra_info["amin_average"] = summaries["amin"].average
+    benchmark.extra_info["amax_average"] = summaries["amax"].average
+    # Shape assertions against the paper's Table I.
+    assert 5.0e-5 <= summaries["amin"].average <= 5.2e-5
+    assert 5.4e-4 <= summaries["amax"].average <= 5.5e-4
+    assert 0.0493 <= summaries["cmin"].average <= 0.0503

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper. The paper's
+full protocol (100 repetitions × N = 10 000 traces, R = 1000) takes tens of
+minutes in pure Python, so the default configuration is a calibrated
+scale-down; set ``REPRO_FULL=1`` to run the full protocol. Either way the
+reproduced numbers are printed, attached to the benchmark's ``extra_info``
+and written under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Output directory for reproduced tables/figures.
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def full_protocol() -> bool:
+    """True when the paper's full protocol was requested."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def scaled(default: int, full: int) -> int:
+    """Pick the scaled or full-protocol value."""
+    return full if full_protocol() else default
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a reproduced artefact under ``benchmarks/out/``."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture
+def report_sink():
+    """Fixture handing benchmarks the report writer."""
+    return write_report

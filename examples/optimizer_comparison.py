@@ -1,0 +1,116 @@
+"""Comparing optimisation schemes on the IMCIS objective (paper appendix).
+
+The paper's appendix weighs the Dirichlet random search against stochastic
+gradient descent and interior-point/constrained methods. This example
+builds one IMCIS objective (illustrative example, sampled rows only) and
+lets all implemented optimisers race on it.
+
+Run with::
+
+    python examples/optimizer_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.imcis import (
+    CandidateSpace,
+    ISObjective,
+    ObservationTables,
+    RandomSearchConfig,
+    projected_gradient,
+    random_search,
+    slsqp,
+)
+from repro.importance import run_importance_sampling
+from repro.models import illustrative
+from repro.util.tables import format_number, format_table
+
+SEED = 3
+
+
+def main() -> None:
+    study = illustrative.make_study()
+    rng = np.random.default_rng(SEED)
+    sample = run_importance_sampling(study.proposal, study.formula, 10_000, rng)
+    tables = ObservationTables.from_sample(sample)
+    objective = ISObjective(tables)
+    # Disable the closed form so both parameters are genuinely optimised.
+    space = CandidateSpace(study.imc, tables, closed_form_single=False)
+    print(
+        f"objective: {tables.n_successful} successful traces over "
+        f"{tables.n_transitions} observed transitions; "
+        f"{space.n_sampled_states} states to optimise"
+    )
+
+    rows = []
+
+    start = time.perf_counter()
+    search = random_search(objective, space, 5, RandomSearchConfig(r_undefeated=1000))
+    rows.append(
+        [
+            "random search (Alg. 2)",
+            format_number(search.moments_min.gamma),
+            format_number(search.moments_max.gamma),
+            f"{time.perf_counter() - start:.2f}s",
+            f"{search.rounds_total} rounds",
+        ]
+    )
+
+    start = time.perf_counter()
+    gd_min = projected_gradient(objective, space, "min", iterations=300, rng=6)
+    gd_max = projected_gradient(objective, space, "max", iterations=300, rng=6)
+    rows.append(
+        [
+            "projected gradient",
+            format_number(gd_min.moments.gamma),
+            format_number(gd_max.moments.gamma),
+            f"{time.perf_counter() - start:.2f}s",
+            "300 iters/direction",
+        ]
+    )
+
+    start = time.perf_counter()
+    sgd_min = projected_gradient(objective, space, "min", iterations=600, rng=7, stochastic=True)
+    sgd_max = projected_gradient(objective, space, "max", iterations=600, rng=7, stochastic=True)
+    rows.append(
+        [
+            "stochastic gradient",
+            format_number(sgd_min.moments.gamma),
+            format_number(sgd_max.moments.gamma),
+            f"{time.perf_counter() - start:.2f}s",
+            "600 iters/direction",
+        ]
+    )
+
+    start = time.perf_counter()
+    sq_min = slsqp(objective, space, "min")
+    sq_max = slsqp(objective, space, "max")
+    rows.append(
+        [
+            "SLSQP (constrained)",
+            format_number(sq_min.moments.gamma),
+            format_number(sq_max.moments.gamma),
+            f"{time.perf_counter() - start:.2f}s",
+            f"{sq_min.iterations}+{sq_max.iterations} iters",
+        ]
+    )
+
+    print()
+    print(
+        format_table(
+            ["method", "gamma_min", "gamma_max", "time", "effort"],
+            rows,
+            title="Optimiser comparison on the IMCIS objective",
+        )
+    )
+    print(
+        "\nSLSQP pins the exact extremes on this small problem; the random "
+        "search gets close without gradients or constraint machinery — and "
+        "is the only one of the three with an almost-sure global guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

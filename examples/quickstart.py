@@ -1,0 +1,62 @@
+"""Quickstart: why importance sampling of a *learnt* chain misleads, and
+how IMCIS fixes it — the paper's illustrative example in ~60 lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import probability
+from repro.imcis import IMCISConfig, RandomSearchConfig, imcis_estimate
+from repro.models import illustrative
+from repro.smc import monte_carlo_estimate, required_samples_relative_error
+
+SEED = 2018
+N_SAMPLES = 10_000
+
+
+def main() -> None:
+    study = illustrative.make_study(n_samples=N_SAMPLES)
+    rng = np.random.default_rng(SEED)
+
+    # The hidden truth (normally unknown!) and the learnt point estimate.
+    gamma = study.gamma_true
+    gamma_hat = study.gamma_center
+    print(f"exact gamma          = {gamma:.6g}   (a = 1e-4, c = 0.05)")
+    print(f"exact gamma(A_hat)   = {gamma_hat:.6g}   (learnt a = 3e-4, c = 0.0498)")
+
+    # 1. Crude Monte Carlo is hopeless at this rarity.
+    needed = required_samples_relative_error(gamma, 0.1)
+    print(f"\ncrude Monte Carlo would need ~{needed:.2g} traces for 10% error;")
+    mc = monte_carlo_estimate(study.true_chain, study.formula, N_SAMPLES, rng)
+    print(f"with {N_SAMPLES} traces it sees {mc.n_satisfied} successes: estimate {mc.estimate}")
+
+    # 2. Standard IS with the perfect proposal of the *learnt* chain:
+    #    an exquisitely confident — and wrong — answer.
+    result = imcis_estimate(
+        study.imc,
+        study.proposal,
+        study.formula,
+        N_SAMPLES,
+        rng,
+        IMCISConfig(search=RandomSearchConfig(r_undefeated=1000)),
+    )
+    is_ci = result.center_estimate.interval
+    print(f"\nstandard IS CI       = {is_ci}")
+    print(f"  contains gamma(A_hat)? {is_ci.contains(gamma_hat)}")
+    print(f"  contains gamma?        {is_ci.contains(gamma)}   <-- the failure")
+
+    # 3. IMCIS: optimise the same sample over every chain in the IMC.
+    print(f"\nIMCIS CI             = {result.interval}")
+    print(f"  contains gamma(A_hat)? {result.interval.contains(gamma_hat)}")
+    print(f"  contains gamma?        {result.interval.contains(gamma)}   <-- fixed")
+    print(
+        f"  optimisation: {result.search.rounds_total} rounds, "
+        f"extremes gamma_min = {result.gamma_min:.4g}, gamma_max = {result.gamma_max:.4g}"
+    )
+
+
+if __name__ == "__main__":
+    main()

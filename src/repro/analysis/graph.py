@@ -1,0 +1,80 @@
+"""Graph precomputations for probabilistic reachability.
+
+``prob0`` identifies the states from which the goal is unreachable through
+allowed states (their until-probability is exactly 0); ``prob1`` identifies
+states reaching the goal almost surely. Both are pure graph fixpoints on the
+support of the transition matrix; running them before the linear solve makes
+the system non-singular and the answers exact on qualitative questions.
+
+All functions accept dense arrays and scipy sparse matrices alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import linalg
+
+
+def backward_reachable(transitions: object, targets: np.ndarray, through: np.ndarray) -> np.ndarray:
+    """States that can reach *targets* via transitions staying in *through*.
+
+    A backward breadth-first search on the support graph: the result
+    contains every state from which some path ``s → ... → t`` with
+    ``t ∈ targets`` exists whose states before the target (including ``s``
+    itself) all lie in *through*. Target states are always included.
+    """
+    support = linalg.support_csc(transitions)
+    reached = targets.copy()
+    frontier = list(np.flatnonzero(targets))
+    while frontier:
+        state = frontier.pop()
+        predecessors = support.indices[support.indptr[state] : support.indptr[state + 1]]
+        for pred in predecessors:
+            if not reached[pred] and through[pred]:
+                reached[pred] = True
+                frontier.append(int(pred))
+    return reached
+
+
+def prob0_states(transitions: object, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """States whose probability of ``lhs U rhs`` is exactly zero.
+
+    These are the states that cannot reach an *rhs* state along *lhs* states.
+    """
+    can_reach = backward_reachable(transitions, rhs, lhs & ~rhs)
+    return ~can_reach
+
+
+def prob1_states(transitions: object, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """States whose probability of ``lhs U rhs`` is exactly one.
+
+    For a DTMC the characterisation is direct: ``P(lhs U rhs)(s) < 1`` iff
+    ``s`` can reach a prob0 state along ``lhs ∧ ¬rhs`` states (any recurrent
+    class trapped inside ``lhs ∧ ¬rhs`` is itself prob0, so "looping
+    forever" is subsumed by reaching prob0).
+    """
+    zero = prob0_states(transitions, lhs, rhs)
+    below_one = backward_reachable(transitions, zero, lhs & ~rhs)
+    return ~below_one
+
+
+def reachable_states(transitions: object, source: int) -> np.ndarray:
+    """Forward-reachable set from *source* (inclusive)."""
+    from scipy import sparse as sp
+
+    support = (
+        transitions.tocsr() if linalg.is_sparse(transitions) else sp.csr_matrix(transitions > 0)
+    )
+    n = transitions.shape[0]
+    reached = np.zeros(n, dtype=bool)
+    reached[source] = True
+    frontier = [source]
+    while frontier:
+        state = frontier.pop()
+        successors = support.indices[support.indptr[state] : support.indptr[state + 1]]
+        for succ in successors:
+            if not reached[succ]:
+                reached[succ] = True
+                frontier.append(int(succ))
+    return reached

@@ -1,0 +1,119 @@
+"""Stationary distributions and expected hitting times (MTTF).
+
+The paper's introduction places IMCIS in the context of dependability
+analysis "investigated by reachability *or mean time to failure* properties".
+This module supplies the latter for both chain flavours:
+
+* stationary distribution of an irreducible DTMC (left eigenvector /
+  linear solve);
+* expected hitting times (number of steps for a DTMC, with CTMC sojourn
+  weighting for mean time to failure proper);
+* mean time between visits of a state (recurrence time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from repro.analysis.graph import prob0_states
+from repro.core import linalg
+from repro.core.ctmc import CTMC
+from repro.core.dtmc import DTMC
+from repro.errors import ModelError
+
+
+def stationary_distribution(dtmc: DTMC, tol: float = 1e-12) -> np.ndarray:
+    """The stationary distribution ``π`` with ``π A = π`` and ``Σ π = 1``.
+
+    Solved as a linear system (one equation replaced by the normalisation
+    constraint). Raises :class:`~repro.errors.ModelError` when the chain is
+    reducible in a way that makes π non-unique (detected by a negative or
+    non-normalisable solution).
+    """
+    n = dtmc.n_states
+    matrix = dtmc.transitions
+    if linalg.is_sparse(matrix):
+        system = (matrix.T - sparse.identity(n)).tolil()
+        system[n - 1, :] = 1.0
+        rhs = np.zeros(n)
+        rhs[n - 1] = 1.0
+        solution = spsolve(system.tocsc(), rhs)
+    else:
+        system = matrix.T - np.eye(n)
+        system[n - 1, :] = 1.0
+        rhs = np.zeros(n)
+        rhs[n - 1] = 1.0
+        solution = np.linalg.solve(system, rhs)
+    solution = np.atleast_1d(np.asarray(solution))
+    if np.any(solution < -1e-9) or not np.isfinite(solution).all():
+        raise ModelError("stationary distribution is not unique (reducible chain?)")
+    solution = np.clip(solution, 0.0, None)
+    total = solution.sum()
+    if abs(total - 1.0) > 1e-6:
+        raise ModelError("stationary solve failed to normalise (reducible chain?)")
+    return solution / total
+
+
+def expected_hitting_steps(dtmc: DTMC, targets: np.ndarray) -> np.ndarray:
+    """Expected number of transitions to reach *targets*, per start state.
+
+    ``h(s) = 0`` on targets; ``h(s) = 1 + Σ a_st h(t)`` elsewhere. States
+    that cannot reach the target set get ``inf``.
+    """
+    targets = np.asarray(targets, dtype=bool)
+    if targets.shape != (dtmc.n_states,):
+        raise ModelError("targets mask has the wrong shape")
+    if not targets.any():
+        raise ModelError("empty target set")
+    everywhere = np.ones(dtmc.n_states, dtype=bool)
+    unreachable = prob0_states(dtmc.transitions, everywhere, targets)
+    hitting = np.zeros(dtmc.n_states)
+    hitting[unreachable] = np.inf
+    solve_idx = np.flatnonzero(~targets & ~unreachable)
+    if solve_idx.size:
+        sub = linalg.submatrix(dtmc.transitions, solve_idx, solve_idx)
+        system = (sparse.identity(solve_idx.size, format="csr") - sub).tocsc()
+        solution = spsolve(system, np.ones(solve_idx.size))
+        hitting[solve_idx] = np.atleast_1d(solution)
+    return hitting
+
+
+def mean_time_to_failure(ctmc: CTMC, failure_label: str = "failure") -> float:
+    """MTTF: expected time to reach the failure states from the initial state.
+
+    Works on the CTMC directly — each jump from state ``s`` costs the mean
+    sojourn ``1/E(s)``: ``m(s) = 1/E(s) + Σ P(s, t) m(t)`` with ``m = 0``
+    on failure states.
+    """
+    failure = ctmc.label_mask(failure_label)
+    if not failure.any():
+        raise ModelError(f"no state carries label {failure_label!r}")
+    embedded = ctmc.embedded_dtmc()
+    exits = ctmc.exit_rates()
+    everywhere = np.ones(ctmc.n_states, dtype=bool)
+    unreachable = prob0_states(embedded.transitions, everywhere, failure)
+    if unreachable[ctmc.initial_state]:
+        return float("inf")
+    solve_idx = np.flatnonzero(~failure & ~unreachable)
+    times = np.zeros(ctmc.n_states)
+    if solve_idx.size:
+        sojourn = np.zeros(solve_idx.size)
+        positive = exits[solve_idx] > 0
+        sojourn[positive] = 1.0 / exits[solve_idx][positive]
+        if np.any(~positive):
+            raise ModelError("an absorbing non-failure state makes MTTF infinite")
+        sub = linalg.submatrix(embedded.transitions, solve_idx, solve_idx)
+        system = (sparse.identity(solve_idx.size, format="csr") - sub).tocsc()
+        solution = spsolve(system, sojourn)
+        times[solve_idx] = np.atleast_1d(solution)
+    return float(times[ctmc.initial_state])
+
+
+def mean_recurrence_time(dtmc: DTMC, state: int) -> float:
+    """Expected return time to *state* (``1/π(state)`` for ergodic chains)."""
+    pi = stationary_distribution(dtmc)
+    if pi[state] <= 0:
+        return float("inf")
+    return 1.0 / float(pi[state])

@@ -1,0 +1,248 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples
+--------
+::
+
+    repro info
+    repro table1 --reps 10 --samples 2000
+    repro table2 --study illustrative --reps 20
+    repro fig3 --samples 5000 --out results/
+    repro fig5 --points 21
+
+Every command prints an ASCII rendering; ``--out DIR`` additionally writes
+the underlying CSV series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.coverage import run_coverage_experiment
+from repro.experiments.figures import (
+    BoundEvolution,
+    IntervalSeries,
+    ProbabilityCurve,
+    write_csv,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import render_table2
+from repro.imcis.algorithm import IMCISConfig, imcis_estimate, imcis_from_sample
+from repro.imcis.random_search import RandomSearchConfig
+from repro.importance.bounded import run_bounded_importance_sampling
+from repro.models import illustrative, repair_group, repair_large, swat
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2018, help="root RNG seed")
+    parser.add_argument("--samples", type=int, default=None, help="traces per repetition")
+    parser.add_argument("--reps", type=int, default=None, help="number of repetitions")
+    parser.add_argument("--out", type=Path, default=None, help="directory for CSV output")
+    parser.add_argument(
+        "--r-undefeated", type=int, default=1000, help="random-search stopping parameter R"
+    )
+
+
+def _study_for(name: str, seed: int):
+    if name == "illustrative":
+        return illustrative.make_study(), None
+    if name == "group-repair":
+        return repair_group.make_study(), None
+    if name == "large-repair":
+        return repair_large.make_study(), None
+    if name == "swat":
+        study, proposal = swat.make_study(rng=seed)
+        return study, proposal
+    raise SystemExit(f"unknown study {name!r}")
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print the model inventory and exact probabilities."""
+    print("IMCIS reproduction — Jegourel, Wang, Sun, DSN 2018")
+    print()
+    print("illustrative:  4 states,  gamma =", illustrative.exact_probability())
+    print("               gamma(A_hat) =", illustrative.exact_probability(
+        illustrative.A_HAT, illustrative.C_HAT))
+    chain = repair_group.embedded_chain()
+    print(f"group repair:  {chain.n_states} states, gamma(alpha=0.1) =",
+          repair_group.exact_probability(repair_group.ALPHA_TRUE))
+    print("swat truth:    70 states (synthetic surrogate; see DESIGN.md)")
+    print("large repair:  40320 states (build with `repro table2 --study large-repair`)")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Regenerate Table I."""
+    reps = args.reps or 100
+    samples = args.samples or 10_000
+    started = time.time()
+    result = run_table1(reps, samples, args.r_undefeated, rng=args.seed)
+    print(result.render())
+    print(f"[{reps} repetitions x {samples} traces in {time.time() - started:.1f}s]")
+    if args.out:
+        rows = list(
+            zip(result.n_rounds, result.a_min, result.c_min, result.a_max, result.c_max)
+        )
+        path = write_csv(args.out / "table1.csv", ["nr", "amin", "cmin", "amax", "cmax"], rows)
+        print("wrote", path)
+    return 0
+
+
+def _run_study_coverage(args: argparse.Namespace, study_name: str):
+    study, unrolled = _study_for(study_name, args.seed)
+    reps = args.reps or 100
+    samples = args.samples or study.n_samples
+    config = IMCISConfig(
+        confidence=study.confidence,
+        search=RandomSearchConfig(r_undefeated=args.r_undefeated, record_history=False),
+    )
+    return study, run_coverage_experiment(
+        study,
+        reps,
+        rng=args.seed,
+        imcis_config=config,
+        n_samples=samples,
+        unrolled_proposal=unrolled,
+    )
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    """Regenerate Table II for one or all case studies."""
+    reports = []
+    names = [args.study] if args.study else ["illustrative", "group-repair", "swat"]
+    started = time.time()
+    for name in names:
+        _study, report = _run_study_coverage(args, name)
+        reports.append(report)
+    print(render_table2(reports))
+    print(f"[{time.time() - started:.1f}s]")
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    """Regenerate Figure 2 (interval superposition)."""
+    study, report = _run_study_coverage(args, args.study or "group-repair")
+    series = IntervalSeries.from_report(report, study.confidence)
+    print(series.render())
+    print(f"IS interval inside IMCIS interval in {series.containment_fraction():.0%} of runs")
+    if args.out:
+        path = write_csv(
+            args.out / f"fig2_{series.study}.csv",
+            ["rep", "is_low", "is_high", "imcis_low", "imcis_high"],
+            series.rows(),
+        )
+        print("wrote", path)
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    """Regenerate Figure 3 (bound evolution)."""
+    study, unrolled = _study_for(args.study or "group-repair", args.seed)
+    samples = args.samples or study.n_samples
+    config = IMCISConfig(
+        confidence=study.confidence,
+        search=RandomSearchConfig(r_undefeated=args.r_undefeated, record_history=True),
+    )
+    rng = np.random.default_rng(args.seed)
+    if unrolled is not None:
+        sample = run_bounded_importance_sampling(unrolled, samples, rng)
+        result = imcis_from_sample(study.imc, sample, rng, config)
+    else:
+        result = imcis_estimate(
+            study.imc, study.proposal, study.formula, samples, rng, config
+        )
+    evolution = BoundEvolution.from_result(result)
+    print(evolution.render())
+    if args.out:
+        path = write_csv(
+            args.out / "fig3.csv", ["round", "lower", "upper"], evolution.rows()
+        )
+        print("wrote", path)
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    """Regenerate Figure 4 (SWaT intervals)."""
+    args.study = "swat"
+    study, report = _run_study_coverage(args, "swat")
+    series = IntervalSeries.from_report(report, study.confidence)
+    print(series.render())
+    print("disjoint IS interval pairs:", series.is_pairwise_disjoint_count())
+    if args.out:
+        path = write_csv(
+            args.out / "fig4.csv",
+            ["rep", "is_low", "is_high", "imcis_low", "imcis_high"],
+            series.rows(),
+        )
+        print("wrote", path)
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    """Regenerate Figure 5 (probability curve)."""
+    grid, values = repair_group.probability_curve(points=args.points)
+    curve = ProbabilityCurve("alpha", grid, values)
+    print(curve.render())
+    if args.out:
+        path = write_csv(args.out / "fig5.csv", ["alpha", "gamma"], curve.rows())
+        print("wrote", path)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Importance Sampling of Interval Markov Chains' (DSN 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="model inventory and exact probabilities")
+
+    p = sub.add_parser("table1", help="Table I random-search statistics")
+    _add_common(p)
+
+    p = sub.add_parser("table2", help="Table II IS vs IMCIS coverage")
+    _add_common(p)
+    p.add_argument("--study", choices=["illustrative", "group-repair", "large-repair", "swat"])
+
+    p = sub.add_parser("fig2", help="Figure 2 interval superposition")
+    _add_common(p)
+    p.add_argument("--study", choices=["illustrative", "group-repair", "large-repair", "swat"])
+
+    p = sub.add_parser("fig3", help="Figure 3 bound evolution")
+    _add_common(p)
+    p.add_argument("--study", choices=["illustrative", "group-repair", "swat"])
+
+    p = sub.add_parser("fig4", help="Figure 4 SWaT intervals")
+    _add_common(p)
+
+    p = sub.add_parser("fig5", help="Figure 5 probability curve")
+    p.add_argument("--points", type=int, default=21)
+    p.add_argument("--out", type=Path, default=None)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "table1": cmd_table1,
+        "table2": cmd_table2,
+        "fig2": cmd_fig2,
+        "fig3": cmd_fig3,
+        "fig4": cmd_fig4,
+        "fig5": cmd_fig5,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

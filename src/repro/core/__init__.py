@@ -1,0 +1,17 @@
+"""Core Markov-chain formalisms: DTMC, IMC, CTMC, paths and count tables."""
+
+from repro.core.ctmc import CTMC
+from repro.core.dtmc import DTMC
+from repro.core.imc import IMC, project_row_to_simplex
+from repro.core.parametric import ParametricModel
+from repro.core.paths import Path, TransitionCounts
+
+__all__ = [
+    "CTMC",
+    "DTMC",
+    "IMC",
+    "ParametricModel",
+    "Path",
+    "TransitionCounts",
+    "project_row_to_simplex",
+]

@@ -1,0 +1,396 @@
+"""Interval Markov Chains (Definition 2.2, once-and-for-all semantics).
+
+An :class:`IMC` replaces the transition function of a DTMC by lower/upper
+bound matrices ``A-`` and ``A+``. Under the once-and-for-all semantics used
+by the paper, the IMC denotes the *set* of DTMCs whose transition matrix lies
+entrywise inside the bounds — a transition value is fixed once, not re-drawn
+at every step.
+
+Bound matrices may be dense or scipy-sparse (both the same kind); sparse
+IMCs keep the 40 320-state benchmark tractable. For sparse bounds, entries
+absent from the *upper* matrix are structurally impossible transitions
+(interval ``[0, 0]``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core import linalg
+from repro.core.dtmc import DTMC
+from repro.core.validation import check_initial_state, normalise_labels
+from repro.errors import ConsistencyError, ModelError
+
+
+class IMC:
+    """A finite interval Markov chain ``[A] = (S, s0, A-, A+, G, V)``.
+
+    Parameters
+    ----------
+    lower, upper:
+        Square matrices with ``lower <= upper`` entrywise satisfying the
+        consistency conditions of Definition 2.2.
+    initial_state, labels, state_names:
+        As for :class:`~repro.core.dtmc.DTMC`.
+    center:
+        Optional distinguished member ``Â`` (the learnt point estimate the
+        IMC is centred on). Must belong to the IMC.
+    """
+
+    def __init__(
+        self,
+        lower: object,
+        upper: object,
+        initial_state: int = 0,
+        labels: Mapping[str, object] | None = None,
+        state_names: Sequence[str] | None = None,
+        center: DTMC | np.ndarray | None = None,
+    ):
+        lo = linalg.coerce_matrix(lower, "lower bound matrix")
+        up = linalg.coerce_matrix(upper, "upper bound matrix")
+        if lo.shape != up.shape:
+            raise ConsistencyError(f"bound shapes differ: {lo.shape} vs {up.shape}")
+        if linalg.is_sparse(lo) != linalg.is_sparse(up):
+            raise ConsistencyError("lower and upper bounds must use the same representation")
+        self._check_consistency(lo, up)
+        linalg.freeze(lo)
+        linalg.freeze(up)
+        self._lower = lo
+        self._upper = up
+        n = lo.shape[0]
+        self._initial_state = check_initial_state(initial_state, n)
+        self._labels = normalise_labels(dict(labels) if labels else None, n)
+        if state_names is not None and len(state_names) != n:
+            raise ModelError(f"{len(state_names)} state names for {n} states")
+        self._state_names = tuple(str(s) for s in state_names) if state_names else None
+        self._center: DTMC | None = None
+        if center is not None:
+            chain = (
+                center
+                if isinstance(center, DTMC)
+                else DTMC(center, self._initial_state, labels, state_names)
+            )
+            if not self.contains(chain):
+                raise ConsistencyError("the declared center matrix lies outside the IMC")
+            self._center = chain
+
+    @staticmethod
+    def _check_consistency(lower: object, upper: object) -> None:
+        """The three conditions of Definition 2.2."""
+        linalg.check_entries_in_unit_interval(lower, "lower bound matrix")
+        linalg.check_entries_in_unit_interval(upper, "upper bound matrix")
+        diff = lower - upper
+        max_gap = linalg.max_entries(diff) if not linalg.is_sparse(diff) else (
+            float(diff.data.max()) if diff.nnz else 0.0
+        )
+        if max_gap > 1e-12:
+            raise ConsistencyError("A- exceeds A+ on some transition")
+        lower_sums = linalg.row_sums(lower)
+        bad = np.flatnonzero(lower_sums > 1.0 + 1e-9)
+        if bad.size:
+            state = int(bad[0])
+            raise ConsistencyError(
+                f"lower bounds from state {state} sum to {lower_sums[state]} > 1"
+            )
+        upper_sums = linalg.row_sums(upper)
+        bad = np.flatnonzero(upper_sums < 1.0 - 1e-9)
+        if bad.size:
+            state = int(bad[0])
+            raise ConsistencyError(
+                f"upper bounds from state {state} sum to {upper_sums[state]} < 1"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_center(
+        cls,
+        center: DTMC,
+        epsilon: float | np.ndarray,
+        widen_zero: bool = False,
+    ) -> "IMC":
+        """The IMC ``[Â] = [Â − ε, Â + ε]`` centred on a learnt DTMC.
+
+        This is the construction of Section II-B: ``Â- = Â − ε`` and
+        ``Â+ = Â + ε`` clipped to ``[0, 1]``. By default, transitions that
+        are structurally absent (``Â_ij = 0``) stay absent — the paper
+        assumes the graph structure is known ("the graph structure being
+        identical"). Pass ``widen_zero=True`` (dense chains only) to widen
+        zero entries too.
+
+        *epsilon* may be a scalar or a dense matrix of per-transition
+        margins (margins for absent transitions are ignored unless
+        *widen_zero*).
+        """
+        eps = np.asarray(epsilon, dtype=float)
+        if np.any(eps < 0):
+            raise ModelError("epsilon margins must be non-negative")
+        if center.is_sparse:
+            if widen_zero:
+                raise ModelError("widen_zero is not supported for sparse chains")
+            matrix = center.transitions
+            if eps.ndim == 0:
+                eps_data = np.full(matrix.nnz, float(eps))
+            elif eps.shape == matrix.shape:
+                rows = np.repeat(np.arange(matrix.shape[0]), np.diff(matrix.indptr))
+                eps_data = eps[rows, matrix.indices]
+            else:
+                raise ModelError(f"epsilon shape {eps.shape} does not match {matrix.shape}")
+            lower = matrix.copy()
+            lower.data = np.clip(matrix.data - eps_data, 0.0, 1.0)
+            upper = matrix.copy()
+            upper.data = np.clip(matrix.data + eps_data, 0.0, 1.0)
+        else:
+            a_hat = center.dense()
+            if eps.ndim == 0:
+                eps = np.full_like(a_hat, float(eps))
+            elif eps.shape != a_hat.shape:
+                raise ModelError(f"epsilon shape {eps.shape} does not match {a_hat.shape}")
+            lower = np.clip(a_hat - eps, 0.0, 1.0)
+            upper = np.clip(a_hat + eps, 0.0, 1.0)
+            if not widen_zero:
+                zero = a_hat == 0.0
+                lower[zero] = 0.0
+                upper[zero] = 0.0
+        return cls(
+            lower,
+            upper,
+            center.initial_state,
+            center.labels,
+            center.state_names,
+            center=center,
+        )
+
+    @classmethod
+    def from_bounds_dict(
+        cls,
+        n_states: int,
+        bounds: Mapping[tuple[int, int], tuple[float, float]],
+        initial_state: int = 0,
+        labels: Mapping[str, object] | None = None,
+        state_names: Sequence[str] | None = None,
+    ) -> "IMC":
+        """Build a dense IMC from a sparse ``{(i, j): (lo, hi)}`` mapping."""
+        lower = np.zeros((n_states, n_states))
+        upper = np.zeros((n_states, n_states))
+        for (i, j), (lo, hi) in bounds.items():
+            lower[i, j] = lo
+            upper[i, j] = hi
+        return cls(lower, upper, initial_state, labels, state_names)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def lower(self) -> object:
+        """Lower bound matrix ``A-`` (read-only)."""
+        return self._lower
+
+    @property
+    def upper(self) -> object:
+        """Upper bound matrix ``A+`` (read-only)."""
+        return self._upper
+
+    @property
+    def is_sparse(self) -> bool:
+        """True when the bounds are stored sparse."""
+        return linalg.is_sparse(self._lower)
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self._lower.shape[0]
+
+    @property
+    def initial_state(self) -> int:
+        """Index of the initial state."""
+        return self._initial_state
+
+    @property
+    def labels(self) -> dict[str, np.ndarray]:
+        """Mapping of atomic proposition name to a boolean state mask."""
+        return {name: mask.copy() for name, mask in self._labels.items()}
+
+    def label_mask(self, name: str) -> np.ndarray:
+        """Boolean mask of the states carrying atomic proposition *name*."""
+        try:
+            return self._labels[name].copy()
+        except KeyError:
+            raise ModelError(f"unknown label {name!r}; have {sorted(self._labels)}") from None
+
+    @property
+    def state_names(self) -> tuple[str, ...] | None:
+        """Optional human-readable state names."""
+        return self._state_names
+
+    @property
+    def center(self) -> DTMC:
+        """The distinguished member ``Â`` (defaults to the midpoint chain)."""
+        if self._center is not None:
+            return self._center
+        return self.midpoint()
+
+    def max_width(self) -> float:
+        """Largest interval width ``max_ij (A+ − A-)``."""
+        diff = self._upper - self._lower
+        if linalg.is_sparse(diff):
+            return float(diff.data.max()) if diff.nnz else 0.0
+        return float(diff.max())
+
+    def is_exact(self, atol: float = 0.0) -> bool:
+        """True if every interval is degenerate (the IMC is a single DTMC)."""
+        return self.max_width() <= atol
+
+    def row_bounds(self, state: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Support indices and (lower, upper) bound vectors of *state*'s row.
+
+        The support is taken from the *upper* matrix: entries outside it are
+        structurally impossible. Returns ``(indices, lower, upper)`` with
+        the bound vectors aligned to ``indices``.
+        """
+        indices, upper_vals = linalg.row_entries(self._upper, state)
+        lower_row = linalg.row_dense(self._lower, state) if not self.is_sparse else None
+        if lower_row is not None:
+            lower_vals = lower_row[indices]
+        else:
+            lower_dense = np.zeros(self.n_states)
+            l_idx, l_vals = linalg.row_entries(self._lower, state)
+            lower_dense[l_idx] = l_vals
+            lower_vals = lower_dense[indices]
+        return indices, lower_vals, upper_vals
+
+    # ------------------------------------------------------------------
+    # Membership and extraction
+    # ------------------------------------------------------------------
+    def contains_matrix(self, matrix: object, atol: float = 1e-9) -> bool:
+        """True if the row-stochastic *matrix* satisfies all bound constraints."""
+        if matrix.shape != self._lower.shape:
+            return False
+        sums = linalg.row_sums(matrix)
+        if not np.allclose(sums, 1.0, atol=max(atol, 1e-9)):
+            return False
+        above = matrix - self._upper
+        below = self._lower - matrix
+        for diff in (above, below):
+            if linalg.is_sparse(diff):
+                if diff.nnz and float(diff.data.max()) > atol:
+                    return False
+            elif sparse_like_max(diff) > atol:
+                return False
+        return True
+
+    def contains(self, chain: DTMC, atol: float = 1e-9) -> bool:
+        """True if ``chain ∈ [A]`` (the membership ``B ∈ [A]`` of the paper)."""
+        left = chain.transitions
+        if linalg.is_sparse(left) != self.is_sparse:
+            # Normalise representations for the comparison.
+            left = chain.dense() if linalg.is_sparse(left) else left
+            lower = self._lower.toarray() if self.is_sparse else self._lower
+            upper = self._upper.toarray() if self.is_sparse else self._upper
+            sums = np.asarray(left).sum(axis=1)
+            return bool(
+                np.allclose(sums, 1.0, atol=max(atol, 1e-9))
+                and np.all(left >= lower - atol)
+                and np.all(left <= upper + atol)
+            )
+        return self.contains_matrix(left, atol)
+
+    def row_contains(self, state: int, values: np.ndarray, indices: np.ndarray | None = None,
+                     atol: float = 1e-9) -> bool:
+        """True if a row given over *indices* satisfies state *state*'s bounds.
+
+        With ``indices=None``, *values* is a dense row over all states.
+        """
+        sup, lo, up = self.row_bounds(state)
+        if indices is None:
+            dense = np.asarray(values, dtype=float)
+            if abs(float(dense.sum()) - 1.0) > max(atol, 1e-9):
+                return False
+            outside = np.delete(dense, sup) if sup.size < dense.size else np.array([])
+            if outside.size and np.any(np.abs(outside) > atol):
+                return False
+            aligned = dense[sup]
+        else:
+            order = {int(j): pos for pos, j in enumerate(indices)}
+            if set(order) - set(int(j) for j in sup):
+                return False
+            aligned = np.zeros(sup.size)
+            vals = np.asarray(values, dtype=float)
+            for pos, j in enumerate(sup):
+                if int(j) in order:
+                    aligned[pos] = vals[order[int(j)]]
+            if abs(float(vals.sum()) - 1.0) > max(atol, 1e-9):
+                return False
+        return bool(np.all(aligned >= lo - atol) and np.all(aligned <= up + atol))
+
+    def midpoint(self) -> DTMC:
+        """A member DTMC obtained by normalising the interval midpoints."""
+        return self._assemble_member(lambda lo, up: (lo + up) / 2.0)
+
+    def _assemble_member(self, row_fn) -> DTMC:
+        """Build a member chain row by row, projecting onto the constraints."""
+        from scipy import sparse as sp
+
+        rows, cols, data = [], [], []
+        for state in range(self.n_states):
+            indices, lo, up = self.row_bounds(state)
+            if indices.size == 0:
+                raise ConsistencyError(f"state {state} has no allowed outgoing transition")
+            target = row_fn(lo, up)
+            projected = project_row_to_simplex(target, lo, up)
+            rows.extend([state] * indices.size)
+            cols.extend(int(j) for j in indices)
+            data.extend(float(v) for v in projected)
+        matrix = sp.csr_matrix(
+            (data, (rows, cols)), shape=(self.n_states, self.n_states)
+        )
+        if not self.is_sparse:
+            matrix = matrix.toarray()
+        return DTMC(matrix, self._initial_state, self._labels, self._state_names)
+
+    def __repr__(self) -> str:
+        kind = "sparse" if self.is_sparse else "dense"
+        return (
+            f"IMC(n_states={self.n_states}, initial_state={self._initial_state}, "
+            f"{kind}, max_width={self.max_width():.3g})"
+        )
+
+
+def sparse_like_max(matrix: np.ndarray) -> float:
+    """Maximum entry of a dense matrix (named for symmetry with sparse path)."""
+    return float(np.max(matrix)) if matrix.size else 0.0
+
+
+def project_row_to_simplex(
+    row: np.ndarray, lower: np.ndarray, upper: np.ndarray, atol: float = 1e-12
+) -> np.ndarray:
+    """Project *row* onto ``{x : lower <= x <= upper, sum x = 1}``.
+
+    Water-filling projection: clips to the box, then redistributes the
+    normalisation residual over the coordinates with slack, proportionally
+    to the available slack. Raises :class:`~repro.errors.ConsistencyError`
+    when the constraint set is empty.
+    """
+    lo = np.asarray(lower, dtype=float)
+    up = np.asarray(upper, dtype=float)
+    if lo.sum() > 1.0 + 1e-9 or up.sum() < 1.0 - 1e-9:
+        raise ConsistencyError("row constraint set is empty: no stochastic vector fits")
+    x = np.clip(np.asarray(row, dtype=float), lo, up)
+    for _ in range(64):
+        residual = 1.0 - float(x.sum())
+        if abs(residual) <= atol:
+            return x
+        slack = (up - x) if residual > 0 else (x - lo)
+        total_slack = float(slack.sum())
+        if total_slack <= 0:
+            raise ConsistencyError("projection ran out of slack before normalising")
+        x = np.clip(x + residual * slack / total_slack, lo, up)
+    residual = 1.0 - float(x.sum())
+    idx = int(np.argmax((up - x) if residual > 0 else (x - lo)))
+    x[idx] += residual
+    if x[idx] < lo[idx] - 1e-9 or x[idx] > up[idx] + 1e-9:
+        raise ConsistencyError("projection failed to converge inside the box")
+    return np.clip(x, lo, up)

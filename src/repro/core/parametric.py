@@ -1,0 +1,157 @@
+"""Parametric Markov models (Section II-B, last paragraph).
+
+Large models are often parametrised by a few global variables (the repair
+benchmarks depend on a single failure-rate parameter ``α``). When the
+transitions are symbolic functions of the globals, one learns the globals and
+*derives* a DTMC or an IMC from them instead of estimating every transition.
+
+:class:`ParametricModel` wraps a builder function ``params -> model`` and can
+
+* instantiate the model at a parameter point (:meth:`at`),
+* derive an IMC from a parameter box by taking entrywise ranges of the
+  transition matrix over the box (:meth:`imc_over_box`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.ctmc import CTMC
+from repro.core.dtmc import DTMC
+from repro.core.imc import IMC
+from repro.errors import ModelError
+
+
+class ParametricModel:
+    """A family of Markov models indexed by named real parameters.
+
+    Parameters
+    ----------
+    parameter_names:
+        Names of the global parameters, e.g. ``("alpha",)``.
+    builder:
+        Callable mapping a ``{name: value}`` dict to a :class:`DTMC` or
+        :class:`CTMC`. Must produce models with identical state spaces,
+        initial states and labels for every parameter point.
+    """
+
+    def __init__(
+        self,
+        parameter_names: Sequence[str],
+        builder: Callable[[Mapping[str, float]], DTMC | CTMC],
+    ):
+        if not parameter_names:
+            raise ModelError("a parametric model needs at least one parameter")
+        self._names = tuple(str(n) for n in parameter_names)
+        self._builder = builder
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        """The declared parameter names."""
+        return self._names
+
+    def _check_params(self, params: Mapping[str, float]) -> dict[str, float]:
+        missing = set(self._names) - set(params)
+        if missing:
+            raise ModelError(f"missing parameter values for {sorted(missing)}")
+        return {name: float(params[name]) for name in self._names}
+
+    def at(self, **params: float) -> DTMC | CTMC:
+        """Instantiate the model at the given parameter point."""
+        return self._builder(self._check_params(params))
+
+    def dtmc_at(self, **params: float) -> DTMC:
+        """Instantiate at a point and reduce CTMCs to their embedded DTMC."""
+        model = self.at(**params)
+        if isinstance(model, CTMC):
+            return model.embedded_dtmc()
+        return model
+
+    def imc_over_box(
+        self,
+        box: Mapping[str, tuple[float, float]],
+        center: Mapping[str, float] | None = None,
+        grid_points: int = 9,
+    ) -> IMC:
+        """Derive the IMC of transition-matrix ranges over a parameter *box*.
+
+        For every transition the interval is the (min, max) of its probability
+        over a tensor grid of *grid_points* values per parameter, always
+        including the box corners. For the repair models the embedded
+        transition probabilities are monotone in ``α`` so the corners alone
+        are exact; the interior grid guards against non-monotone entries.
+
+        The returned IMC is centred on the chain at *center* (defaults to the
+        box midpoint), matching the paper's ``[A(α̂)]`` construction.
+        """
+        missing = set(self._names) - set(box)
+        if missing:
+            raise ModelError(f"missing box intervals for {sorted(missing)}")
+        if grid_points < 2:
+            raise ModelError("grid_points must be at least 2 to include both endpoints")
+        axes = []
+        for name in self._names:
+            lo, hi = (float(v) for v in box[name])
+            if lo > hi:
+                raise ModelError(f"empty interval for parameter {name!r}: [{lo}, {hi}]")
+            axes.append(np.linspace(lo, hi, grid_points))
+
+        from repro.core import linalg
+
+        lower = upper = None
+        template: DTMC | None = None
+        for values in itertools.product(*axes):
+            chain = self.dtmc_at(**dict(zip(self._names, values)))
+            matrix = chain.transitions
+            if lower is None:
+                lower = matrix.copy()
+                upper = matrix.copy()
+                template = chain
+            else:
+                if matrix.shape != lower.shape:
+                    raise ModelError("builder produced models with different state spaces")
+                lower = linalg.elementwise_min(lower, matrix)
+                upper = linalg.elementwise_max(upper, matrix)
+        assert lower is not None and upper is not None and template is not None
+
+        if center is None:
+            center = {name: float(axis[len(axis) // 2]) for name, axis in zip(self._names, axes)}
+        center_chain = self.dtmc_at(**self._check_params(center))
+        # Widen bounds minimally so the centre is inside despite grid rounding.
+        lower = linalg.elementwise_min(lower, center_chain.transitions)
+        upper = linalg.elementwise_max(upper, center_chain.transitions)
+        return IMC(
+            lower,
+            upper,
+            template.initial_state,
+            template.labels,
+            template.state_names,
+            center=center_chain,
+        )
+
+    def probability_curve(
+        self,
+        evaluate: Callable[[DTMC], float],
+        parameter: str,
+        interval: tuple[float, float],
+        points: int = 21,
+        fixed: Mapping[str, float] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate ``evaluate(model(p))`` over a grid of a single parameter.
+
+        This regenerates curves like the paper's Figure 5 (γ(A(α)) for α in
+        its confidence interval). Returns ``(grid, values)``.
+        """
+        if parameter not in self._names:
+            raise ModelError(f"unknown parameter {parameter!r}")
+        fixed = dict(fixed or {})
+        grid = np.linspace(float(interval[0]), float(interval[1]), points)
+        values = np.empty_like(grid)
+        for idx, value in enumerate(grid):
+            params = dict(fixed)
+            params[parameter] = float(value)
+            values[idx] = float(evaluate(self.dtmc_at(**params)))
+        return grid, values

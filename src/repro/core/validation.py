@@ -1,0 +1,44 @@
+"""Structural validation helpers shared by the chain classes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def check_initial_state(initial_state: int, n_states: int) -> int:
+    """Validate and normalise the initial-state index."""
+    state = int(initial_state)
+    if not 0 <= state < n_states:
+        raise ModelError(f"initial state {state} out of range [0, {n_states})")
+    return state
+
+
+def normalise_labels(
+    labels: dict[str, object] | None, n_states: int
+) -> dict[str, np.ndarray]:
+    """Normalise a label mapping to ``{name: bool mask over states}``.
+
+    Accepts masks, state-index iterables, or nothing. Masks are copied so
+    callers cannot mutate the model afterwards.
+    """
+    result: dict[str, np.ndarray] = {}
+    if not labels:
+        return result
+    for name, spec in labels.items():
+        arr = np.asarray(spec)
+        if arr.dtype == bool:
+            if arr.shape != (n_states,):
+                raise ModelError(
+                    f"label {name!r} mask has shape {arr.shape}, expected ({n_states},)"
+                )
+            mask = arr.copy()
+        else:
+            indices = arr.astype(int).ravel()
+            if indices.size and (indices.min() < 0 or indices.max() >= n_states):
+                raise ModelError(f"label {name!r} indexes states outside [0, {n_states})")
+            mask = np.zeros(n_states, dtype=bool)
+            mask[indices] = True
+        result[str(name)] = mask
+    return result

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the library with a single ``except`` clause
+while still being able to discriminate finer failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ModelError(ReproError):
+    """A Markov model (DTMC/IMC/CTMC) is structurally invalid."""
+
+
+class ConsistencyError(ModelError):
+    """An IMC violates the consistency conditions of Definition 2.2.
+
+    The conditions are ``A- <= A+``, ``sum_t A-(s, t) <= 1`` and
+    ``sum_t A+(s, t) >= 1`` for every state ``s``.
+    """
+
+
+class PropertyError(ReproError):
+    """A temporal property is malformed or cannot be monitored."""
+
+
+class ParseError(ReproError):
+    """Raised by the modelling-language and property parsers.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class EvaluationError(ReproError):
+    """An expression in a model could not be evaluated."""
+
+
+class EstimationError(ReproError):
+    """A statistical estimation could not be carried out."""
+
+
+class OptimizationError(ReproError):
+    """The IMCIS optimisation step failed (e.g. no feasible candidate)."""
+
+
+class LearningError(ReproError):
+    """A model-learning routine received unusable observations."""

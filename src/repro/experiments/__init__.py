@@ -1,0 +1,31 @@
+"""Experiment harness: the paper's evaluation protocol, tables and figures."""
+
+from repro.experiments.coverage import (
+    CoverageReport,
+    RepetitionOutcome,
+    run_coverage_experiment,
+)
+from repro.experiments.figures import (
+    BoundEvolution,
+    IntervalSeries,
+    ProbabilityCurve,
+    write_csv,
+)
+from repro.experiments.table1 import Table1Result, run_table1, transition_value
+from repro.experiments.table2 import Table2Row, render_table2, rows_from_report
+
+__all__ = [
+    "BoundEvolution",
+    "CoverageReport",
+    "IntervalSeries",
+    "ProbabilityCurve",
+    "RepetitionOutcome",
+    "Table1Result",
+    "Table2Row",
+    "render_table2",
+    "rows_from_report",
+    "run_coverage_experiment",
+    "run_table1",
+    "transition_value",
+    "write_csv",
+]

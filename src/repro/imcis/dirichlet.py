@@ -1,0 +1,301 @@
+"""Dirichlet generation of candidate DTMCs inside the IMC (Sections IV-B/C).
+
+A candidate row for state ``s_i`` must be a probability distribution lying
+entrywise in ``[â_i − ε_i, â_i + ε_i]``. Uniform per-coordinate sampling
+followed by normalisation would almost never satisfy the constraints; the
+paper instead draws the whole row from a Dirichlet distribution centred on
+``â_i`` whose concentration ``K_i`` is tuned so every coordinate's standard
+deviation is slightly *above* its margin ``ε_ij``:
+
+    K_ij = â_ij (1 − â_ij) / ε_ij² − 1,      K_i = min_j K_ij,
+
+then rejects rows falling outside the box (Algorithm 2, lines 5–11). Two
+§IV-C refinements are implemented:
+
+* ``λ``-inflation — after a run of rejections, multiply ``K_i`` by
+  ``λ = 1.1``: shrinks all coordinate variances while preserving relative
+  means, raising the acceptance rate on wide rows (§IV-C-1). The inflation
+  state is *persistent across calls* (and decays slowly on success), so a
+  row that needs inflation learns it once instead of rediscovering it for
+  every candidate;
+* two-scale split — coordinates whose ``K_ij`` is orders of magnitude above
+  the row minimum would get far too much variance under ``K_i = min``;
+  they are sampled *uniformly* on their consistent interval first, and the
+  remaining coordinates conditionally via a rescaled Dirichlet with
+
+    K_i = min_j' ( m_j'(β − m_j') / ε_j'² − 1 ) / β,
+
+  where ``β`` is the leftover mass and ``m_j'`` the conditional means
+  (§IV-C-2 — note the paper's displayed formula drops the leading ``m_j'``
+  factor; the version here is the one its own derivation (Eq. 12) gives).
+
+Draws are batched: each attempt round asks the generator for a block of
+Dirichlet vectors and tests them vectorised, which keeps the Python
+overhead per accepted row small even on heavily-rejecting rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OptimizationError
+
+
+@dataclass(frozen=True)
+class DirichletConfig:
+    """Tuning knobs for candidate-row generation.
+
+    Attributes
+    ----------
+    k_strategy:
+        How ``K_i`` aggregates the per-coordinate ``K_ij``: ``"min"``
+        (the paper's choice), ``"mean"`` or ``"median"`` (§IV-C-2 mentions
+        both as alternatives).
+    outlier_ratio:
+        Coordinates with ``K_ij > outlier_ratio × min K_ij`` are handled by
+        the two-scale split. ``inf`` disables the split.
+    inflation:
+        The ``λ`` of §IV-C-1.
+    inflate_after:
+        Consecutive rejected *batches* before ``K`` is inflated.
+    decay:
+        Multiplicative decay of the learnt inflation after each accepted
+        row (drifts back towards the paper's nominal ``K_i``).
+    batch_size:
+        Dirichlet vectors drawn and tested per attempt round.
+    max_attempts:
+        Hard cap on rejection-sampling attempts per row.
+    width_tolerance:
+        Interval half-widths at or below this are treated as exact values.
+    min_k:
+        Lower clamp on ``K_i`` (guards against huge margins).
+    alpha_floor:
+        Floor on Dirichlet parameters (guards against zero centre values).
+    """
+
+    k_strategy: str = "min"
+    outlier_ratio: float = 100.0
+    inflation: float = 1.1
+    inflate_after: int = 4
+    decay: float = 0.995
+    batch_size: int = 16
+    max_attempts: int = 1_000_000
+    width_tolerance: float = 1e-12
+    min_k: float = 1.0
+    alpha_floor: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.k_strategy not in ("min", "mean", "median"):
+            raise OptimizationError(f"unknown k_strategy {self.k_strategy!r}")
+        if self.inflation <= 1.0:
+            raise OptimizationError("inflation must exceed 1")
+        if self.outlier_ratio <= 1.0:
+            raise OptimizationError("outlier_ratio must exceed 1")
+        if not 0.0 < self.decay <= 1.0:
+            raise OptimizationError("decay must be in (0, 1]")
+        if self.batch_size <= 0:
+            raise OptimizationError("batch_size must be positive")
+
+
+def aggregate_k(values: np.ndarray, strategy: str) -> float:
+    """Combine per-coordinate concentrations into ``K_i``."""
+    if strategy == "min":
+        return float(values.min())
+    if strategy == "mean":
+        return float(values.mean())
+    return float(np.median(values))
+
+
+@dataclass
+class RowSampleStats:
+    """Diagnostics accumulated across calls to :meth:`DirichletRowSampler.sample`."""
+
+    samples: int = 0
+    rejections: int = 0
+    inflations: int = 0
+
+
+class DirichletRowSampler:
+    """Samples one state's candidate row within its interval constraints.
+
+    Parameters
+    ----------
+    support:
+        Indices of the structurally possible successors (for reporting).
+    center:
+        The row of ``Â`` restricted to the support (``â_i``); must sum to 1.
+    lower, upper:
+        Interval bounds aligned with *support*.
+    config:
+        Tuning knobs; see :class:`DirichletConfig`.
+    """
+
+    def __init__(
+        self,
+        support: np.ndarray,
+        center: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        config: DirichletConfig = DirichletConfig(),
+    ):
+        self.support = np.asarray(support, dtype=int)
+        self.center = np.asarray(center, dtype=float)
+        self.lower = np.asarray(lower, dtype=float)
+        self.upper = np.asarray(upper, dtype=float)
+        self.config = config
+        self.stats = RowSampleStats()
+        size = self.support.size
+        if not (self.center.size == self.lower.size == self.upper.size == size):
+            raise OptimizationError("support/center/bound sizes differ")
+        if size < 2:
+            raise OptimizationError(
+                "rows with fewer than two possible successors are constants — "
+                "handle them outside the sampler"
+            )
+        if abs(float(self.center.sum()) - 1.0) > 1e-6:
+            raise OptimizationError("the centre row must be a probability distribution")
+
+        widths = (self.upper - self.lower) / 2.0
+        self._fixed = widths <= config.width_tolerance
+        free = ~self._fixed
+        if not np.any(free):
+            raise OptimizationError("all coordinates are fixed — row is a constant")
+        free_idx = np.flatnonzero(free)
+        eps_free = np.maximum(widths[free_idx], config.width_tolerance)
+        centre_free = self.center[free_idx]
+        k_values = centre_free * (1.0 - centre_free) / eps_free**2 - 1.0
+        k_values = np.maximum(k_values, config.min_k)
+        k_min = float(k_values.min())
+        outlier = k_values > config.outlier_ratio * k_min
+        if np.count_nonzero(~outlier) < 2:
+            # The split needs at least two Dirichlet coordinates left over.
+            outlier = np.zeros_like(outlier)
+        self._uniform_idx = free_idx[outlier]
+        if self._uniform_idx.size:
+            order = np.argsort(-k_values[outlier])
+            self._uniform_idx = self._uniform_idx[order]
+        self._group = free_idx[~outlier]
+        self._group_eps = eps_free[~outlier]
+        self._group_centre = centre_free[~outlier]
+        self._group_lower = self.lower[self._group]
+        self._group_upper = self.upper[self._group]
+        self._base_k = aggregate_k(k_values[~outlier], config.k_strategy)
+        self._fixed_mass = float(self.center[self._fixed].sum()) if np.any(self._fixed) else 0.0
+        #: Learnt inflation multiplier (persists across calls, decays back).
+        self._k_scale = 1.0
+
+    @property
+    def uses_two_scale_split(self) -> bool:
+        """True when some coordinates are uniform-sampled (§IV-C-2)."""
+        return self._uniform_idx.size > 0
+
+    @property
+    def concentration(self) -> float:
+        """The (unconditional) aggregate ``K_i`` of the Dirichlet group."""
+        return self._base_k
+
+    @property
+    def k_scale(self) -> float:
+        """Current learnt λ-inflation multiplier."""
+        return self._k_scale
+
+    def center_row(self) -> np.ndarray:
+        """The centre row ``â_i`` (the round-0 candidate of Algorithm 2)."""
+        return self.center.copy()
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one feasible candidate row (aligned with ``support``)."""
+        cfg = self.config
+        values = np.empty_like(self.center)
+        values[self._fixed] = self.center[self._fixed]
+
+        attempts = 0
+        rejected_batches = 0
+        while attempts < cfg.max_attempts:
+            budget = self._sample_uniform_coords(rng, values)
+            if budget is None:
+                attempts += 1
+                continue
+            accepted = self._sample_group(rng, values, budget)
+            attempts += cfg.batch_size
+            if accepted:
+                self.stats.samples += 1
+                self._k_scale = max(1.0, self._k_scale * cfg.decay)
+                return values
+            rejected_batches += 1
+            self.stats.rejections += cfg.batch_size
+            if rejected_batches >= cfg.inflate_after:
+                self._k_scale *= cfg.inflation
+                self.stats.inflations += 1
+                rejected_batches = 0
+        raise OptimizationError(
+            f"could not sample a feasible row after {cfg.max_attempts} attempts "
+            f"(support size {self.support.size}); the interval constraints may be "
+            "nearly degenerate — consider raising max_attempts"
+        )
+
+    # ------------------------------------------------------------------
+    def _sample_uniform_coords(self, rng: np.random.Generator, values: np.ndarray) -> float | None:
+        """Fill the uniform (outlier) coordinates; returns leftover budget."""
+        budget = 1.0 - self._fixed_mass
+        if self._uniform_idx.size == 0:
+            return budget
+        remaining = list(self._uniform_idx) + list(self._group)
+        for pos, idx in enumerate(self._uniform_idx):
+            rest = remaining[pos + 1 :]
+            rest_lo = float(self.lower[rest].sum())
+            rest_up = float(self.upper[rest].sum())
+            low = max(float(self.lower[idx]), budget - rest_up)
+            high = min(float(self.upper[idx]), budget - rest_lo)
+            if low > high:
+                return None
+            value = rng.uniform(low, high)
+            values[idx] = value
+            budget -= value
+        return budget
+
+    def _sample_group(self, rng: np.random.Generator, values: np.ndarray, budget: float) -> bool:
+        """Fill the Dirichlet group from *budget*; True on success."""
+        group = self._group
+        if group.size == 0:
+            return abs(budget) <= 1e-9
+        if group.size == 1:
+            idx = group[0]
+            if self.lower[idx] - 1e-12 <= budget <= self.upper[idx] + 1e-12:
+                values[idx] = min(max(budget, self.lower[idx]), self.upper[idx])
+                return True
+            return False
+        if budget <= 0.0:
+            return False
+
+        centre = self._group_centre
+        total_centre = float(centre.sum())
+        if total_centre <= 0.0:
+            centre = np.full(group.size, 1.0 / group.size)
+            total_centre = 1.0
+        if self.uses_two_scale_split:
+            means = budget * centre / total_centre
+            k_values = (
+                means * np.maximum(budget - means, 1e-15) / self._group_eps**2 - 1.0
+            ) / budget
+            k = max(
+                aggregate_k(np.maximum(k_values, self.config.min_k), self.config.k_strategy),
+                self.config.min_k,
+            )
+        else:
+            k = self._base_k
+        alpha = np.maximum(k * self._k_scale * centre, self.config.alpha_floor)
+        block = rng.dirichlet(alpha, size=self.config.batch_size)
+        candidates = budget * block
+        feasible = np.all(
+            (candidates >= self._group_lower - 1e-12)
+            & (candidates <= self._group_upper + 1e-12),
+            axis=1,
+        )
+        winners = np.flatnonzero(feasible)
+        if winners.size == 0:
+            return False
+        values[group] = candidates[winners[0]]
+        return True

@@ -1,0 +1,116 @@
+"""Observation tables: the data Algorithm 1 hands to the optimiser.
+
+After sampling, the successful traces are reduced to a sparse count matrix
+``N`` (rows = successful traces, columns = *observed transitions*) plus the
+per-trace log-probability under the proposal. Everything the optimisation
+step needs — the sets ``V`` and ``T`` of Algorithm 1 line 16, and the data
+behind ``f(A)``/``g(A)`` — lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.paths import TransitionCounts
+from repro.errors import EstimationError
+from repro.importance.estimator import ISSample
+
+
+@dataclass(frozen=True)
+class ObservationTables:
+    """Sparse per-trace transition counts over the observed transitions.
+
+    Attributes
+    ----------
+    transitions:
+        The observed transitions ``T`` in column order: ``transitions[t]``
+        is the ``(source, target)`` pair of objective column ``t``.
+    counts:
+        CSR matrix of shape ``(M, |T|)``; entry ``(k, t)`` is ``n_t(ω_k)``.
+    log_proposal:
+        Length-``M`` vector of ``log P_B(ω_k)``.
+    n_total:
+        Total number of sampled traces ``N`` (successful or not).
+    """
+
+    transitions: tuple[tuple[int, int], ...]
+    counts: sparse.csr_matrix
+    log_proposal: np.ndarray
+    n_total: int
+
+    @classmethod
+    def from_sample(cls, sample: ISSample) -> "ObservationTables":
+        """Build the tables from an importance-sampling run."""
+        if sample.n_total <= 0:
+            raise EstimationError("sample contains no traces")
+        column_of: dict[tuple[int, int], int] = {}
+        transitions: list[tuple[int, int]] = []
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[int] = []
+        for k, counts in enumerate(sample.counts):
+            for pair, n in counts.items():
+                col = column_of.get(pair)
+                if col is None:
+                    col = len(transitions)
+                    column_of[pair] = col
+                    transitions.append(pair)
+                rows.append(k)
+                cols.append(col)
+                data.append(n)
+        matrix = sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(len(sample.counts), len(transitions)),
+            dtype=float,
+        )
+        return cls(
+            transitions=tuple(transitions),
+            counts=matrix,
+            log_proposal=np.asarray(sample.log_proposal, dtype=float),
+            n_total=sample.n_total,
+        )
+
+    @classmethod
+    def from_counts(
+        cls,
+        count_tables: list[TransitionCounts],
+        log_proposal: list[float],
+        n_total: int,
+    ) -> "ObservationTables":
+        """Build the tables from raw count tables (mainly for tests)."""
+        sample = ISSample(
+            n_total=n_total, counts=list(count_tables), log_proposal=list(log_proposal)
+        )
+        return cls.from_sample(sample)
+
+    @property
+    def n_successful(self) -> int:
+        """Number of successful traces ``M``."""
+        return self.counts.shape[0]
+
+    @property
+    def n_transitions(self) -> int:
+        """Number of distinct observed transitions ``|T|``."""
+        return len(self.transitions)
+
+    def visited_states(self) -> list[int]:
+        """The set ``V`` of source states observed in successful traces."""
+        return sorted({i for (i, _j) in self.transitions})
+
+    def columns_by_state(self) -> dict[int, list[int]]:
+        """Objective columns grouped by source state."""
+        grouped: dict[int, list[int]] = {}
+        for col, (i, _j) in enumerate(self.transitions):
+            grouped.setdefault(i, []).append(col)
+        return grouped
+
+    def column_index(self) -> dict[tuple[int, int], int]:
+        """Mapping ``(i, j) → column``."""
+        return {pair: col for col, pair in enumerate(self.transitions)}
+
+    def total_counts(self) -> np.ndarray:
+        """Per-column total occurrence counts across successful traces."""
+        return np.asarray(self.counts.sum(axis=0)).ravel()

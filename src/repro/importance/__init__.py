@@ -1,0 +1,45 @@
+"""Importance sampling: estimators, zero-variance and cross-entropy proposals."""
+
+from repro.importance.cross_entropy import (
+    CrossEntropyResult,
+    cross_entropy_proposal,
+    cross_entropy_update,
+)
+from repro.importance.estimator import (
+    ISSample,
+    estimate_from_sample,
+    importance_sampling_estimate,
+    log_weights,
+    moments_from_log_weights,
+    run_importance_sampling,
+)
+from repro.importance.likelihood import (
+    check_absolute_continuity,
+    likelihood_ratio,
+    log_likelihood_ratio,
+    pairwise_log_ratio,
+)
+from repro.importance.zero_variance import (
+    tilt_by_values,
+    zero_variance_proposal,
+    zero_variance_values,
+)
+
+__all__ = [
+    "CrossEntropyResult",
+    "ISSample",
+    "check_absolute_continuity",
+    "cross_entropy_proposal",
+    "cross_entropy_update",
+    "estimate_from_sample",
+    "importance_sampling_estimate",
+    "likelihood_ratio",
+    "log_likelihood_ratio",
+    "log_weights",
+    "moments_from_log_weights",
+    "pairwise_log_ratio",
+    "run_importance_sampling",
+    "tilt_by_values",
+    "zero_variance_proposal",
+    "zero_variance_values",
+]

@@ -1,0 +1,151 @@
+"""The importance-sampling estimator (Section III-A, Equation 7).
+
+Sampling and estimation are deliberately split:
+
+* :func:`run_importance_sampling` draws traces under the proposal and keeps,
+  per successful trace, its transition-count table and its log-probability
+  under the proposal — exactly the tables of Algorithm 1 (lines 1–15);
+* :func:`estimate_from_sample` turns such a sample into the IS estimate and
+  confidence interval with respect to *any* original chain ``A``.
+
+The split matters because IMCIS evaluates the same sample against many
+candidate chains ``A ∈ [Â]`` — the sample is drawn once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.core.dtmc import DTMC
+from repro.core.paths import TransitionCounts
+from repro.errors import EstimationError
+from repro.properties.logic import Formula
+from repro.smc.intervals import normal_ci
+from repro.smc.results import EstimationResult
+from repro.smc.simulator import TraceSampler
+from repro.util.rng import ensure_rng
+
+
+@dataclass
+class ISSample:
+    """A batch of traces drawn under an importance-sampling proposal.
+
+    Only successful traces carry data (a failed trace contributes
+    ``z·L = 0``); ``n_total`` remembers the full batch size ``N_IS``.
+    """
+
+    n_total: int
+    counts: list[TransitionCounts] = field(default_factory=list)
+    log_proposal: list[float] = field(default_factory=list)
+    n_undecided: int = 0
+    mean_length: float = 0.0
+
+    @property
+    def n_satisfied(self) -> int:
+        """Number of successful traces."""
+        return len(self.counts)
+
+
+def run_importance_sampling(
+    proposal: DTMC,
+    formula: Formula,
+    n_samples: int,
+    rng: np.random.Generator | int | None = None,
+    max_steps: int | None = None,
+    initial_state: int | None = None,
+) -> ISSample:
+    """Draw *n_samples* traces under *proposal*, keeping success tables."""
+    if n_samples <= 0:
+        raise EstimationError("n_samples must be positive")
+    generator = ensure_rng(rng)
+    sampler = TraceSampler(
+        proposal,
+        formula,
+        max_steps=max_steps,
+        count_mode="satisfied",
+        record_log_prob=True,
+        initial_state=initial_state,
+    )
+    sample = ISSample(n_total=n_samples)
+    total_length = 0
+    for _ in range(n_samples):
+        record = sampler.sample(generator)
+        total_length += record.length
+        if not record.decided:
+            sample.n_undecided += 1
+        if record.satisfied:
+            assert record.counts is not None
+            sample.counts.append(record.counts)
+            sample.log_proposal.append(record.log_proposal)
+    sample.mean_length = total_length / n_samples
+    return sample
+
+
+def log_weights(original: DTMC, sample: ISSample) -> np.ndarray:
+    """Per-successful-trace ``log L_k`` against *original*."""
+    weights = np.empty(sample.n_satisfied)
+    for k, (counts, log_b) in enumerate(zip(sample.counts, sample.log_proposal)):
+        log_a = original.counts_log_probability(counts)
+        if log_a == float("-inf"):
+            raise EstimationError(
+                "sampled trace impossible under the original chain; "
+                "the proposal is not valid for importance sampling"
+            )
+        weights[k] = log_a - log_b
+    return weights
+
+
+def moments_from_log_weights(log_w: np.ndarray, n_total: int) -> tuple[float, float]:
+    """``(γ̂, σ̂)`` from log likelihood ratios, via log-sum-exp.
+
+    ``γ̂ = (Σ L_k)/N`` and ``σ̂² = (Σ L_k²)/N − γ̂²`` (the population form
+    used in Algorithm 1, lines 20–23).
+    """
+    if log_w.size == 0:
+        return 0.0, 0.0
+    log_f = float(logsumexp(log_w))
+    log_g = float(logsumexp(2.0 * log_w))
+    log_n = math.log(n_total)
+    gamma = math.exp(log_f - log_n)
+    variance = math.exp(log_g - log_n) - gamma * gamma
+    return gamma, math.sqrt(max(0.0, variance))
+
+
+def estimate_from_sample(
+    original: DTMC,
+    sample: ISSample,
+    confidence: float = 0.95,
+) -> EstimationResult:
+    """IS estimate of ``γ(original)`` from a sample drawn under a proposal."""
+    log_w = log_weights(original, sample)
+    gamma, std_dev = moments_from_log_weights(log_w, sample.n_total)
+    return EstimationResult(
+        estimate=gamma,
+        std_dev=std_dev,
+        n_samples=sample.n_total,
+        interval=normal_ci(gamma, std_dev, sample.n_total, confidence),
+        n_satisfied=sample.n_satisfied,
+        n_undecided=sample.n_undecided,
+        method="importance-sampling",
+    )
+
+
+def importance_sampling_estimate(
+    original: DTMC,
+    proposal: DTMC,
+    formula: Formula,
+    n_samples: int,
+    rng: np.random.Generator | int | None = None,
+    confidence: float = 0.95,
+    max_steps: int | None = None,
+    initial_state: int | None = None,
+) -> EstimationResult:
+    """One-call IS estimation: sample under *proposal*, weight by *original*."""
+    sample = run_importance_sampling(
+        proposal, formula, n_samples, rng, max_steps, initial_state
+    )
+    return estimate_from_sample(original, sample, confidence)

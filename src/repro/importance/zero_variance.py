@@ -1,0 +1,106 @@
+"""Zero-variance ("perfect") importance-sampling proposals (Section III-A).
+
+For an unbounded until property the zero-variance change of measure is
+Markovian and has a closed form: tilt every row by the per-state success
+probabilities, ``b_ij = a_ij · u_j / Σ_l a_il u_l``, where ``u`` is the
+value vector of the until property. Under this proposal every sampled path
+satisfies the property and has likelihood ratio exactly ``γ`` — the
+"perfect importance sampling" of Fig. 1c, whose confidence interval
+degenerates to a single point.
+
+The same construction applied to a *learnt* chain ``Â`` yields the proposal
+used throughout the paper's experiments: perfect w.r.t. ``Â``, and therefore
+dangerously over-confident w.r.t. the true chain — the failure IMCIS fixes.
+
+For step-bounded properties the exact zero-variance measure is
+time-dependent; :func:`zero_variance_proposal` then uses the unbounded value
+function as a (valid, near-optimal) Markovian approximation — absolute
+continuity along satisfying paths is preserved because every state on a
+satisfying bounded path has positive unbounded value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.analysis.reachability import until_values
+from repro.core import linalg
+from repro.core.dtmc import DTMC
+from repro.errors import EstimationError
+from repro.properties.logic import Formula, UntilSpec
+
+
+def tilt_by_values(chain: DTMC, values: np.ndarray, mixing: float = 0.0) -> DTMC:
+    """Tilt every row of *chain* by the value vector: ``b_ij ∝ a_ij v_j``.
+
+    Rows whose tilted mass is zero (states that cannot succeed) keep their
+    original distribution — they are never visited by successful paths.
+    With ``mixing = η > 0`` the result is ``(1−η)·tilted + η·original``,
+    a defensive mixture that keeps the proposal's support equal to the
+    original chain's support.
+    """
+    if values.shape != (chain.n_states,):
+        raise EstimationError(
+            f"value vector has shape {values.shape}, expected ({chain.n_states},)"
+        )
+    if not 0.0 <= mixing < 1.0:
+        raise EstimationError("mixing must be in [0, 1)")
+    matrix = chain.transitions
+    if linalg.is_sparse(matrix):
+        tilted = matrix.multiply(values[None, :]).tocsr()
+    else:
+        tilted = matrix * values[None, :]
+    mass = linalg.row_sums(tilted)
+    positive = mass > 0
+    factors = np.zeros_like(mass)
+    factors[positive] = 1.0 / mass[positive]
+    tilted = linalg.scale_rows(tilted, factors)
+    # Dead rows keep the original distribution.
+    if linalg.is_sparse(matrix):
+        dead = np.flatnonzero(~positive)
+        if dead.size:
+            keep = sparse.diags((~positive).astype(float)) @ matrix
+            tilted = (tilted + keep).tocsr()
+        result = tilted
+        if mixing > 0.0:
+            result = ((1.0 - mixing) * result + mixing * matrix).tocsr()
+    else:
+        result = np.asarray(tilted)
+        result[~positive] = matrix[~positive]
+        if mixing > 0.0:
+            result = (1.0 - mixing) * result + mixing * matrix
+    return DTMC(result, chain.initial_state, chain.labels, chain.state_names)
+
+
+def zero_variance_values(chain: DTMC, spec: UntilSpec) -> np.ndarray:
+    """The tilting value vector appropriate for *spec*.
+
+    Standard untils use the until value function; the ``lhs_exempt`` shape
+    (the repair property) uses the values of ``lhs U (lhs ∧ rhs)`` — the
+    initial state is exempt from *lhs*, so its *outgoing* tilt uses the same
+    inner values, and no special-casing is needed:
+    the resulting proposal never re-enters states violating *lhs*.
+    """
+    if spec.lhs_exempt:
+        return until_values(chain, spec.lhs_mask, spec.lhs_mask & spec.rhs_mask, None)
+    return until_values(chain, spec.lhs_mask, spec.rhs_mask, None)
+
+
+def zero_variance_proposal(
+    chain: DTMC,
+    formula: Formula | UntilSpec,
+    mixing: float = 0.0,
+) -> DTMC:
+    """The zero-variance proposal of *formula* w.r.t. *chain*.
+
+    Exact (point-interval estimator) for unbounded untils; for bounded
+    untils this is the Markovian approximation described in the module
+    docstring. Raises :class:`~repro.errors.EstimationError` when the
+    property has probability zero (no tilting possible).
+    """
+    spec = formula if isinstance(formula, UntilSpec) else formula.until_spec(chain)
+    values = zero_variance_values(chain, spec)
+    if not np.any(values > 0):
+        raise EstimationError("the property has probability zero: nothing to tilt")
+    return tilt_by_values(chain, values, mixing=mixing)

@@ -1,0 +1,20 @@
+"""PRISM-subset modelling language: parse guarded-command models, build chains."""
+
+from repro.lang.builder import (
+    StateSpaceBuilder,
+    build_ctmc,
+    build_dtmc,
+    build_embedded_dtmc,
+    resolve_constants,
+)
+from repro.lang.parser import parse_expression, parse_model
+
+__all__ = [
+    "StateSpaceBuilder",
+    "build_ctmc",
+    "build_dtmc",
+    "build_embedded_dtmc",
+    "parse_expression",
+    "parse_model",
+    "resolve_constants",
+]

@@ -1,0 +1,99 @@
+"""Abstract syntax of the PRISM-subset modelling language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.expr import Expression
+
+
+@dataclass(frozen=True)
+class ConstantDecl:
+    """``const int|double|bool name [= expr];``
+
+    A constant without a defining expression must be supplied at build time
+    (this is how the repair models take their failure rate ``α``).
+    """
+
+    name: str
+    type_name: str
+    value: Expression | None
+
+
+@dataclass(frozen=True)
+class VariableDecl:
+    """``name : [low..high] init expr;`` — a bounded integer state variable."""
+
+    name: str
+    low: Expression
+    high: Expression
+    init: Expression
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``(var' = expr)`` inside an update."""
+
+    variable: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class Update:
+    """One weighted branch of a command: ``rate : (x'=e) & (y'=f)``.
+
+    For CTMCs the weight is a rate; for DTMCs a probability. An empty
+    assignment list is the no-op update ``true``.
+    """
+
+    weight: Expression
+    assignments: tuple[Assignment, ...]
+
+
+@dataclass(frozen=True)
+class Command:
+    """``[] guard -> rate1 : update1 + rate2 : update2;``"""
+
+    guard: Expression
+    updates: tuple[Update, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Module:
+    """A named module: local variables plus guarded commands."""
+
+    name: str
+    variables: tuple[VariableDecl, ...]
+    commands: tuple[Command, ...]
+
+
+@dataclass(frozen=True)
+class LabelDecl:
+    """``label "name" = expr;``"""
+
+    name: str
+    condition: Expression
+
+
+@dataclass(frozen=True)
+class ModelFile:
+    """A parsed model: type header, constants, modules and labels."""
+
+    model_type: str  # "ctmc" | "dtmc"
+    constants: tuple[ConstantDecl, ...] = ()
+    modules: tuple[Module, ...] = ()
+    labels: tuple[LabelDecl, ...] = ()
+    formulas: dict[str, Expression] = field(default_factory=dict)
+
+    def constant_names(self) -> list[str]:
+        """Declared constant names, in declaration order."""
+        return [c.name for c in self.constants]
+
+    def undefined_constants(self) -> list[str]:
+        """Constants that must be supplied at build time."""
+        return [c.name for c in self.constants if c.value is None]
+
+    def variable_declarations(self) -> list[VariableDecl]:
+        """All state variables across modules, in declaration order."""
+        return [v for module in self.modules for v in module.variables]

@@ -1,0 +1,182 @@
+"""Expressions of the modelling language: AST nodes and evaluation.
+
+Expressions appear in constant definitions, guards, rates and updates. They
+evaluate against an *environment* mapping names to numeric values (booleans
+are represented as Python ``bool``; guards must evaluate to ``bool``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.errors import EvaluationError
+
+#: Value domain of the language.
+Value = "int | float | bool"
+
+
+class Expression:
+    """Base class of expression nodes."""
+
+    def evaluate(self, env: Mapping[str, object]) -> object:
+        """Evaluate against *env*; raises :class:`EvaluationError` on error."""
+        raise NotImplementedError
+
+    def names(self) -> set[str]:
+        """Free identifiers referenced by the expression."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Number(Expression):
+    """An integer or floating-point literal."""
+
+    value: float | int
+
+    def evaluate(self, env: Mapping[str, object]) -> object:
+        return self.value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BooleanLiteral(Expression):
+    """``true`` or ``false``."""
+
+    value: bool
+
+    def evaluate(self, env: Mapping[str, object]) -> object:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Name(Expression):
+    """A reference to a constant or state variable."""
+
+    identifier: str
+
+    def evaluate(self, env: Mapping[str, object]) -> object:
+        try:
+            return env[self.identifier]
+        except KeyError:
+            raise EvaluationError(f"undefined identifier {self.identifier!r}") from None
+
+    def names(self) -> set[str]:
+        return {self.identifier}
+
+    def __repr__(self) -> str:
+        return self.identifier
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+_COMPARE = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Arithmetic, comparison or boolean binary operation."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, env: Mapping[str, object]) -> object:
+        if self.op in ("&", "|"):
+            left = self.left.evaluate(env)
+            if not isinstance(left, bool):
+                raise EvaluationError(f"{self.op} expects booleans, got {left!r}")
+            if self.op == "&" and not left:
+                return False
+            if self.op == "|" and left:
+                return True
+            right = self.right.evaluate(env)
+            if not isinstance(right, bool):
+                raise EvaluationError(f"{self.op} expects booleans, got {right!r}")
+            return right
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if self.op in _COMPARE:
+            return _COMPARE[self.op](left, right)
+        if self.op in _ARITH:
+            try:
+                return _ARITH[self.op](left, right)
+            except ZeroDivisionError:
+                raise EvaluationError("division by zero") from None
+        raise EvaluationError(f"unknown operator {self.op!r}")
+
+    def names(self) -> set[str]:
+        return self.left.names() | self.right.names()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary minus or boolean negation."""
+
+    op: str
+    operand: Expression
+
+    def evaluate(self, env: Mapping[str, object]) -> object:
+        value = self.operand.evaluate(env)
+        if self.op == "-":
+            if isinstance(value, bool):
+                raise EvaluationError("unary minus on a boolean")
+            return -value
+        if self.op == "!":
+            if not isinstance(value, bool):
+                raise EvaluationError("! expects a boolean")
+            return not value
+        raise EvaluationError(f"unknown unary operator {self.op!r}")
+
+    def names(self) -> set[str]:
+        return self.operand.names()
+
+    def __repr__(self) -> str:
+        return f"{self.op}{self.operand!r}"
+
+
+def evaluate_number(expr: Expression, env: Mapping[str, object], what: str) -> float:
+    """Evaluate *expr* and require a numeric result."""
+    value = expr.evaluate(env)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvaluationError(f"{what} must be numeric, got {value!r}")
+    return float(value)
+
+
+def evaluate_int(expr: Expression, env: Mapping[str, object], what: str) -> int:
+    """Evaluate *expr* and require an integer result."""
+    value = expr.evaluate(env)
+    if isinstance(value, bool):
+        raise EvaluationError(f"{what} must be an integer, got a boolean")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise EvaluationError(f"{what} must be an integer, got {value!r}")
+
+
+def evaluate_bool(expr: Expression, env: Mapping[str, object], what: str) -> bool:
+    """Evaluate *expr* and require a boolean result."""
+    value = expr.evaluate(env)
+    if not isinstance(value, bool):
+        raise EvaluationError(f"{what} must be boolean, got {value!r}")
+    return value

@@ -1,0 +1,100 @@
+"""Lexer for the PRISM-subset modelling language.
+
+The subset covers what the paper's appendix model needs (and a bit more):
+``ctmc``/``dtmc`` headers, ``const int/double/bool`` declarations, modules
+with bounded integer variables, guarded commands with rate/probability
+updates, ``label`` definitions, ``//`` comments and the usual expression
+operators.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+#: Keywords of the language.
+KEYWORDS = frozenset(
+    {
+        "ctmc",
+        "dtmc",
+        "const",
+        "int",
+        "double",
+        "bool",
+        "module",
+        "endmodule",
+        "init",
+        "label",
+        "true",
+        "false",
+        "formula",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>//[^\n]*)
+  | (?P<newline>\n)
+  | (?P<number>\d+\.\d+(e[+-]?\d+)?|\d+e[+-]?\d+|\d+|\.\d+)
+  | (?P<string>"[^"]*")
+  | (?P<dotdot>\.\.)
+  | (?P<arrow>->)
+  | (?P<neq>!=)
+  | (?P<leq><=)
+  | (?P<geq>>=)
+  | (?P<symbol>[;:\[\]()'=<>+\-*/&|!,])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based line/column)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise *source*; raises :class:`~repro.errors.ParseError` on junk."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    line_start = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[index]!r}",
+                line=line,
+                column=index - line_start + 1,
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        column = match.start() - line_start + 1
+        index = match.end()
+        if kind == "newline":
+            line += 1
+            line_start = index
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "ident" and text in KEYWORDS:
+            kind = text
+        elif kind in ("dotdot", "arrow", "neq", "leq", "geq"):
+            kind = text
+        elif kind == "symbol":
+            kind = text
+        tokens.append(Token(kind, text, line, column))
+    tokens.append(Token("eof", "", line, index - line_start + 1))
+    return tokens

@@ -1,0 +1,172 @@
+"""Smoothed transition estimators: Laplace and simple Good–Turing.
+
+Section II-B notes that when the state space is large, raw frequencies are
+unreliable and cites Laplace's ratio estimator and Good–Turing estimation
+(Gale & Sampson's "Good–Turing frequency estimation without tears") as
+alternatives. Both are implemented per source state over a known support.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.dtmc import DTMC
+from repro.core.paths import TransitionCounts
+from repro.errors import LearningError
+
+
+def laplace_row(counts: np.ndarray, pseudo_count: float = 1.0) -> np.ndarray:
+    """Laplace (add-``k``) estimate of one categorical distribution."""
+    if pseudo_count <= 0:
+        raise LearningError("pseudo_count must be positive")
+    arr = np.asarray(counts, dtype=float)
+    if np.any(arr < 0):
+        raise LearningError("negative counts")
+    total = arr.sum() + pseudo_count * arr.size
+    return (arr + pseudo_count) / total
+
+
+def learn_dtmc_laplace(
+    counts: TransitionCounts,
+    n_states: int,
+    support: np.ndarray | None = None,
+    pseudo_count: float = 1.0,
+    template: DTMC | None = None,
+) -> DTMC:
+    """Laplace-smoothed DTMC estimate over a known *support*.
+
+    *support* is a boolean matrix of structurally possible transitions;
+    default: everything possible. Rows with empty support raise.
+    """
+    matrix = counts.to_matrix(n_states).astype(float)
+    if support is None:
+        support = np.ones((n_states, n_states), dtype=bool)
+    estimate = np.zeros((n_states, n_states))
+    for state in range(n_states):
+        allowed = np.flatnonzero(support[state])
+        if allowed.size == 0:
+            raise LearningError(f"state {state} has empty support")
+        estimate[state, allowed] = laplace_row(matrix[state, allowed], pseudo_count)
+    if template is not None:
+        return DTMC(estimate, template.initial_state, template.labels, template.state_names)
+    return DTMC(estimate)
+
+
+def simple_good_turing(frequencies: np.ndarray) -> tuple[np.ndarray, float]:
+    """Gale–Sampson simple Good–Turing smoothing of count data.
+
+    Parameters
+    ----------
+    frequencies:
+        Observed occurrence counts of the seen species (here: transitions
+    	out of one state), all non-negative integers.
+
+    Returns
+    -------
+    (adjusted, p0):
+        ``adjusted[i]`` is the smoothed probability of species ``i``
+        (normalised so the seen species share ``1 − p0``), and ``p0`` is
+        the total probability mass reserved for unseen species
+        (``N_1 / N``).
+
+    The frequency-of-frequency curve is smoothed by the standard log–log
+    linear regression (the "LGT" estimator), switching from Turing to LGT
+    estimates at the first non-significant difference, as in the paper by
+    Gale & Sampson.
+    """
+    counts = np.asarray(frequencies, dtype=int)
+    if np.any(counts < 0):
+        raise LearningError("negative frequencies")
+    seen = counts[counts > 0]
+    total = int(seen.sum())
+    if total == 0:
+        raise LearningError("no observations to smooth")
+    freq_of_freq = Counter(int(c) for c in seen)
+    rs = np.array(sorted(freq_of_freq), dtype=float)
+    n_r = np.array([freq_of_freq[int(r)] for r in rs], dtype=float)
+
+    # Averaging transform Z_r = N_r / (0.5 (t − q)) of Gale & Sampson.
+    z = np.empty_like(n_r)
+    for idx, r in enumerate(rs):
+        q = rs[idx - 1] if idx > 0 else 0.0
+        t = rs[idx + 1] if idx + 1 < len(rs) else 2 * r - q
+        z[idx] = n_r[idx] / (0.5 * (t - q))
+    # Log-log regression  log Z = a + b log r.
+    log_r = np.log(rs)
+    log_z = np.log(z)
+    if len(rs) >= 2:
+        b, a = np.polyfit(log_r, log_z, 1)
+    else:
+        a, b = np.log(z[0]), -1.0
+
+    def smoothed_n(r: float) -> float:
+        return float(np.exp(a + b * np.log(r)))
+
+    # r* via Turing estimate where reliable, LGT estimate afterwards.
+    r_star: dict[int, float] = {}
+    use_lgt = False
+    for r in (int(v) for v in rs):
+        lgt = (r + 1) * smoothed_n(r + 1) / smoothed_n(r)
+        n_r_here = freq_of_freq[r]
+        n_r_next = freq_of_freq.get(r + 1, 0)
+        if not use_lgt and n_r_next > 0:
+            turing = (r + 1) * n_r_next / n_r_here
+            width = 1.96 * np.sqrt(
+                (r + 1.0) ** 2 * (n_r_next / n_r_here**2) * (1.0 + n_r_next / n_r_here)
+            )
+            if abs(lgt - turing) <= width:
+                use_lgt = True
+                r_star[r] = lgt
+            else:
+                r_star[r] = turing
+        else:
+            use_lgt = True
+            r_star[r] = lgt
+
+    p0 = freq_of_freq.get(1, 0) / total
+    unnormalised = np.array([r_star[int(c)] if c > 0 else 0.0 for c in counts])
+    seen_mass = unnormalised.sum()
+    if seen_mass <= 0:
+        raise LearningError("Good–Turing smoothing degenerated")
+    adjusted = (1.0 - p0) * unnormalised / seen_mass
+    return adjusted, float(p0)
+
+
+def learn_dtmc_good_turing(
+    counts: TransitionCounts,
+    n_states: int,
+    support: np.ndarray | None = None,
+    template: DTMC | None = None,
+) -> DTMC:
+    """Good–Turing-smoothed DTMC estimate over a known *support*.
+
+    Per source state, the seen transitions get simple-Good–Turing adjusted
+    probabilities and the reserved mass ``p0`` is spread uniformly over the
+    unseen transitions of the support. States with no observations fall
+    back to uniform-over-support.
+    """
+    matrix = counts.to_matrix(n_states).astype(int)
+    if support is None:
+        support = np.ones((n_states, n_states), dtype=bool)
+    estimate = np.zeros((n_states, n_states))
+    for state in range(n_states):
+        allowed = np.flatnonzero(support[state])
+        if allowed.size == 0:
+            raise LearningError(f"state {state} has empty support")
+        row_counts = matrix[state, allowed]
+        if row_counts.sum() == 0:
+            estimate[state, allowed] = 1.0 / allowed.size
+            continue
+        unseen = row_counts == 0
+        if not np.any(unseen):
+            # Nothing unseen: plain frequencies already use all the mass.
+            estimate[state, allowed] = row_counts / row_counts.sum()
+            continue
+        adjusted, p0 = simple_good_turing(row_counts)
+        adjusted[unseen] = p0 / int(unseen.sum())
+        estimate[state, allowed] = adjusted / adjusted.sum()
+    if template is not None:
+        return DTMC(estimate, template.initial_state, template.labels, template.state_names)
+    return DTMC(estimate)

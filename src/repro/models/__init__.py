@@ -1,0 +1,12 @@
+"""The paper's case-study models, ready-made for the experiments."""
+
+from repro.models.base import CaseStudy
+from repro.models import illustrative, repair_group, repair_large, swat
+
+__all__ = [
+    "CaseStudy",
+    "illustrative",
+    "repair_group",
+    "repair_large",
+    "swat",
+]

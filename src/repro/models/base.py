@@ -1,0 +1,59 @@
+"""Common shape of a prepared case study.
+
+Every benchmark module exposes a ``make_study`` returning a
+:class:`CaseStudy`: the IMC, the property, the IS proposal, the ground-truth
+chain (when one exists) and the exact probabilities the coverage experiments
+compare against. The experiment harness and the benchmarks consume only
+this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dtmc import DTMC
+from repro.core.imc import IMC
+from repro.properties.logic import Formula
+
+
+@dataclass
+class CaseStudy:
+    """A fully prepared experimental configuration.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"illustrative"``).
+    imc:
+        The interval chain ``[Â]`` IMCIS optimises over.
+    formula:
+        The property ``φ``.
+    proposal:
+        The importance-sampling distribution ``B``.
+    true_chain:
+        The exact system ``A`` (used to *sample nothing* — only to define
+        the coverage target γ). ``None`` when no ground truth exists.
+    gamma_true:
+        Exact ``γ(A)`` from numerical analysis / closed form.
+    gamma_center:
+        Exact ``γ(Â)`` of the IMC's centre chain.
+    n_samples:
+        The paper's sample size for this study (``N = 10 000`` throughout).
+    confidence:
+        Confidence level of the reported intervals.
+    """
+
+    name: str
+    imc: IMC
+    formula: Formula
+    proposal: DTMC
+    true_chain: DTMC | None
+    gamma_true: float | None
+    gamma_center: float
+    n_samples: int = 10_000
+    confidence: float = 0.95
+
+    @property
+    def center(self) -> DTMC:
+        """The learnt chain ``Â`` at the centre of the IMC."""
+        return self.imc.center

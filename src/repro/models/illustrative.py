@@ -1,0 +1,134 @@
+"""The illustrative example of Fig. 1 and Sections III-B / VI-A.
+
+A four-state chain: from ``s0``, a rare transition ``a`` leads towards the
+goal ``s2`` through ``s1`` (which succeeds with probability ``c`` or falls
+back to ``s0``); the complementary mass ``b = 1 − a`` leads to the absorbing
+failure state ``s3``. The probability of reaching ``s2`` from ``s0`` has
+the closed form
+
+    γ = a·c / (1 − a·d),          d = 1 − c.
+
+Paper parameters: true ``a = 1e-4, c = 0.05`` (γ ≈ 5.005e-6); learnt
+``â = 3e-4, ĉ = 0.0498`` (γ(Â) = 1.4944e-5); intervals
+``a ∈ [0.5, 5.5]×10⁻⁴`` and ``c ∈ [0.0493, 0.0503]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dtmc import DTMC
+from repro.core.imc import IMC
+from repro.importance.zero_variance import zero_variance_proposal
+from repro.models.base import CaseStudy
+from repro.properties.logic import Atom, Eventually, Formula
+
+#: True parameters of the hidden system (Section III-B).
+A_TRUE = 1e-4
+C_TRUE = 0.05
+#: The learnt point estimates (Section VI-A).
+A_HAT = 3e-4
+C_HAT = 0.0498
+#: The learning margins: a ∈ [0.5, 5.5]e-4, c ∈ [0.0493, 0.0503].
+A_EPSILON = 2.5e-4
+C_EPSILON = 5e-4
+
+#: State indices.
+S0, S1, S2, S3 = 0, 1, 2, 3
+
+
+def illustrative_chain(a: float = A_TRUE, c: float = C_TRUE) -> DTMC:
+    """The DTMC of Fig. 1a with parameters *a* and *c*."""
+    if not 0.0 < a < 1.0 or not 0.0 < c < 1.0:
+        raise ValueError("parameters must lie strictly inside (0, 1)")
+    b, d = 1.0 - a, 1.0 - c
+    matrix = np.array(
+        [
+            [0.0, a, 0.0, b],
+            [d, 0.0, c, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    labels = {"init": [S0], "goal": [S2], "fail": [S3]}
+    return DTMC(matrix, S0, labels, state_names=("s0", "s1", "s2", "s3"))
+
+
+def exact_probability(a: float = A_TRUE, c: float = C_TRUE) -> float:
+    """Closed-form γ = a·c/(1 − a·d) of reaching ``s2`` from ``s0``."""
+    d = 1.0 - c
+    return a * c / (1.0 - a * d)
+
+
+def reach_goal_formula() -> Formula:
+    """The property φ: eventually reach ``s2``."""
+    return Eventually(Atom("goal"))
+
+
+def illustrative_imc(
+    a_hat: float = A_HAT,
+    c_hat: float = C_HAT,
+    a_epsilon: float = A_EPSILON,
+    c_epsilon: float = C_EPSILON,
+) -> IMC:
+    """The IMC of Fig. 1b, centred on the learnt chain.
+
+    The two parametrised transitions (and their complements, as in
+    Fig. 1b's ``[b̂ ± ε_â]``) get interval margins; the Dirac rows of the
+    absorbing states stay exact.
+    """
+    center = illustrative_chain(a_hat, c_hat)
+    epsilon = np.zeros((4, 4))
+    epsilon[S0, S1] = a_epsilon
+    epsilon[S0, S3] = a_epsilon
+    epsilon[S1, S2] = c_epsilon
+    epsilon[S1, S0] = c_epsilon
+    return IMC.from_center(center, epsilon)
+
+
+def perfect_proposal(a: float = A_HAT, c: float = C_HAT) -> DTMC:
+    """The perfect IS distribution w.r.t. the chain at ``(a, c)``.
+
+    This is Fig. 1c: under it every path reaches the goal and carries the
+    constant likelihood ratio γ — the distribution whose degenerate
+    confidence interval motivates IMCIS.
+    """
+    chain = illustrative_chain(a, c)
+    return zero_variance_proposal(chain, reach_goal_formula())
+
+
+@dataclass(frozen=True)
+class IllustrativeParameters:
+    """Bundle of the parameters defining an illustrative-example study."""
+
+    a_true: float = A_TRUE
+    c_true: float = C_TRUE
+    a_hat: float = A_HAT
+    c_hat: float = C_HAT
+    a_epsilon: float = A_EPSILON
+    c_epsilon: float = C_EPSILON
+
+
+def make_study(
+    params: IllustrativeParameters = IllustrativeParameters(),
+    n_samples: int = 10_000,
+    confidence: float = 0.95,
+) -> CaseStudy:
+    """Prepare the Section VI-A experiment configuration."""
+    true_chain = illustrative_chain(params.a_true, params.c_true)
+    imc = illustrative_imc(
+        params.a_hat, params.c_hat, params.a_epsilon, params.c_epsilon
+    )
+    return CaseStudy(
+        name="illustrative",
+        imc=imc,
+        formula=reach_goal_formula(),
+        proposal=perfect_proposal(params.a_hat, params.c_hat),
+        true_chain=true_chain,
+        gamma_true=exact_probability(params.a_true, params.c_true),
+        gamma_center=exact_probability(params.a_hat, params.c_hat),
+        n_samples=n_samples,
+        confidence=confidence,
+    )

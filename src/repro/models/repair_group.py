@@ -1,0 +1,168 @@
+"""The group repair model (Section VI-B; Ridder's benchmark).
+
+Three component types with 4 components each fail independently with rates
+``((4−k)·α², (4−k)·α, (4−k)·α)`` and are repaired at rate 1 with priority
+(type 1 before 2 before 3). Type 1 is repaired *as a group* once at least
+two of its components are down; types 2 and 3 repair when no higher-priority
+repair is active. The modelling-language source below is the paper's
+appendix PRISM code, verbatim modulo whitespace — 125 states.
+
+The dependability property: starting from the all-up state, all twelve
+components fail before the system returns to the all-up state,
+
+    P=? [ "init" & (X !"init" U "failure") ],
+
+evaluated on the embedded jump chain (it only depends on the jump sequence).
+For ``α = 0.1``, ``γ ≈ 1.18e-7``; for the learnt ``α̂ = 0.0995``,
+``γ(Â) ≈ 1.12e-7`` (the paper reports 1.179e-7 and 1.117e-7).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.analysis.reachability import probability
+from repro.core.dtmc import DTMC
+from repro.core.imc import IMC
+from repro.core.parametric import ParametricModel
+from repro.importance.zero_variance import zero_variance_proposal
+from repro.lang.builder import build_ctmc
+from repro.models.base import CaseStudy
+from repro.properties.logic import Formula
+from repro.properties.parser import parse_property
+
+#: The appendix model, verbatim (modulo whitespace).
+PRISM_SOURCE = """
+ctmc
+const int n = 4;
+const double alpha;
+const double alpha2 = alpha*alpha;
+const double mu = 1.0;
+
+module type1
+  state1 : [0..n] init 0;
+  [] state1 < n  -> (n-state1)*alpha2 : (state1'=state1+1);
+  [] state1 >= 2 -> mu : (state1'=0);
+endmodule
+
+module type2
+  state2 : [0..n] init 0;
+  [] state2 < n -> (n-state2)*alpha : (state2'=state2+1);
+  [] state2 >= 2 & state1 < 2 -> mu : (state2'=0);
+endmodule
+
+module type3
+  state3 : [0..n] init 0;
+  [] state3 < n -> (n-state3)*alpha : (state3'=state3+1);
+  [] state3 > 0 & state2 < 2 & state1 < 2 -> mu : (state3'=state3-1);
+endmodule
+
+label "failure" = state1 = n & state2 = n & state3 = n;
+"""
+
+#: The paper's parameter values (Section VI-B).
+ALPHA_TRUE = 0.1
+ALPHA_HAT = 0.0995
+#: The learnt 99.9 % confidence interval for α.
+ALPHA_INTERVAL = (0.09852, 0.10048)
+
+#: The dependability property.
+PROPERTY = 'P=? [ "init" & (X !"init" U "failure") ]'
+
+
+def embedded_chain(alpha: float = ALPHA_TRUE) -> DTMC:
+    """The 125-state embedded jump chain at failure rate *alpha*."""
+    return build_ctmc(PRISM_SOURCE, {"alpha": alpha}).embedded_dtmc()
+
+
+def parametric_model() -> ParametricModel:
+    """The model as a function of ``α`` (for IMC derivation and Fig. 5)."""
+
+    def builder(params: Mapping[str, float]) -> DTMC:
+        return embedded_chain(params["alpha"])
+
+    return ParametricModel(("alpha",), builder)
+
+
+def failure_formula() -> Formula:
+    """``P=? [ "init" & (X !"init" U "failure") ]``."""
+    return parse_property(PROPERTY)
+
+
+def exact_probability(alpha: float = ALPHA_TRUE) -> float:
+    """Exact γ at *alpha* from the numerical engine (PRISM's role)."""
+    return probability(embedded_chain(alpha), failure_formula())
+
+
+def group_repair_imc(
+    alpha_hat: float = ALPHA_HAT,
+    alpha_interval: tuple[float, float] = ALPHA_INTERVAL,
+    grid_points: int = 9,
+) -> IMC:
+    """The IMC ``[A(α̂)]``: entrywise transition ranges over the α interval.
+
+    The embedded transition probabilities are monotone rational functions of
+    α, so the grid endpoints dominate; interior points guard against any
+    non-monotone entry.
+    """
+    return parametric_model().imc_over_box(
+        {"alpha": alpha_interval}, center={"alpha": alpha_hat}, grid_points=grid_points
+    )
+
+
+def is_proposal(alpha_hat: float = ALPHA_HAT, mixing: float = 0.0) -> DTMC:
+    """The IS distribution used in the experiments.
+
+    The paper derives its proposal with the cross-entropy method of Ridder
+    [24] against the learnt chain; cross-entropy converges to the
+    zero-variance change of measure, which is directly computable here from
+    the numerical engine, so the experiments use that limit (see
+    EXPERIMENTS.md; ``repro.importance.cross_entropy`` provides the
+    iterative method itself).
+    """
+    center = embedded_chain(alpha_hat)
+    return zero_variance_proposal(center, failure_formula(), mixing=mixing)
+
+
+def probability_curve(
+    interval: tuple[float, float] = ALPHA_INTERVAL, points: int = 21
+) -> tuple[np.ndarray, np.ndarray]:
+    """γ(A(α)) over an α grid — the data of the paper's Figure 5."""
+    formula = failure_formula()
+    return parametric_model().probability_curve(
+        lambda chain: probability(chain, formula), "alpha", interval, points
+    )
+
+
+def make_study(
+    alpha_true: float = ALPHA_TRUE,
+    alpha_hat: float = ALPHA_HAT,
+    alpha_interval: tuple[float, float] = ALPHA_INTERVAL,
+    n_samples: int = 10_000,
+    confidence: float = 0.95,
+    proposal_mixing: float = 0.2,
+) -> CaseStudy:
+    """Prepare the Section VI-B experiment configuration.
+
+    The default ``proposal_mixing = 0.2`` blends the zero-variance tilt
+    with the original rows so the IS estimator has the same ±3 % relative
+    interval width the paper's cross-entropy proposal exhibits in Table II
+    (a perfect proposal would collapse the IS interval to a point and hide
+    the coverage failure the experiment demonstrates).
+    """
+    true_chain = embedded_chain(alpha_true)
+    formula = failure_formula()
+    imc = group_repair_imc(alpha_hat, alpha_interval)
+    return CaseStudy(
+        name="group-repair",
+        imc=imc,
+        formula=formula,
+        proposal=is_proposal(alpha_hat, mixing=proposal_mixing),
+        true_chain=true_chain,
+        gamma_true=probability(true_chain, formula),
+        gamma_center=probability(imc.center, formula),
+        n_samples=n_samples,
+        confidence=confidence,
+    )

@@ -1,0 +1,399 @@
+"""Temporal-property abstract syntax and compilation to monitors.
+
+The grammar covers the fragment used by the paper's evaluation:
+
+* *state formulas* — atomic propositions (state labels), ``true``/``false``
+  and boolean combinations; they compile to boolean masks over a model's
+  state space;
+* *path formulas* — step-bounded and unbounded ``Until``, ``Eventually``
+  (= ``true U φ``), ``Next``, bounded ``Globally``, and boolean combinations;
+  they compile to per-trace :class:`~repro.properties.monitor.Monitor`
+  factories and, when they fit the ``[state-check &] X? (φ U ψ)`` shape, to a
+  declarative :class:`UntilSpec` that the numerical engines consume.
+
+Example — the repair-model property ``P=?["init" & (X !"init" U "failure")]``::
+
+    prop = And(Atom("init"), Until(Next(Not(Atom("init"))), Atom("failure")))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import PropertyError
+from repro.properties import monitor as mon
+
+#: Models accepted by compilation: anything exposing ``n_states`` and
+#: ``label_mask(name)`` (DTMC, CTMC and IMC all do).
+ModelLike = object
+
+
+@dataclass(frozen=True)
+class UntilSpec:
+    """Declarative form of a reachability-style property.
+
+    Represents ``init_check & X^n (lhs U[<=bound] rhs)`` with *lhs*/*rhs*
+    state masks. ``n_next ∈ {0, 1}``; ``bound is None`` means unbounded.
+
+    When ``lhs_exempt`` is true the until part has the ``(X lhs) U rhs``
+    shape of the repair property: position 0 of the (post-``X^n``) suffix is
+    exempt from the *lhs* constraint, i.e. success means either *rhs* at
+    position 0, or some position ``k >= 1`` satisfying ``lhs & rhs`` with all
+    of ``1..k-1`` satisfying *lhs*. The numerical engines
+    (:mod:`repro.analysis`) operate on this form.
+    """
+
+    initial_check: np.ndarray | None
+    n_next: int
+    lhs_mask: np.ndarray
+    rhs_mask: np.ndarray
+    bound: int | None
+    lhs_exempt: bool = False
+
+    def describe(self) -> str:
+        """Human-readable rendering of the specification."""
+        prefix = "" if self.initial_check is None else "init-check & "
+        nxt = "X " * self.n_next
+        bound = "" if self.bound is None else f"<={self.bound}"
+        lhs = "(X lhs)" if self.lhs_exempt else "lhs"
+        return f"{prefix}{nxt}({lhs} U{bound} rhs)"
+
+
+class Formula:
+    """Base class of all formulas."""
+
+    #: True for formulas whose truth depends only on the first state.
+    is_state_formula: bool = False
+
+    def mask(self, model: ModelLike) -> np.ndarray:
+        """Boolean mask of satisfying states (state formulas only)."""
+        raise PropertyError(f"{type(self).__name__} is not a state formula")
+
+    def compile(self, model: ModelLike) -> Callable[[], mon.Monitor]:
+        """Return a zero-argument factory building one monitor per trace."""
+        raise NotImplementedError
+
+    def until_spec(self, model: ModelLike) -> UntilSpec:
+        """Decompose into an :class:`UntilSpec` or raise ``PropertyError``."""
+        raise PropertyError(
+            f"{self!r} does not have the [state & ] X? (lhs U rhs) shape "
+            "required by the numerical engines"
+        )
+
+    def horizon(self) -> int | None:
+        """Transitions after which any trace is decided (``None``: unbounded)."""
+        return None
+
+    # Operator sugar -----------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+# ----------------------------------------------------------------------
+# State formulas
+# ----------------------------------------------------------------------
+class StateFormula(Formula):
+    """A formula decided by the current state alone."""
+
+    is_state_formula = True
+
+    def compile(self, model: ModelLike) -> Callable[[], mon.Monitor]:
+        mask = self.mask(model)
+        return lambda: mon.StateCheckMonitor(mask)
+
+    def until_spec(self, model: ModelLike) -> UntilSpec:
+        # A state formula as a path formula: must hold immediately, i.e.
+        # the degenerate until "φ U<=0 φ".
+        mask = self.mask(model)
+        return UntilSpec(None, 0, mask, mask, 0)
+
+    def horizon(self) -> int | None:
+        return 0
+
+
+@dataclass(frozen=True)
+class Atom(StateFormula):
+    """An atomic proposition: the states carrying label *name*."""
+
+    name: str
+
+    def mask(self, model: ModelLike) -> np.ndarray:
+        return model.label_mask(self.name)
+
+    def __repr__(self) -> str:
+        return f'"{self.name}"'
+
+
+@dataclass(frozen=True)
+class TrueFormula(StateFormula):
+    """The constant ``true``."""
+
+    def mask(self, model: ModelLike) -> np.ndarray:
+        return np.ones(model.n_states, dtype=bool)
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(StateFormula):
+    """The constant ``false``."""
+
+    def mask(self, model: ModelLike) -> np.ndarray:
+        return np.zeros(model.n_states, dtype=bool)
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class StatePredicate(StateFormula):
+    """A state formula given directly as a predicate over state indices."""
+
+    predicate: Callable[[int], bool]
+    description: str = "<predicate>"
+
+    def mask(self, model: ModelLike) -> np.ndarray:
+        return np.fromiter(
+            (bool(self.predicate(s)) for s in range(model.n_states)),
+            dtype=bool,
+            count=model.n_states,
+        )
+
+    def __repr__(self) -> str:
+        return self.description
+
+
+# ----------------------------------------------------------------------
+# Boolean combinators (work on state and path formulas alike)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation ``!φ``."""
+
+    inner: Formula
+
+    @property
+    def is_state_formula(self) -> bool:  # type: ignore[override]
+        return self.inner.is_state_formula
+
+    def mask(self, model: ModelLike) -> np.ndarray:
+        return ~self.inner.mask(model)
+
+    def compile(self, model: ModelLike) -> Callable[[], mon.Monitor]:
+        if self.is_state_formula:
+            mask = self.mask(model)
+            return lambda: mon.StateCheckMonitor(mask)
+        inner_factory = self.inner.compile(model)
+        return lambda: mon.NotMonitor(inner_factory())
+
+    def horizon(self) -> int | None:
+        return self.inner.horizon()
+
+    def __repr__(self) -> str:
+        return f"!{self.inner!r}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction ``φ & ψ``."""
+
+    left: Formula
+    right: Formula
+
+    @property
+    def is_state_formula(self) -> bool:  # type: ignore[override]
+        return self.left.is_state_formula and self.right.is_state_formula
+
+    def mask(self, model: ModelLike) -> np.ndarray:
+        return self.left.mask(model) & self.right.mask(model)
+
+    def compile(self, model: ModelLike) -> Callable[[], mon.Monitor]:
+        if self.is_state_formula:
+            mask = self.mask(model)
+            return lambda: mon.StateCheckMonitor(mask)
+        left_factory = self.left.compile(model)
+        right_factory = self.right.compile(model)
+        return lambda: mon.AndMonitor(left_factory(), right_factory())
+
+    def until_spec(self, model: ModelLike) -> UntilSpec:
+        # "init" & (path formula): fold the state check into the spec.
+        state, path = None, None
+        if self.left.is_state_formula and not self.right.is_state_formula:
+            state, path = self.left, self.right
+        elif self.right.is_state_formula and not self.left.is_state_formula:
+            state, path = self.right, self.left
+        if state is None or path is None:
+            return super().until_spec(model)
+        inner = path.until_spec(model)
+        if inner.initial_check is not None:
+            check = inner.initial_check & state.mask(model)
+        else:
+            check = state.mask(model)
+        return UntilSpec(
+            check, inner.n_next, inner.lhs_mask, inner.rhs_mask, inner.bound, inner.lhs_exempt
+        )
+
+    def horizon(self) -> int | None:
+        left, right = self.left.horizon(), self.right.horizon()
+        if left is None or right is None:
+            return None
+        return max(left, right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} & {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction ``φ | ψ``."""
+
+    left: Formula
+    right: Formula
+
+    @property
+    def is_state_formula(self) -> bool:  # type: ignore[override]
+        return self.left.is_state_formula and self.right.is_state_formula
+
+    def mask(self, model: ModelLike) -> np.ndarray:
+        return self.left.mask(model) | self.right.mask(model)
+
+    def compile(self, model: ModelLike) -> Callable[[], mon.Monitor]:
+        if self.is_state_formula:
+            mask = self.mask(model)
+            return lambda: mon.StateCheckMonitor(mask)
+        left_factory = self.left.compile(model)
+        right_factory = self.right.compile(model)
+        return lambda: mon.OrMonitor(left_factory(), right_factory())
+
+    def horizon(self) -> int | None:
+        left, right = self.left.horizon(), self.right.horizon()
+        if left is None or right is None:
+            return None
+        return max(left, right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} | {self.right!r})"
+
+
+# ----------------------------------------------------------------------
+# Temporal operators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Next(Formula):
+    """``X φ`` — φ holds on the suffix starting one step later."""
+
+    inner: Formula
+
+    def compile(self, model: ModelLike) -> Callable[[], mon.Monitor]:
+        inner_factory = self.inner.compile(model)
+        return lambda: mon.NextMonitor(inner_factory())
+
+    def until_spec(self, model: ModelLike) -> UntilSpec:
+        inner = self.inner.until_spec(model)
+        if inner.n_next >= 1:
+            raise PropertyError("at most one leading X is supported by the engines")
+        if inner.initial_check is not None:
+            raise PropertyError("state checks under X are not supported by the engines")
+        return UntilSpec(
+            None, inner.n_next + 1, inner.lhs_mask, inner.rhs_mask, inner.bound, inner.lhs_exempt
+        )
+
+    def horizon(self) -> int | None:
+        inner = self.inner.horizon()
+        return None if inner is None else inner + 1
+
+    def __repr__(self) -> str:
+        return f"X {self.inner!r}"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    """``lhs U[<=bound] rhs``.
+
+    *lhs* may be a state formula or ``Next(state formula)`` — the latter is
+    the PRISM-precedence reading of ``X !"init" U "failure"`` used by the
+    repair benchmarks. *rhs* must be a state formula.
+    """
+
+    lhs: Formula
+    rhs: Formula
+    bound: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.bound is not None and self.bound < 0:
+            raise PropertyError("until bound must be non-negative")
+        if not self.rhs.is_state_formula:
+            raise PropertyError("the right operand of U must be a state formula")
+        lhs_ok = self.lhs.is_state_formula or (
+            isinstance(self.lhs, Next) and self.lhs.inner.is_state_formula
+        )
+        if not lhs_ok:
+            raise PropertyError(
+                "the left operand of U must be a state formula, optionally "
+                "under a single X"
+            )
+
+    def _operand_masks(self, model: ModelLike) -> tuple[np.ndarray, np.ndarray, bool]:
+        rhs_mask = self.rhs.mask(model)
+        if isinstance(self.lhs, Next):
+            return self.lhs.inner.mask(model), rhs_mask, True
+        return self.lhs.mask(model), rhs_mask, False
+
+    def compile(self, model: ModelLike) -> Callable[[], mon.Monitor]:
+        lhs_mask, rhs_mask, shifted = self._operand_masks(model)
+        bound = self.bound
+        if shifted:
+            return lambda: mon.NextUntilMonitor(lhs_mask, rhs_mask, bound)
+        return lambda: mon.UntilMonitor(lhs_mask, rhs_mask, bound)
+
+    def until_spec(self, model: ModelLike) -> UntilSpec:
+        lhs_mask, rhs_mask, shifted = self._operand_masks(model)
+        return UntilSpec(None, 0, lhs_mask, rhs_mask, self.bound, lhs_exempt=shifted)
+
+    def horizon(self) -> int | None:
+        return self.bound
+
+    def __repr__(self) -> str:
+        bound = "" if self.bound is None else f"<={self.bound}"
+        return f"({self.lhs!r} U{bound} {self.rhs!r})"
+
+
+def Eventually(inner: Formula, bound: int | None = None) -> Until:
+    """``F[<=bound] φ`` as sugar for ``true U[<=bound] φ``."""
+    return Until(TrueFormula(), inner, bound)
+
+
+@dataclass(frozen=True)
+class Globally(Formula):
+    """``G<=bound φ`` for a state formula φ. Only the bounded form is
+    supported — an unbounded G cannot be decided on finite trace prefixes."""
+
+    inner: Formula
+    bound: int
+
+    def __post_init__(self) -> None:
+        if not self.inner.is_state_formula:
+            raise PropertyError("G expects a state formula")
+        if self.bound is None or self.bound < 0:
+            raise PropertyError("G requires a non-negative step bound")
+
+    def compile(self, model: ModelLike) -> Callable[[], mon.Monitor]:
+        mask = self.inner.mask(model)
+        bound = self.bound
+        return lambda: mon.GloballyMonitor(mask, bound)
+
+    def horizon(self) -> int | None:
+        return self.bound
+
+    def __repr__(self) -> str:
+        return f"G<={self.bound} {self.inner!r}"

@@ -1,0 +1,209 @@
+"""Parser for PRISM-style property strings.
+
+Supports the fragment the paper's evaluation uses, e.g.::
+
+    P=? [ "init" & (X !"init" U "failure") ]     # repair models
+    F<=30 "overflow"                             # SWaT bounded reachability
+    !"init" U<=100 "failure"
+
+Grammar (lowest precedence first)::
+
+    property := 'P=?' '[' path ']' | path
+    path     := or
+    or       := and ('|' and)*
+    and      := until ('&' until)*
+    until    := unary ('U' bound? until)?        # right-associative
+    unary    := ('!' | 'X') unary
+              | ('F' | 'G') bound? unary
+              | '(' path ')' | '"label"' | ident | 'true' | 'false'
+    bound    := '<=' INT
+
+Note the PRISM-style precedence: unary operators bind tighter than ``U``,
+so ``X !"init" U "failure"`` parses as ``(X !"init") U "failure"`` — the
+once-shifted until shape of the repair property.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.properties.logic import (
+    And,
+    Atom,
+    Eventually,
+    FalseFormula,
+    Formula,
+    Globally,
+    Next,
+    Not,
+    Or,
+    TrueFormula,
+    Until,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<pquery>P=\?)
+  | (?P<lbound><=)
+  | (?P<int>\d+)
+  | (?P<string>"[^"]*")
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<not>!)
+  | (?P<and>&)
+  | (?P<or>\|)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+#: Identifiers with reserved meaning (everything else is an atom label).
+_KEYWORDS = {"X", "F", "G", "U", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise ParseError(f"unexpected character {source[index]!r}", column=index + 1)
+        index = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        text = match.group()
+        if kind == "ident" and text in _KEYWORDS:
+            kind = text
+        tokens.append(_Token(kind, text, match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._pos = 0
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of property", column=len(self._source) + 1)
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r}, found {token.text!r}", column=token.position + 1
+            )
+        return token
+
+    def _accept(self, kind: str) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._pos += 1
+            return token
+        return None
+
+    # Grammar ----------------------------------------------------------
+    def parse_property(self) -> Formula:
+        if self._accept("pquery"):
+            self._expect("lbracket")
+            formula = self.parse_or()
+            self._expect("rbracket")
+        else:
+            formula = self.parse_or()
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r}", column=trailing.position + 1
+            )
+        return formula
+
+    def parse_or(self) -> Formula:
+        left = self.parse_and()
+        while self._accept("or"):
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Formula:
+        left = self.parse_until()
+        while self._accept("and"):
+            left = And(left, self.parse_until())
+        return left
+
+    def parse_until(self) -> Formula:
+        left = self.parse_unary()
+        if self._accept("U"):
+            bound = self._parse_bound()
+            right = self.parse_until()
+            return Until(left, right, bound)
+        return left
+
+    def _parse_bound(self) -> int | None:
+        if self._accept("lbound"):
+            return int(self._expect("int").text)
+        return None
+
+    def parse_unary(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of property", column=len(self._source) + 1)
+        if token.kind == "not":
+            self._next()
+            return Not(self.parse_unary())
+        if token.kind == "X":
+            self._next()
+            return Next(self.parse_unary())
+        if token.kind == "F":
+            self._next()
+            bound = self._parse_bound()
+            return Eventually(self.parse_unary(), bound)
+        if token.kind == "G":
+            self._next()
+            bound = self._parse_bound()
+            if bound is None:
+                raise ParseError("G requires a step bound (G<=k)", column=token.position + 1)
+            return Globally(self.parse_unary(), bound)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Formula:
+        token = self._next()
+        if token.kind == "lparen":
+            inner = self.parse_or()
+            self._expect("rparen")
+            return inner
+        if token.kind == "string":
+            return Atom(token.text[1:-1])
+        if token.kind == "ident":
+            return Atom(token.text)
+        if token.kind == "true":
+            return TrueFormula()
+        if token.kind == "false":
+            return FalseFormula()
+        raise ParseError(f"unexpected token {token.text!r}", column=token.position + 1)
+
+
+def parse_property(source: str) -> Formula:
+    """Parse a PRISM-style property string into a :class:`Formula`.
+
+    Raises :class:`~repro.errors.ParseError` on malformed input.
+    """
+    return _Parser(_tokenize(source), source).parse_property()

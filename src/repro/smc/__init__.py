@@ -1,0 +1,51 @@
+"""Statistical model checking: simulation, estimation, sequential testing."""
+
+from repro.smc.bayes import (
+    BayesianResult,
+    BetaPosterior,
+    bayes_factor_test,
+    bayesian_estimate,
+)
+from repro.smc.estimators import monte_carlo_estimate
+from repro.smc.intervals import (
+    bernoulli_ci,
+    chernoff_ci,
+    normal_ci,
+    normal_quantile,
+    okamoto_epsilon,
+    okamoto_sample_size,
+    required_samples_relative_error,
+    wilson_ci,
+)
+from repro.smc.results import (
+    BatchSummary,
+    ConfidenceInterval,
+    EstimationResult,
+    TraceRecord,
+)
+from repro.smc.simulator import CompiledChain, TraceSampler
+from repro.smc.sprt import SPRTResult, sprt
+
+__all__ = [
+    "BatchSummary",
+    "BayesianResult",
+    "BetaPosterior",
+    "CompiledChain",
+    "ConfidenceInterval",
+    "EstimationResult",
+    "SPRTResult",
+    "TraceRecord",
+    "TraceSampler",
+    "bayes_factor_test",
+    "bayesian_estimate",
+    "bernoulli_ci",
+    "chernoff_ci",
+    "monte_carlo_estimate",
+    "normal_ci",
+    "normal_quantile",
+    "okamoto_epsilon",
+    "okamoto_sample_size",
+    "required_samples_relative_error",
+    "sprt",
+    "wilson_ci",
+]

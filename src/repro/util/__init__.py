@@ -1,0 +1,14 @@
+"""Shared utilities: RNG plumbing, descriptive statistics, ASCII tables."""
+
+from repro.util.rng import child_rngs, ensure_rng, spawn_seeds
+from repro.util.stats import DescriptiveStats, describe
+from repro.util.tables import format_table
+
+__all__ = [
+    "DescriptiveStats",
+    "child_rngs",
+    "describe",
+    "ensure_rng",
+    "format_table",
+    "spawn_seeds",
+]

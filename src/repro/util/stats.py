@@ -1,0 +1,52 @@
+"""Descriptive statistics used by the experiment tables.
+
+Table I of the paper reports average / min / max / standard deviation of the
+random-search convergence statistics; :func:`describe` produces exactly those
+four summaries for any sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DescriptiveStats:
+    """Average, minimum, maximum and standard deviation of a sample."""
+
+    average: float
+    minimum: float
+    maximum: float
+    st_dev: float
+    count: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the four summaries keyed as in the paper's Table I."""
+        return {
+            "average": self.average,
+            "min": self.minimum,
+            "max": self.maximum,
+            "st. dev.": self.st_dev,
+        }
+
+
+def describe(values: Sequence[float] | np.ndarray) -> DescriptiveStats:
+    """Summarise *values* into a :class:`DescriptiveStats`.
+
+    The standard deviation is the sample standard deviation (``ddof=1``) when
+    at least two values are present, zero otherwise.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot describe an empty sample")
+    st_dev = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return DescriptiveStats(
+        average=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        st_dev=st_dev,
+        count=int(arr.size),
+    )

@@ -1,0 +1,51 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+The benchmark harness prints tables shaped like the paper's Tables I and II;
+this module renders aligned, pipe-separated rows without third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return format_number(cell)
+    return str(cell)
+
+
+def format_number(value: float, digits: int = 4) -> str:
+    """Format *value* compactly: scientific notation for tiny magnitudes."""
+    if value == 0:
+        return "0"
+    if abs(value) < 1e-3 or abs(value) >= 1e5:
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}g}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table."""
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} does not match header width {len(headers)}")
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

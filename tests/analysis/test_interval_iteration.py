@@ -1,0 +1,81 @@
+"""Unit tests for interval value iteration over IMCs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    interval_probability_bounds,
+    interval_until_values,
+    optimise_row,
+    probability,
+)
+from repro.core import DTMC, IMC
+from repro.errors import ConsistencyError
+from repro.properties import parse_property
+
+from tests.conftest import illustrative_matrix
+
+
+class TestOptimiseRow:
+    def test_max_prefers_high_values(self):
+        lower = np.array([0.2, 0.2, 0.2])
+        upper = np.array([0.6, 0.6, 0.6])
+        values = np.array([0.1, 0.9, 0.5])
+        row = optimise_row(lower, upper, values, maximize=True)
+        assert row.sum() == pytest.approx(1.0)
+        assert row[1] == pytest.approx(0.6)
+
+    def test_min_prefers_low_values(self):
+        lower = np.array([0.2, 0.2, 0.2])
+        upper = np.array([0.6, 0.6, 0.6])
+        values = np.array([0.1, 0.9, 0.5])
+        row = optimise_row(lower, upper, values, maximize=False)
+        assert row[0] == pytest.approx(0.6)
+
+    def test_infeasible_lower(self):
+        with pytest.raises(ConsistencyError):
+            optimise_row(np.array([0.7, 0.7]), np.array([0.8, 0.8]), np.zeros(2), True)
+
+    def test_exact_interval_returns_row(self):
+        lower = upper = np.array([0.3, 0.7])
+        row = optimise_row(lower, upper, np.array([5.0, 1.0]), True)
+        assert np.allclose(row, [0.3, 0.7])
+
+
+class TestIntervalValues:
+    def setup_method(self):
+        self.center = DTMC(
+            illustrative_matrix(0.3, 0.4), 0, labels={"goal": [2], "init": [0]}
+        )
+        self.imc = IMC.from_center(self.center, 0.02)
+        self.formula = parse_property('F "goal"')
+
+    def test_bounds_bracket_members(self):
+        spec = self.formula.until_spec(self.center)
+        low, high = interval_probability_bounds(self.imc, spec)
+        for a, c in [(0.28, 0.38), (0.3, 0.4), (0.32, 0.42)]:
+            chain = DTMC(illustrative_matrix(a, c), 0, labels={"goal": [2]})
+            gamma = probability(chain, self.formula)
+            assert low - 1e-9 <= gamma <= high + 1e-9
+
+    def test_degenerate_imc_is_tight(self):
+        exact = IMC.from_center(self.center, 0.0)
+        spec = self.formula.until_spec(self.center)
+        low, high = interval_probability_bounds(exact, spec)
+        gamma = probability(self.center, self.formula)
+        assert low == pytest.approx(gamma, rel=1e-9)
+        assert high == pytest.approx(gamma, rel=1e-9)
+
+    def test_bounded_until_values(self):
+        lhs = np.ones(4, dtype=bool)
+        rhs = np.array([False, False, True, False])
+        vals_max = interval_until_values(self.imc, lhs, rhs, bound=3, maximize=True)
+        vals_min = interval_until_values(self.imc, lhs, rhs, bound=3, maximize=False)
+        assert np.all(vals_min <= vals_max + 1e-12)
+
+    def test_exempt_spec_bounds(self):
+        formula = parse_property('"init" & (X !"init" U "goal")')
+        spec = formula.until_spec(self.center)
+        low, high = interval_probability_bounds(self.imc, spec)
+        gamma = probability(self.center, formula)
+        assert low <= gamma <= high

@@ -1,0 +1,119 @@
+"""Unit + property tests for the exact until/reachability engine.
+
+The closing property-based test cross-validates three implementations —
+closed form, linear solve, and Monte Carlo over monitors — which ties the
+whole property/simulation/analysis stack together.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import probability, spec_probability, until_values
+from repro.properties import parse_property
+
+from tests.conftest import illustrative_matrix, random_dtmc
+from repro.core import DTMC
+
+
+@pytest.fixture
+def labelled(small_chain):
+    return small_chain
+
+
+class TestClosedForm:
+    @pytest.mark.parametrize("a,c", [(0.3, 0.4), (1e-4, 0.05), (0.9, 0.9)])
+    def test_matches_formula(self, a, c):
+        chain = DTMC(illustrative_matrix(a, c), 0, labels={"goal": [2], "init": [0]})
+        gamma = probability(chain, parse_property('F "goal"'))
+        exact = a * c / (1 - a * (1 - c))
+        assert gamma == pytest.approx(exact, rel=1e-12)
+
+    def test_exempt_shape_closed_form(self, labelled):
+        """init & (X !init U goal) from s0 = a*c (one-shot success)."""
+        a, c = 0.3, 0.4
+        formula = parse_property('"init" & (X !"init" U "goal")')
+        assert probability(labelled, formula) == pytest.approx(a * c)
+
+    def test_initial_check_failure_gives_zero(self, labelled):
+        formula = parse_property('"goal" & (F "goal")')
+        assert probability(labelled, formula) == 0.0
+
+    def test_next_shape(self, labelled):
+        formula = parse_property('X "goal"')
+        # From s0 one step: goal unreachable in one step.
+        assert probability(labelled, formula) == 0.0
+        formula2 = parse_property('X "init"')
+        # s1 -> s0 with prob 1-c = 0.6
+        assert probability(labelled, formula2, initial_state=1) == pytest.approx(0.6)
+
+
+class TestBounded:
+    def test_bound_zero(self, labelled):
+        assert probability(labelled, parse_property('F<=0 "goal"')) == 0.0
+        assert probability(labelled, parse_property('F<=0 "init"')) == 1.0
+
+    def test_bound_two(self, labelled):
+        assert probability(labelled, parse_property('F<=2 "goal"')) == pytest.approx(0.3 * 0.4)
+
+    def test_bounded_converges_to_unbounded(self, labelled):
+        bounded = probability(labelled, parse_property('F<=200 "goal"'))
+        unbounded = probability(labelled, parse_property('F "goal"'))
+        assert bounded == pytest.approx(unbounded, rel=1e-8)
+
+
+class TestUntilValues:
+    def test_values_in_unit_interval(self, labelled, rng):
+        chain = random_dtmc(rng, 6)
+        lhs = np.ones(6, dtype=bool)
+        rhs = np.zeros(6, dtype=bool)
+        rhs[3] = True
+        values = until_values(chain, lhs, rhs)
+        assert np.all(values >= 0) and np.all(values <= 1)
+        assert values[3] == 1.0
+
+    def test_fixed_point_equation(self, rng):
+        """u = rhs + [maybe] A u must hold at the solution."""
+        chain = random_dtmc(rng, 7, sparsity=0.6)
+        lhs = np.ones(7, dtype=bool)
+        rhs = np.zeros(7, dtype=bool)
+        rhs[2] = True
+        u = until_values(chain, lhs, rhs)
+        expected = np.where(rhs, 1.0, chain.dense() @ u)
+        assert np.allclose(u, expected, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_numeric_matches_monte_carlo(seed):
+    """Cross-validation: linear solve vs monitored simulation."""
+    from repro.smc import monte_carlo_estimate
+
+    gen = np.random.default_rng(seed)
+    chain = random_dtmc(gen, 5, sparsity=0.7)
+    goal = int(gen.integers(1, 5))
+    chain = chain.with_labels({"goal": [goal]})
+    formula = parse_property('F<=6 "goal"')
+    exact = probability(chain, formula)
+    estimate = monte_carlo_estimate(chain, formula, 1500, gen)
+    assert abs(estimate.estimate - exact) < 4.5 * max(
+        np.sqrt(exact * (1 - exact) / 1500), 1e-3
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_exempt_spec_matches_monte_carlo(seed):
+    """The (X lhs) U rhs numerical handling agrees with its monitor."""
+    from repro.smc import monte_carlo_estimate
+
+    gen = np.random.default_rng(seed)
+    chain = random_dtmc(gen, 5, sparsity=0.8)
+    chain = chain.with_labels({"home": [0], "goal": [int(gen.integers(1, 5))]})
+    formula = parse_property('"home" & (X !"home" U<=8 "goal")')
+    exact = probability(chain, formula)
+    estimate = monte_carlo_estimate(chain, formula, 1500, gen)
+    assert abs(estimate.estimate - exact) < 4.5 * max(
+        np.sqrt(exact * (1 - exact) / 1500), 1e-3
+    )

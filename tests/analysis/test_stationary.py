@@ -1,0 +1,104 @@
+"""Unit tests for stationary analysis and MTTF."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_hitting_steps,
+    mean_recurrence_time,
+    mean_time_to_failure,
+    stationary_distribution,
+)
+from repro.core import CTMC, DTMC
+from repro.errors import ModelError
+
+from tests.conftest import random_dtmc
+
+
+@pytest.fixture
+def two_state():
+    # p(0->1) = 0.2, p(1->0) = 0.5: pi = (5/7, 2/7).
+    return DTMC(np.array([[0.8, 0.2], [0.5, 0.5]]))
+
+
+class TestStationary:
+    def test_two_state_closed_form(self, two_state):
+        pi = stationary_distribution(two_state)
+        assert pi[0] == pytest.approx(5 / 7)
+        assert pi[1] == pytest.approx(2 / 7)
+
+    def test_fixed_point(self, rng):
+        chain = random_dtmc(rng, 6, sparsity=1.0)
+        pi = stationary_distribution(chain)
+        assert np.allclose(pi @ chain.dense(), pi, atol=1e-10)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_sparse_chain(self, two_state):
+        from scipy import sparse
+
+        chain = DTMC(sparse.csr_matrix(two_state.dense()))
+        pi = stationary_distribution(chain)
+        assert pi[0] == pytest.approx(5 / 7)
+
+    def test_recurrence_time(self, two_state):
+        assert mean_recurrence_time(two_state, 0) == pytest.approx(7 / 5)
+        assert mean_recurrence_time(two_state, 1) == pytest.approx(7 / 2)
+
+
+class TestHittingTimes:
+    def test_gambler_chain(self):
+        # 0 <-> 1 -> 2 (absorbing target).
+        chain = DTMC(
+            np.array([[0.0, 1.0, 0.0], [0.5, 0.0, 0.5], [0.0, 0.0, 1.0]])
+        )
+        targets = np.array([False, False, True])
+        h = expected_hitting_steps(chain, targets)
+        # h1 = 1 + 0.5 h0, h0 = 1 + h1  =>  h1 = 3, h0 = 4.
+        assert h[0] == pytest.approx(4.0)
+        assert h[1] == pytest.approx(3.0)
+        assert h[2] == 0.0
+
+    def test_unreachable_is_infinite(self):
+        chain = DTMC(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        h = expected_hitting_steps(chain, np.array([False, True]))
+        assert h[0] == np.inf
+        assert h[1] == 0.0
+
+    def test_empty_targets_rejected(self, two_state):
+        with pytest.raises(ModelError, match="empty"):
+            expected_hitting_steps(two_state, np.zeros(2, dtype=bool))
+
+
+class TestMTTF:
+    def test_single_step_exponential(self):
+        # 0 -> 1 (failure) at rate 2: MTTF = 1/2.
+        ctmc = CTMC(np.array([[0.0, 2.0], [0.0, 0.0]]), labels={"failure": [1]})
+        assert mean_time_to_failure(ctmc) == pytest.approx(0.5)
+
+    def test_birth_death_mttf(self):
+        # 0 -> 1 at rate l; 1 -> 0 at rate m, 1 -> 2 (failure) at rate l.
+        l, m = 1.0, 3.0
+        rates = np.array([[0.0, l, 0.0], [m, 0.0, l], [0.0, 0.0, 0.0]])
+        ctmc = CTMC(rates, labels={"failure": [2]})
+        # m0 = 1/l + m1; m1 = 1/(l+m) + (m/(l+m)) m0  =>  solve by hand:
+        expected_m0 = (1 / l + 1 / (l + m)) / (1 - m / (l + m))
+        assert mean_time_to_failure(ctmc) == pytest.approx(expected_m0)
+
+    def test_unreachable_failure(self):
+        ctmc = CTMC(np.array([[0.0, 0.0], [1.0, 0.0]]), labels={"failure": [1]})
+        assert mean_time_to_failure(ctmc) == np.inf
+
+    def test_missing_label(self):
+        ctmc = CTMC(np.array([[0.0, 1.0], [1.0, 0.0]]), labels={"failure": []})
+        with pytest.raises(ModelError, match="no state"):
+            mean_time_to_failure(ctmc)
+
+    def test_group_repair_mttf_positive(self):
+        from repro.models.repair_group import PRISM_SOURCE
+        from repro.lang import build_ctmc
+
+        ctmc = build_ctmc(PRISM_SOURCE, {"alpha": 0.1})
+        mttf = mean_time_to_failure(ctmc)
+        # The failure takes ~1/gamma regeneration cycles; gamma ~ 1.18e-7
+        # and a cycle lasts ~O(1) time units, so MTTF is huge.
+        assert 1e5 < mttf < 1e9

@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DTMC, IMC
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; tests must not depend on global state."""
+    return np.random.default_rng(12345)
+
+
+def illustrative_matrix(a: float, c: float) -> np.ndarray:
+    """The Fig. 1a transition matrix."""
+    return np.array(
+        [
+            [0.0, a, 0.0, 1.0 - a],
+            [1.0 - c, 0.0, c, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+
+
+@pytest.fixture
+def small_chain() -> DTMC:
+    """The illustrative chain with non-rare parameters (fast tests)."""
+    return DTMC(
+        illustrative_matrix(0.3, 0.4),
+        0,
+        labels={"init": [0], "goal": [2], "fail": [3]},
+    )
+
+
+@pytest.fixture
+def rare_chain() -> DTMC:
+    """The illustrative chain with the paper's true parameters."""
+    return DTMC(
+        illustrative_matrix(1e-4, 0.05),
+        0,
+        labels={"init": [0], "goal": [2], "fail": [3]},
+    )
+
+
+@pytest.fixture
+def small_imc(small_chain: DTMC) -> IMC:
+    """An IMC of width 0.02 centred on the small chain."""
+    return IMC.from_center(small_chain, 0.01)
+
+
+def random_dtmc(
+    rng: np.random.Generator,
+    n_states: int,
+    labels: dict | None = None,
+    sparsity: float = 0.5,
+) -> DTMC:
+    """A random row-stochastic chain with at least one transition per row."""
+    matrix = np.zeros((n_states, n_states))
+    for i in range(n_states):
+        mask = rng.random(n_states) < sparsity
+        if not mask.any():
+            mask[rng.integers(n_states)] = True
+        weights = rng.random(n_states) * mask
+        matrix[i] = weights / weights.sum()
+    return DTMC(matrix, 0, labels)

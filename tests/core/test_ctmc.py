@@ -1,0 +1,86 @@
+"""Unit tests for the CTMC class and embedding/uniformisation."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core import CTMC
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def simple_ctmc() -> CTMC:
+    rates = np.array(
+        [
+            [0.0, 2.0, 0.0],
+            [1.0, 0.0, 3.0],
+            [0.0, 0.0, 0.0],  # absorbing
+        ]
+    )
+    return CTMC(rates, 0, labels={"end": [2]})
+
+
+class TestConstruction:
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ModelError, match="negative"):
+            CTMC(np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ModelError, match="diagonal"):
+            CTMC(np.array([[1.0, 1.0], [1.0, 0.0]]))
+
+    def test_exit_rates(self, simple_ctmc):
+        assert np.allclose(simple_ctmc.exit_rates(), [2.0, 4.0, 0.0])
+
+    def test_labels_carried(self, simple_ctmc):
+        assert list(simple_ctmc.label_mask("end")) == [False, False, True]
+
+
+class TestEmbedding:
+    def test_jump_probabilities(self, simple_ctmc):
+        emb = simple_ctmc.embedded_dtmc()
+        assert emb.probability(1, 0) == pytest.approx(0.25)
+        assert emb.probability(1, 2) == pytest.approx(0.75)
+
+    def test_zero_exit_becomes_absorbing(self, simple_ctmc):
+        emb = simple_ctmc.embedded_dtmc()
+        assert emb.is_absorbing(2)
+
+    def test_labels_preserved(self, simple_ctmc):
+        emb = simple_ctmc.embedded_dtmc()
+        assert emb.has_label(2, "end")
+
+    def test_sparse_embedding(self, simple_ctmc):
+        sp = CTMC(sparse.csr_matrix(np.asarray(simple_ctmc.rates)), 0)
+        emb = sp.embedded_dtmc()
+        assert emb.is_sparse
+        assert emb.probability(1, 2) == pytest.approx(0.75)
+
+
+class TestUniformisation:
+    def test_row_stochastic(self, simple_ctmc):
+        uni = simple_ctmc.uniformized_dtmc()
+        assert np.allclose(uni.dense().sum(axis=1), 1.0)
+
+    def test_default_rate_has_slack(self, simple_ctmc):
+        uni = simple_ctmc.uniformized_dtmc()
+        # q = 1.05 * 4 => self-loop at state 1 is 1 - 4/4.2
+        assert uni.probability(1, 1) == pytest.approx(1 - 4.0 / 4.2)
+
+    def test_rate_below_max_exit_rejected(self, simple_ctmc):
+        with pytest.raises(ModelError, match="uniformization"):
+            simple_ctmc.uniformized_dtmc(1.0)
+
+    def test_generator_rows_sum_to_zero(self, simple_ctmc):
+        q = simple_ctmc.generator_matrix()
+        assert np.allclose(np.asarray(q).sum(axis=1), 0.0)
+
+    def test_embedded_and_uniformised_share_reachability(self, simple_ctmc):
+        """Absorption probabilities agree between the two discretisations."""
+        from repro.analysis import until_values
+
+        lhs = np.array([True, True, True])
+        rhs = np.array([False, False, True])
+        emb = until_values(simple_ctmc.embedded_dtmc(), lhs, rhs)
+        uni = until_values(simple_ctmc.uniformized_dtmc(), lhs, rhs)
+        assert np.allclose(emb, uni, atol=1e-9)

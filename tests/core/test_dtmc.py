@@ -1,0 +1,161 @@
+"""Unit tests for the DTMC class (Definition 2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.core import DTMC, Path, TransitionCounts
+from repro.errors import ModelError
+
+from tests.conftest import illustrative_matrix, random_dtmc
+
+
+class TestConstruction:
+    def test_basic_properties(self, small_chain):
+        assert small_chain.n_states == 4
+        assert small_chain.initial_state == 0
+        assert not small_chain.is_sparse
+
+    def test_rows_must_sum_to_one(self):
+        bad = np.array([[0.5, 0.4], [0.0, 1.0]])
+        with pytest.raises(ModelError, match="sums to"):
+            DTMC(bad)
+
+    def test_entries_must_be_probabilities(self):
+        bad = np.array([[1.5, -0.5], [0.0, 1.0]])
+        with pytest.raises(ModelError):
+            DTMC(bad)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ModelError, match="square"):
+            DTMC(np.ones((2, 3)) / 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            DTMC(np.zeros((0, 0)))
+
+    def test_initial_state_range(self):
+        with pytest.raises(ModelError, match="out of range"):
+            DTMC(np.eye(2), initial_state=5)
+
+    def test_matrix_is_frozen(self, small_chain):
+        with pytest.raises(ValueError):
+            small_chain.transitions[0, 0] = 0.5
+
+    def test_sparse_round_trip(self, small_chain):
+        chain = DTMC(sparse.csr_matrix(small_chain.dense()), 0, small_chain.labels)
+        assert chain.is_sparse
+        assert np.allclose(chain.dense(), small_chain.dense())
+
+    def test_state_names_validated(self):
+        with pytest.raises(ModelError, match="state names"):
+            DTMC(np.eye(2), state_names=("only-one",))
+
+    def test_state_name_defaults_to_index(self, small_chain):
+        assert small_chain.state_name(2) == "2"
+
+
+class TestStructure:
+    def test_successors(self, small_chain):
+        assert list(small_chain.successors(0)) == [1, 3]
+        assert list(small_chain.successors(2)) == [2]
+
+    def test_row_entries_match_dense_row(self, small_chain):
+        idx, vals = small_chain.row_entries(1)
+        row = small_chain.row(1)
+        assert np.allclose(row[idx], vals)
+        assert row.sum() == pytest.approx(1.0)
+
+    def test_probability_lookup(self, small_chain):
+        assert small_chain.probability(0, 1) == pytest.approx(0.3)
+        assert small_chain.probability(0, 2) == 0.0
+
+    def test_absorbing_detection(self, small_chain):
+        assert small_chain.is_absorbing(2)
+        assert not small_chain.is_absorbing(0)
+
+    def test_matvec_matches_dense(self, small_chain):
+        v = np.arange(4.0)
+        assert np.allclose(small_chain.matvec(v), small_chain.dense() @ v)
+
+
+class TestLabels:
+    def test_label_mask(self, small_chain):
+        assert list(small_chain.label_states("goal")) == [2]
+
+    def test_unknown_label(self, small_chain):
+        with pytest.raises(ModelError, match="unknown label"):
+            small_chain.label_mask("nope")
+
+    def test_labels_of(self, small_chain):
+        assert small_chain.labels_of(0) == frozenset({"init"})
+        assert small_chain.labels_of(1) == frozenset()
+
+    def test_with_labels_adds(self, small_chain):
+        updated = small_chain.with_labels({"extra": [1]})
+        assert updated.has_label(1, "extra")
+        assert updated.has_label(2, "goal")
+
+    def test_label_mask_is_a_copy(self, small_chain):
+        mask = small_chain.label_mask("goal")
+        mask[:] = False
+        assert small_chain.has_label(2, "goal")
+
+
+class TestProbabilities:
+    def test_path_probability(self, small_chain):
+        path = Path.from_states([0, 1, 2])
+        assert small_chain.path_probability(path) == pytest.approx(0.3 * 0.4)
+
+    def test_impossible_path(self, small_chain):
+        assert small_chain.path_probability([0, 2]) == 0.0
+        assert small_chain.log_path_probability([0, 2]) == float("-inf")
+
+    def test_counts_log_probability_equals_path(self, small_chain):
+        path = Path.from_states([0, 1, 0, 1, 2])
+        counts = TransitionCounts.from_path(path)
+        assert small_chain.counts_log_probability(counts) == pytest.approx(
+            small_chain.log_path_probability(path)
+        )
+
+    def test_step_respects_support(self, small_chain, rng):
+        for _ in range(50):
+            nxt = small_chain.step(0, rng)
+            assert nxt in (1, 3)
+
+    def test_step_frequencies(self, small_chain, rng):
+        hits = sum(small_chain.step(0, rng) == 1 for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.3, abs=0.035)
+
+
+class TestEquality:
+    def test_close_to(self, small_chain):
+        other = DTMC(illustrative_matrix(0.3, 0.4), 0)
+        assert small_chain.close_to(other)
+
+    def test_not_close(self, small_chain):
+        other = DTMC(illustrative_matrix(0.31, 0.4), 0)
+        assert not small_chain.close_to(other)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 8))
+def test_random_chain_rows_are_stochastic(seed, n):
+    chain = random_dtmc(np.random.default_rng(seed), n)
+    assert np.allclose(chain.dense().sum(axis=1), 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_path_probability_product_identity(seed):
+    """Equation (1): P(ω) factorises over the count table."""
+    gen = np.random.default_rng(seed)
+    chain = random_dtmc(gen, 5, sparsity=0.9)
+    states = [0]
+    for _ in range(12):
+        states.append(chain.step(states[-1], gen))
+    path = Path.from_states(states)
+    via_counts = chain.counts_log_probability(path.counts())
+    assert via_counts == pytest.approx(chain.log_path_probability(path))

@@ -1,0 +1,161 @@
+"""Unit tests for the IMC class (Definition 2.2) and the simplex projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.core import DTMC, IMC, project_row_to_simplex
+from repro.errors import ConsistencyError, ModelError
+
+from tests.conftest import illustrative_matrix, random_dtmc
+
+
+class TestConsistency:
+    def test_lower_above_upper_rejected(self):
+        lower = np.array([[0.6, 0.4], [0.5, 0.5]])
+        upper = np.array([[0.5, 0.6], [0.5, 0.5]])
+        with pytest.raises(ConsistencyError):
+            IMC(lower, upper)
+
+    def test_lower_sums_above_one_rejected(self):
+        lower = np.array([[0.7, 0.7], [0.5, 0.5]])
+        upper = np.array([[0.8, 0.8], [0.5, 0.5]])
+        with pytest.raises(ConsistencyError, match="sum"):
+            IMC(lower, upper)
+
+    def test_upper_sums_below_one_rejected(self):
+        lower = np.array([[0.1, 0.1], [0.5, 0.5]])
+        upper = np.array([[0.4, 0.4], [0.5, 0.5]])
+        with pytest.raises(ConsistencyError, match="sum"):
+            IMC(lower, upper)
+
+    def test_mixed_representations_rejected(self):
+        dense = np.eye(2)
+        with pytest.raises(ConsistencyError, match="representation"):
+            IMC(sparse.csr_matrix(dense), dense)
+
+    def test_center_must_belong(self, small_chain):
+        imc = IMC.from_center(small_chain, 0.01)
+        outside = DTMC(illustrative_matrix(0.5, 0.4), 0)
+        with pytest.raises(ConsistencyError, match="outside"):
+            IMC(imc.lower, imc.upper, center=outside)
+
+
+class TestFromCenter:
+    def test_contains_center(self, small_chain):
+        imc = IMC.from_center(small_chain, 0.02)
+        assert imc.contains(small_chain)
+        assert imc.center is small_chain
+
+    def test_zero_entries_stay_zero(self, small_chain):
+        imc = IMC.from_center(small_chain, 0.02)
+        assert imc.upper[0, 2] == 0.0
+
+    def test_widen_zero(self, small_chain):
+        imc = IMC.from_center(small_chain, 0.02, widen_zero=True)
+        assert imc.upper[0, 2] == pytest.approx(0.02)
+
+    def test_matrix_epsilon(self, small_chain):
+        eps = np.zeros((4, 4))
+        eps[0, 1] = 0.05
+        imc = IMC.from_center(small_chain, eps)
+        assert imc.upper[0, 1] == pytest.approx(0.35)
+        assert imc.lower[0, 3] == pytest.approx(0.7)  # untouched
+
+    def test_negative_epsilon_rejected(self, small_chain):
+        with pytest.raises(ModelError):
+            IMC.from_center(small_chain, -0.1)
+
+    def test_clipping_at_zero(self, rare_chain):
+        imc = IMC.from_center(rare_chain, 0.01)
+        assert imc.lower[0, 1] == 0.0
+
+    def test_sparse_center(self, small_chain):
+        chain = DTMC(sparse.csr_matrix(small_chain.dense()), 0)
+        imc = IMC.from_center(chain, 0.01)
+        assert imc.is_sparse
+        assert imc.contains(chain)
+
+    def test_exactness(self, small_chain):
+        assert IMC.from_center(small_chain, 0.0).is_exact()
+        assert not IMC.from_center(small_chain, 0.01).is_exact()
+
+
+class TestMembership:
+    def test_member_inside(self, small_imc):
+        inside = DTMC(illustrative_matrix(0.305, 0.395), 0)
+        assert small_imc.contains(inside)
+
+    def test_member_outside(self, small_imc):
+        outside = DTMC(illustrative_matrix(0.32, 0.4), 0)
+        assert not small_imc.contains(outside)
+
+    def test_row_bounds_alignment(self, small_imc):
+        support, lo, up = small_imc.row_bounds(0)
+        assert list(support) == [1, 3]
+        assert np.all(lo <= up)
+
+    def test_midpoint_is_member(self, small_imc):
+        assert small_imc.contains(small_imc.midpoint())
+
+    def test_from_bounds_dict(self):
+        imc = IMC.from_bounds_dict(
+            2, {(0, 0): (0.4, 0.6), (0, 1): (0.4, 0.6), (1, 1): (1.0, 1.0)}
+        )
+        assert imc.n_states == 2
+        assert imc.contains(DTMC(np.array([[0.5, 0.5], [0.0, 1.0]])))
+
+
+class TestProjection:
+    def test_already_feasible(self):
+        row = np.array([0.3, 0.7])
+        out = project_row_to_simplex(row, np.array([0.2, 0.6]), np.array([0.4, 0.8]))
+        assert np.allclose(out, row)
+
+    def test_normalises(self):
+        out = project_row_to_simplex(
+            np.array([0.2, 0.2]), np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        )
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_respects_bounds(self):
+        out = project_row_to_simplex(
+            np.array([0.9, 0.1]), np.array([0.0, 0.3]), np.array([0.6, 1.0])
+        )
+        assert out.sum() == pytest.approx(1.0)
+        assert out[0] <= 0.6 + 1e-9
+        assert out[1] >= 0.3 - 1e-9
+
+    def test_empty_constraint_set(self):
+        with pytest.raises(ConsistencyError):
+            project_row_to_simplex(
+                np.array([0.5, 0.5]), np.array([0.6, 0.6]), np.array([0.7, 0.7])
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(2, 7))
+def test_projection_property(seed, size):
+    """The projection always lands in the box-simplex when it is non-empty."""
+    gen = np.random.default_rng(seed)
+    center = gen.dirichlet(np.ones(size))
+    eps = gen.uniform(0.0, 0.3, size)
+    lo = np.clip(center - eps, 0.0, 1.0)
+    up = np.clip(center + eps, 0.0, 1.0)
+    target = gen.uniform(0, 1, size)
+    out = project_row_to_simplex(target, lo, up)
+    assert out.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(out >= lo - 1e-9)
+    assert np.all(out <= up + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 6))
+def test_from_center_always_contains_center(seed, n):
+    gen = np.random.default_rng(seed)
+    chain = random_dtmc(gen, n, sparsity=0.8)
+    imc = IMC.from_center(chain, float(gen.uniform(0.001, 0.2)))
+    assert imc.contains(chain)
+    assert imc.contains(imc.midpoint())

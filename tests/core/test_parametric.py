@@ -1,0 +1,115 @@
+"""Unit tests for parametric models and IMC-over-box derivation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DTMC, ParametricModel
+from repro.errors import ModelError
+
+from tests.conftest import illustrative_matrix
+
+
+def two_param_model() -> ParametricModel:
+    def builder(params):
+        return DTMC(
+            illustrative_matrix(params["a"], params["c"]),
+            0,
+            labels={"goal": [2], "init": [0]},
+        )
+
+    return ParametricModel(("a", "c"), builder)
+
+
+class TestInstantiation:
+    def test_at(self):
+        chain = two_param_model().at(a=0.2, c=0.3)
+        assert chain.probability(0, 1) == pytest.approx(0.2)
+
+    def test_missing_parameter(self):
+        with pytest.raises(ModelError, match="missing"):
+            two_param_model().at(a=0.2)
+
+    def test_no_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            ParametricModel((), lambda p: None)
+
+    def test_dtmc_at_reduces_ctmc(self):
+        from repro.core import CTMC
+
+        def builder(params):
+            rates = np.array([[0.0, params["r"]], [1.0, 0.0]])
+            return CTMC(rates)
+
+        model = ParametricModel(("r",), builder)
+        chain = model.dtmc_at(r=3.0)
+        assert isinstance(chain, DTMC)
+        assert chain.probability(0, 1) == pytest.approx(1.0)
+
+
+class TestImcOverBox:
+    def test_contains_all_grid_chains(self):
+        model = two_param_model()
+        box = {"a": (0.1, 0.3), "c": (0.3, 0.5)}
+        imc = model.imc_over_box(box, center={"a": 0.2, "c": 0.4}, grid_points=3)
+        for a in (0.1, 0.2, 0.3):
+            for c in (0.3, 0.4, 0.5):
+                assert imc.contains(model.at(a=a, c=c))
+
+    def test_center_is_declared(self):
+        model = two_param_model()
+        imc = model.imc_over_box({"a": (0.1, 0.3), "c": (0.3, 0.5)}, center={"a": 0.15, "c": 0.35})
+        assert imc.center.probability(0, 1) == pytest.approx(0.15)
+
+    def test_degenerate_box_is_exact(self):
+        model = two_param_model()
+        imc = model.imc_over_box({"a": (0.2, 0.2), "c": (0.4, 0.4)})
+        assert imc.is_exact(atol=1e-12)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ModelError, match="empty"):
+            two_param_model().imc_over_box({"a": (0.3, 0.1), "c": (0.3, 0.5)})
+
+    def test_grid_points_minimum(self):
+        with pytest.raises(ModelError, match="grid_points"):
+            two_param_model().imc_over_box({"a": (0.1, 0.3), "c": (0.3, 0.5)}, grid_points=1)
+
+    def test_missing_box_entry(self):
+        with pytest.raises(ModelError, match="missing"):
+            two_param_model().imc_over_box({"a": (0.1, 0.3)})
+
+    def test_sparse_builder(self):
+        """imc_over_box must work when the builder yields sparse chains —
+        the 40 320-state repair model exercises exactly this path."""
+        from scipy import sparse
+
+        def builder(params):
+            dense = illustrative_matrix(params["a"], 0.4)
+            return DTMC(sparse.csr_matrix(dense), 0, labels={"goal": [2]})
+
+        model = ParametricModel(("a",), builder)
+        imc = model.imc_over_box({"a": (0.1, 0.3)}, center={"a": 0.2}, grid_points=3)
+        assert imc.is_sparse
+        for a in (0.1, 0.2, 0.3):
+            assert imc.contains(model.at(a=a))
+
+
+class TestProbabilityCurve:
+    def test_monotone_curve(self):
+        from repro.analysis import probability
+        from repro.properties import Atom, Eventually
+
+        model = two_param_model()
+        formula = Eventually(Atom("goal"))
+        grid, values = model.probability_curve(
+            lambda chain: probability(chain, formula),
+            "a",
+            (0.05, 0.4),
+            points=5,
+            fixed={"c": 0.4},
+        )
+        assert grid.shape == values.shape == (5,)
+        assert np.all(np.diff(values) > 0)  # gamma increases with a
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ModelError, match="unknown parameter"):
+            two_param_model().probability_curve(lambda c: 0.0, "zzz", (0, 1))

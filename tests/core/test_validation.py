@@ -1,0 +1,81 @@
+"""Tests for the shared validation helpers and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.core.validation import check_initial_state, normalise_labels
+
+
+class TestInitialState:
+    def test_valid(self):
+        assert check_initial_state(2, 5) == 2
+        assert check_initial_state(np.int64(3), 5) == 3
+
+    def test_out_of_range(self):
+        with pytest.raises(errors.ModelError):
+            check_initial_state(5, 5)
+        with pytest.raises(errors.ModelError):
+            check_initial_state(-1, 5)
+
+
+class TestNormaliseLabels:
+    def test_none_gives_empty(self):
+        assert normalise_labels(None, 3) == {}
+
+    def test_index_list(self):
+        result = normalise_labels({"a": [0, 2]}, 3)
+        assert list(result["a"]) == [True, False, True]
+
+    def test_bool_mask_copied(self):
+        mask = np.array([True, False])
+        result = normalise_labels({"a": mask}, 2)
+        mask[0] = False
+        assert result["a"][0]
+
+    def test_wrong_mask_shape(self):
+        with pytest.raises(errors.ModelError, match="shape"):
+            normalise_labels({"a": np.array([True])}, 3)
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(errors.ModelError, match="outside"):
+            normalise_labels({"a": [7]}, 3)
+
+    def test_empty_index_list(self):
+        result = normalise_labels({"a": []}, 3)
+        assert not result["a"].any()
+
+    def test_names_coerced_to_str(self):
+        result = normalise_labels({123: [0]}, 2)
+        assert "123" in result
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ModelError,
+            errors.ConsistencyError,
+            errors.PropertyError,
+            errors.ParseError,
+            errors.EvaluationError,
+            errors.EstimationError,
+            errors.OptimizationError,
+            errors.LearningError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_consistency_is_model_error(self):
+        assert issubclass(errors.ConsistencyError, errors.ModelError)
+
+    def test_parse_error_location(self):
+        err = errors.ParseError("bad", line=3, column=7)
+        assert "line 3" in str(err) and "column 7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_parse_error_without_location(self):
+        err = errors.ParseError("bad")
+        assert str(err) == "bad"
+        assert err.line is None

@@ -1,0 +1,66 @@
+"""Tests of the coverage-experiment harness (small-scale Table II runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_coverage_experiment
+from repro.imcis import IMCISConfig, RandomSearchConfig
+from repro.models import illustrative
+
+
+@pytest.fixture(scope="module")
+def report():
+    study = illustrative.make_study(n_samples=2000)
+    config = IMCISConfig(search=RandomSearchConfig(r_undefeated=150, record_history=False))
+    return run_coverage_experiment(study, repetitions=8, rng=31, imcis_config=config,
+                                   n_samples=2000)
+
+
+class TestCoverageReport:
+    def test_outcome_count(self, report):
+        assert len(report.outcomes) == 8
+
+    def test_paper_coverage_pattern(self, report):
+        """Table II row pair: IS covers γ(Â) (100 %) but never γ (0 %);
+        IMCIS covers both (100 %)."""
+        assert report.is_coverage_of_center() == 1.0
+        assert report.is_coverage_of_true() == 0.0
+        assert report.imcis_coverage_of_center() == 1.0
+        assert report.imcis_coverage_of_true() == 1.0
+
+    def test_mean_intervals_ordered(self, report):
+        is_lo, is_hi = report.mean_is_interval()
+        imcis_lo, imcis_hi = report.mean_imcis_interval()
+        assert imcis_lo < is_lo <= is_hi < imcis_hi
+
+    def test_intervals_exposed(self, report):
+        assert len(report.is_intervals) == 8
+        assert len(report.imcis_intervals) == 8
+
+    def test_coverage_without_truth(self, report):
+        report_no_truth = type(report)(
+            study_name="x",
+            repetitions=8,
+            gamma_true=None,
+            gamma_center=report.gamma_center,
+            outcomes=report.outcomes,
+        )
+        assert report_no_truth.is_coverage_of_true() is None
+
+
+class TestTable2Rendering:
+    def test_rows(self, report):
+        from repro.experiments import render_table2, rows_from_report
+
+        rows = rows_from_report(report)
+        assert [r.method for r in rows] == ["IS", "IMCIS"]
+        text = render_table2([report])
+        assert "illustrative" in text
+        assert "IMCIS" in text
+        assert "100%" in text
+
+    def test_missing_coverage_rendered_as_dash(self, report):
+        from repro.experiments.table2 import Table2Row
+
+        row = Table2Row("swat", "IS", 0.01, 0.02, 0.015, None, None)
+        assert row.cells()[-1] == "-"

@@ -1,0 +1,86 @@
+"""Edge-case tests for the report/figure rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import BoundEvolution, IntervalSeries, ProbabilityCurve
+from repro.smc.results import ConfidenceInterval
+
+
+class TestIntervalSeriesEdges:
+    def make(self, is_bounds, imcis_bounds, gamma=None):
+        return IntervalSeries(
+            study="t", confidence=0.95, gamma_true=gamma,
+            is_bounds=is_bounds, imcis_bounds=imcis_bounds,
+        )
+
+    def test_zero_width_intervals_render(self):
+        series = self.make([(0.5, 0.5)], [(0.4, 0.6)], gamma=0.55)
+        text = series.render(width=20)
+        assert "=" in text and "-" in text
+
+    def test_empty_containment(self):
+        series = self.make([], [])
+        assert series.containment_fraction() == 0.0
+        assert series.is_pairwise_disjoint_count() == 0
+
+    def test_disjoint_counting(self):
+        series = self.make(
+            [(0.1, 0.2), (0.3, 0.4), (0.15, 0.35)],
+            [(0.0, 1.0)] * 3,
+        )
+        # Pairs: (0,1) disjoint; (0,2) overlap; (1,2) overlap.
+        assert series.is_pairwise_disjoint_count() == 1
+
+    def test_no_gamma_line(self):
+        series = self.make([(0.1, 0.2)], [(0.05, 0.25)])
+        text = series.render(width=24)
+        assert "gamma" not in text.splitlines()[-1] or "^" not in text
+
+    def test_partial_containment(self):
+        series = self.make(
+            [(0.1, 0.3), (0.1, 0.3)],
+            [(0.05, 0.35), (0.15, 0.25)],  # second IS sticks out
+        )
+        assert series.containment_fraction() == 0.5
+
+
+class TestBoundEvolutionEdges:
+    def test_single_entry(self):
+        evolution = BoundEvolution(rounds=[0], lower_bounds=[0.1], upper_bounds=[0.2])
+        text = evolution.render(height=4, width=20)
+        assert "Figure 3" in text
+        assert evolution.rows() == [[0, 0.1, 0.2]]
+
+    def test_flat_bounds(self):
+        evolution = BoundEvolution(
+            rounds=[0, 10, 100], lower_bounds=[0.1] * 3, upper_bounds=[0.1] * 3
+        )
+        text = evolution.render(height=4, width=20)
+        # Coincident bounds: the L trace overplots the U trace.
+        assert "L" in text
+
+
+class TestProbabilityCurveEdges:
+    def test_constant_curve(self):
+        curve = ProbabilityCurve("a", np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+        assert curve.value_range() == (0.5, 0.5)
+        assert curve.coverage_by(0.0, 1.0) == 1.0
+        assert "Figure 5" in curve.render(height=3, width=10)
+
+    def test_no_overlap_coverage(self):
+        curve = ProbabilityCurve("a", np.array([0.0, 1.0]), np.array([0.1, 0.2]))
+        assert curve.coverage_by(0.3, 0.4) == 0.0
+
+
+class TestConfidenceIntervalEdges:
+    def test_degenerate_contains_with_ulp_slack(self):
+        value = 1.4944260010758664e-05
+        nudged = np.nextafter(value, 1.0)
+        interval = ConfidenceInterval(nudged, nudged, 0.95)
+        assert interval.contains(value)
+
+    def test_slack_does_not_leak(self):
+        interval = ConfidenceInterval(0.5, 0.6, 0.95)
+        assert not interval.contains(0.499)
+        assert not interval.contains(0.601)

@@ -1,0 +1,57 @@
+"""Tests of the Table I experiment runner (scaled down)."""
+
+import pytest
+
+from repro.experiments import run_table1, transition_value
+from repro.models import illustrative
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table1(repetitions=3, n_samples=1500, r_undefeated=150, rng=5)
+
+
+class TestTable1:
+    def test_collects_all_columns(self, result):
+        assert len(result.n_rounds) == 3
+        assert len(result.a_min) == len(result.c_min) == 3
+        assert len(result.a_max) == len(result.c_max) == 3
+
+    def test_extremes_inside_intervals(self, result):
+        for a in result.a_min + result.a_max:
+            assert 0.5e-4 - 1e-12 <= a <= 5.5e-4 + 1e-12
+        for c in result.c_min + result.c_max:
+            assert 0.0493 - 1e-12 <= c <= 0.0503 + 1e-12
+
+    def test_extremes_ordered(self, result):
+        """a_min approaches the lower bound, a_max the upper (Table I)."""
+        assert max(result.a_min) < 1e-4
+        assert min(result.a_max) > 4.5e-4
+
+    def test_summaries_and_render(self, result):
+        cols = result.summaries()
+        assert set(cols) == {"nr", "amin", "cmin", "amax", "cmax"}
+        text = result.render()
+        assert "Table I" in text
+        assert "st. dev." in text
+
+
+class TestTransitionValue:
+    def test_reads_row(self, rng):
+        study = illustrative.make_study()
+        support, _, _ = study.imc.row_bounds(0)
+        rows = {0: [0.25, 0.75]}
+        import numpy as np
+
+        rows = {0: np.array([0.25, 0.75])}
+        assert transition_value(study, rows, 0, int(support[0])) == pytest.approx(0.25)
+
+    def test_missing_state(self):
+        study = illustrative.make_study()
+        assert transition_value(study, {}, 0, 1) is None
+
+    def test_missing_target(self, rng):
+        import numpy as np
+
+        study = illustrative.make_study()
+        assert transition_value(study, {0: np.array([0.5, 0.5])}, 0, 2) is None

@@ -1,0 +1,92 @@
+"""Integration tests for Algorithm 1 (imcis_estimate) on the illustrative
+example — the paper's Section VI-A experiment in miniature."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.imcis import IMCISConfig, RandomSearchConfig, imcis_estimate, imcis_from_sample
+from repro.importance import run_importance_sampling
+from repro.models import illustrative
+
+
+@pytest.fixture(scope="module")
+def study():
+    return illustrative.make_study(n_samples=4000)
+
+
+@pytest.fixture(scope="module")
+def result(study):
+    config = IMCISConfig(search=RandomSearchConfig(r_undefeated=400))
+    return imcis_estimate(
+        study.imc, study.proposal, study.formula, 4000, np.random.default_rng(99), config
+    )
+
+
+class TestIMCIS:
+    def test_is_interval_degenerates_to_center(self, study, result):
+        """Perfect proposal w.r.t. Â: IS CI is the single point γ(Â)."""
+        is_ci = result.center_estimate.interval
+        assert is_ci.width == pytest.approx(0.0, abs=1e-18)
+        assert result.center_estimate.estimate == pytest.approx(
+            study.gamma_center, rel=1e-9
+        )
+
+    def test_is_misses_true_gamma(self, study, result):
+        assert not result.center_estimate.interval.contains(study.gamma_true)
+
+    def test_imcis_covers_both(self, study, result):
+        assert result.interval.contains(study.gamma_true)
+        assert result.interval.contains(study.gamma_center)
+
+    def test_extremes_bracket_center(self, study, result):
+        assert result.gamma_min <= study.gamma_center <= result.gamma_max
+
+    def test_interval_assembled_from_moments(self, result):
+        from repro.smc.intervals import normal_quantile
+
+        z = normal_quantile(0.95)
+        expected_low = max(0.0, result.gamma_min - z * result.sigma_min / np.sqrt(4000))
+        expected_high = result.gamma_max + z * result.sigma_max / np.sqrt(4000)
+        assert result.interval.low == pytest.approx(expected_low)
+        assert result.interval.high == pytest.approx(expected_high)
+
+    def test_mid_value(self, result):
+        assert result.mid_value == pytest.approx(result.interval.midpoint)
+
+    def test_sampling_statistics(self, result):
+        assert result.n_total == 4000
+        assert result.n_satisfied == 4000  # perfect proposal: all succeed
+        assert result.n_undecided == 0
+
+    def test_paper_magnitudes(self, study, result):
+        """Shape check against Table II row 2: CI ≈ [0.25, 2.7]e-5."""
+        assert result.interval.low == pytest.approx(0.25e-5, rel=0.5)
+        assert result.interval.high == pytest.approx(2.7e-5, rel=0.5)
+
+
+class TestEdgeCases:
+    def test_no_successes_degenerate_result(self, study):
+        from repro.properties import parse_property
+
+        impossible = parse_property('F<=1 "goal"')
+        outcome = imcis_estimate(
+            study.imc, study.imc.center, impossible, 50, np.random.default_rng(1)
+        )
+        assert outcome.interval.low == outcome.interval.high == 0.0
+        assert outcome.search is None
+
+    def test_invalid_sample_size(self, study):
+        with pytest.raises(EstimationError):
+            imcis_estimate(study.imc, study.proposal, study.formula, 0)
+
+    def test_from_sample_reuse(self, study):
+        """IS and IMCIS run on the same sample (Algorithm 1's structure)."""
+        rng = np.random.default_rng(5)
+        sample = run_importance_sampling(study.proposal, study.formula, 2000, rng)
+        config = IMCISConfig(search=RandomSearchConfig(r_undefeated=200))
+        first = imcis_from_sample(study.imc, sample, np.random.default_rng(7), config)
+        second = imcis_from_sample(study.imc, sample, np.random.default_rng(8), config)
+        # Same sample: identical IS estimate, near-identical IMCIS interval.
+        assert first.center_estimate.estimate == second.center_estimate.estimate
+        assert first.interval.low == pytest.approx(second.interval.low, rel=0.1)

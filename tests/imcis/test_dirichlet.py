@@ -1,0 +1,157 @@
+"""Unit + property tests for Dirichlet candidate-row generation (§IV-B/C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OptimizationError
+from repro.imcis import DirichletConfig, DirichletRowSampler
+
+
+def sampler_for(center, eps, config=DirichletConfig()):
+    center = np.asarray(center, dtype=float)
+    eps = np.asarray(eps, dtype=float)
+    lower = np.clip(center - eps, 0.0, 1.0)
+    upper = np.clip(center + eps, 0.0, 1.0)
+    support = np.arange(center.size)
+    return DirichletRowSampler(support, center, lower, upper, config)
+
+
+class TestConfig:
+    def test_strategy_validated(self):
+        with pytest.raises(OptimizationError):
+            DirichletConfig(k_strategy="geometric")
+
+    def test_inflation_validated(self):
+        with pytest.raises(OptimizationError):
+            DirichletConfig(inflation=0.9)
+
+    def test_aggregate_strategies(self):
+        from repro.imcis.dirichlet import aggregate_k
+
+        values = np.array([1.0, 4.0, 10.0])
+        assert aggregate_k(values, "min") == 1.0
+        assert aggregate_k(values, "mean") == pytest.approx(5.0)
+        assert aggregate_k(values, "median") == 4.0
+
+
+class TestConcentration:
+    def test_paper_formula(self):
+        """K = â(1-â)/ε² − 1 for the illustrative a-transition."""
+        sampler = sampler_for([3e-4, 1 - 3e-4], [2.5e-4, 2.5e-4])
+        expected = 3e-4 * (1 - 3e-4) / (2.5e-4) ** 2 - 1
+        assert sampler.concentration == pytest.approx(expected, rel=1e-9)
+        assert not sampler.uses_two_scale_split
+
+    def test_two_scale_triggered_by_heterogeneous_k(self):
+        # Three coordinates, one with far tighter relative margin.
+        center = [0.5, 0.3, 0.2]
+        eps = [1e-4, 0.1, 0.1]
+        sampler = sampler_for(center, eps, DirichletConfig(outlier_ratio=50.0))
+        assert sampler.uses_two_scale_split
+
+    def test_split_disabled_by_ratio(self):
+        center = [0.5, 0.3, 0.2]
+        eps = [1e-4, 0.1, 0.1]
+        sampler = sampler_for(center, eps, DirichletConfig(outlier_ratio=1e12))
+        assert not sampler.uses_two_scale_split
+
+    def test_too_small_support_rejected(self):
+        with pytest.raises(OptimizationError, match="fewer than two"):
+            sampler_for([1.0], [0.0])
+
+    def test_all_fixed_rejected(self):
+        with pytest.raises(OptimizationError, match="constant"):
+            sampler_for([0.5, 0.5], [0.0, 0.0])
+
+    def test_center_must_be_distribution(self):
+        with pytest.raises(OptimizationError, match="probability"):
+            DirichletRowSampler(
+                np.array([0, 1]),
+                np.array([0.5, 0.1]),
+                np.array([0.0, 0.0]),
+                np.array([1.0, 1.0]),
+            )
+
+
+class TestSampling:
+    def test_rows_feasible(self, rng):
+        sampler = sampler_for([0.3, 0.5, 0.2], [0.05, 0.05, 0.05])
+        for _ in range(200):
+            row = sampler.sample(rng)
+            assert row.sum() == pytest.approx(1.0, abs=1e-9)
+            assert np.all(row >= sampler.lower - 1e-9)
+            assert np.all(row <= sampler.upper + 1e-9)
+
+    def test_mean_near_center(self, rng):
+        sampler = sampler_for([0.3, 0.5, 0.2], [0.05, 0.05, 0.05])
+        rows = np.array([sampler.sample(rng) for _ in range(800)])
+        assert np.allclose(rows.mean(axis=0), sampler.center, atol=0.02)
+
+    def test_spread_covers_interval(self, rng):
+        """Coordinates should visit the outer thirds of their interval —
+        the 'well-spread around the mean' goal of §IV-B."""
+        sampler = sampler_for([0.3, 0.7], [0.05, 0.05])
+        rows = np.array([sampler.sample(rng) for _ in range(800)])
+        a = rows[:, 0]
+        assert (a < 0.27).mean() > 0.05
+        assert (a > 0.33).mean() > 0.05
+
+    def test_fixed_coordinates_pinned(self, rng):
+        sampler = sampler_for([0.3, 0.5, 0.2], [0.0, 0.05, 0.05])
+        for _ in range(50):
+            row = sampler.sample(rng)
+            assert row[0] == pytest.approx(0.3)
+
+    def test_two_scale_rows_feasible(self, rng):
+        sampler = sampler_for(
+            [0.5, 0.3, 0.2], [1e-3, 0.08, 0.08], DirichletConfig(outlier_ratio=50.0)
+        )
+        assert sampler.uses_two_scale_split
+        for _ in range(200):
+            row = sampler.sample(rng)
+            assert row.sum() == pytest.approx(1.0, abs=1e-9)
+            assert np.all(row >= sampler.lower - 1e-9)
+            assert np.all(row <= sampler.upper + 1e-9)
+
+    def test_inflation_learned_and_persisted(self, rng):
+        # A very tight box around an off-centre point forces rejections.
+        center = np.array([0.5, 0.5])
+        eps = np.array([0.4, 0.4])
+        lower = np.array([0.47, 0.47])
+        upper = np.array([0.53, 0.53])
+        sampler = DirichletRowSampler(
+            np.array([0, 1]), center, lower, upper, DirichletConfig(inflate_after=2)
+        )
+        sampler.sample(rng)
+        assert sampler.k_scale >= 1.0
+        stats_before = sampler.stats.rejections
+        sampler.sample(rng)
+        # Second call reuses the learnt scale: far fewer new rejections.
+        assert sampler.stats.rejections - stats_before <= stats_before + 64
+
+    def test_rare_transition_row(self, rng):
+        """The illustrative s0 row: a ∈ [0.5e-4, 5.5e-4]."""
+        sampler = sampler_for([3e-4, 1 - 3e-4], [2.5e-4, 2.5e-4])
+        rows = np.array([sampler.sample(rng) for _ in range(500)])
+        a = rows[:, 0]
+        assert np.all(a >= 0.5e-4 - 1e-12)
+        assert np.all(a <= 5.5e-4 + 1e-12)
+        assert a.std() > 0.5e-4  # genuinely spread, not collapsed
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(2, 6))
+def test_sampled_rows_always_feasible(seed, size):
+    gen = np.random.default_rng(seed)
+    center = gen.dirichlet(np.ones(size) * 2.0)
+    eps = gen.uniform(0.01, 0.2, size)
+    lower = np.clip(center - eps, 0.0, 1.0)
+    upper = np.clip(center + eps, 0.0, 1.0)
+    sampler = DirichletRowSampler(np.arange(size), center, lower, upper)
+    for _ in range(20):
+        row = sampler.sample(gen)
+        assert row.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(row >= lower - 1e-9)
+        assert np.all(row <= upper + 1e-9)

@@ -1,0 +1,83 @@
+"""Property-based tests of IMCIS-wide invariants on random problems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import probability
+from repro.core import IMC
+from repro.imcis import IMCISConfig, RandomSearchConfig, imcis_estimate
+from repro.importance import zero_variance_proposal
+from repro.properties import Atom, Eventually
+
+from tests.conftest import random_dtmc
+
+
+def random_problem(seed: int):
+    """A random 5-state chain, goal label, and a width-0.02 IMC around it."""
+    gen = np.random.default_rng(seed)
+    chain = random_dtmc(gen, 5, sparsity=0.9).with_labels({"goal": [4]})
+    formula = Eventually(Atom("goal"))
+    gamma = probability(chain, formula)
+    return gen, chain, formula, gamma
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_imcis_interval_contains_center_estimate(seed):
+    """Invariant: the IMCIS interval always contains the plain-IS interval
+    for the centre chain (the optimisation brackets the centre value)."""
+    gen, chain, formula, gamma = random_problem(seed)
+    if not 1e-6 < gamma < 0.999:
+        return  # degenerate goal; nothing to test
+    imc = IMC.from_center(chain, 0.02)
+    proposal = zero_variance_proposal(chain, formula)
+    result = imcis_estimate(
+        imc, proposal, formula, 400, gen,
+        IMCISConfig(search=RandomSearchConfig(r_undefeated=80, record_history=False)),
+    )
+    inner = result.center_estimate.interval
+    assert result.interval.low <= inner.low + 1e-12
+    assert result.interval.high >= inner.high - 1e-12
+    assert result.gamma_min <= result.gamma_max
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_degenerate_imc_reduces_to_plain_is(seed):
+    """With a zero-width IMC, IMCIS must reproduce plain IS exactly."""
+    gen, chain, formula, gamma = random_problem(seed)
+    if not 1e-6 < gamma < 0.999:
+        return
+    imc = IMC.from_center(chain, 0.0)
+    proposal = zero_variance_proposal(chain, formula)
+    result = imcis_estimate(
+        imc, proposal, formula, 300, gen,
+        IMCISConfig(search=RandomSearchConfig(r_undefeated=50, record_history=False)),
+    )
+    assert result.gamma_min == pytest.approx(result.center_estimate.estimate, rel=1e-9)
+    assert result.gamma_max == pytest.approx(result.center_estimate.estimate, rel=1e-9)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000), width=st.sampled_from([0.005, 0.02, 0.05]))
+def test_interval_width_monotone_in_imc_width(seed, width):
+    """Wider learning margins can only widen the IMCIS interval."""
+    gen, chain, formula, gamma = random_problem(seed)
+    if not 1e-6 < gamma < 0.999:
+        return
+    proposal = zero_variance_proposal(chain, formula)
+    config = IMCISConfig(search=RandomSearchConfig(r_undefeated=80, record_history=False))
+
+    narrow = imcis_estimate(
+        IMC.from_center(chain, width / 2), proposal, formula, 300,
+        np.random.default_rng(seed), config,
+    )
+    wide = imcis_estimate(
+        IMC.from_center(chain, width), proposal, formula, 300,
+        np.random.default_rng(seed), config,
+    )
+    # Same seed => same sample; the wider polytope brackets the narrower
+    # one's achievable extremes (up to search noise, hence the slack).
+    assert wide.interval.width >= narrow.interval.width * 0.7

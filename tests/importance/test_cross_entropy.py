@@ -1,0 +1,113 @@
+"""Unit tests for the cross-entropy proposal optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import probability
+from repro.core import DTMC
+from repro.errors import EstimationError
+from repro.importance import (
+    cross_entropy_proposal,
+    cross_entropy_update,
+    importance_sampling_estimate,
+    log_weights,
+    run_importance_sampling,
+    zero_variance_proposal,
+)
+from repro.properties import parse_property
+
+from tests.conftest import illustrative_matrix
+
+
+@pytest.fixture
+def chain():
+    return DTMC(illustrative_matrix(0.2, 0.3), 0, labels={"goal": [2], "init": [0]})
+
+
+class TestIteration:
+    def test_success_rate_increases(self, chain, rng):
+        formula = parse_property('F "goal"')
+        result = cross_entropy_proposal(
+            chain, formula, n_iterations=4, samples_per_iteration=1500, rng=rng
+        )
+        successes = result.n_satisfied_per_iteration
+        assert result.converged
+        assert successes[-1] > successes[0]
+
+    def test_estimator_variance_shrinks(self, chain, rng):
+        formula = parse_property('F "goal"')
+        result = cross_entropy_proposal(
+            chain, formula, n_iterations=4, samples_per_iteration=1500, rng=rng
+        )
+        crude = importance_sampling_estimate(chain, chain, formula, 2000, rng)
+        tuned = importance_sampling_estimate(chain, result.proposal, formula, 2000, rng)
+        assert tuned.std_dev < crude.std_dev
+
+    def test_estimates_stay_unbiased(self, chain, rng):
+        formula = parse_property('F "goal"')
+        result = cross_entropy_proposal(
+            chain, formula, n_iterations=3, samples_per_iteration=1500, rng=rng
+        )
+        exact = probability(chain, formula)
+        tuned = importance_sampling_estimate(chain, result.proposal, formula, 4000, rng)
+        assert tuned.estimate == pytest.approx(exact, rel=0.1)
+
+    def test_converges_towards_zero_variance(self, chain, rng):
+        """The CE fixpoint is the zero-variance measure; after a few
+        iterations the proposal's success rows should be close to it."""
+        formula = parse_property('F "goal"')
+        zv = zero_variance_proposal(chain, formula)
+        result = cross_entropy_proposal(
+            chain,
+            formula,
+            n_iterations=6,
+            samples_per_iteration=3000,
+            rng=rng,
+            support_floor=0.0,
+        )
+        assert abs(result.proposal.probability(1, 2) - zv.probability(1, 2)) < 0.12
+
+    def test_initial_proposal_seeding(self, chain, rng):
+        formula = parse_property('F "goal"')
+        zv = zero_variance_proposal(chain, formula)
+        result = cross_entropy_proposal(
+            chain, formula, n_iterations=1, samples_per_iteration=400,
+            rng=rng, initial_proposal=zv,
+        )
+        assert result.n_satisfied_per_iteration[0] == 400
+
+    def test_invalid_iterations(self, chain):
+        with pytest.raises(EstimationError):
+            cross_entropy_proposal(chain, parse_property('F "goal"'), n_iterations=0)
+
+
+class TestUpdate:
+    def test_no_successes_keeps_proposal(self, chain, rng):
+        formula = parse_property('F<=1 "goal"')  # impossible
+        sample = run_importance_sampling(chain, formula, 50, rng)
+        updated = cross_entropy_update(chain, chain, sample.counts, np.empty(0))
+        assert updated.close_to(chain)
+
+    def test_support_floor_preserves_transitions(self, chain, rng):
+        formula = parse_property('F "goal"')
+        sample = run_importance_sampling(chain, formula, 800, rng)
+        log_w = log_weights(chain, sample)
+        updated = cross_entropy_update(
+            chain, chain, sample.counts, log_w, support_floor=0.1
+        )
+        # Every original transition of updated rows keeps positive mass.
+        for state in range(4):
+            orig_support = set(int(j) for j in chain.successors(state))
+            new_support = set(int(j) for j in updated.successors(state))
+            assert orig_support <= new_support
+
+    def test_rows_stochastic_after_update(self, chain, rng):
+        formula = parse_property('F "goal"')
+        sample = run_importance_sampling(chain, formula, 800, rng)
+        log_w = log_weights(chain, sample)
+        updated = cross_entropy_update(chain, chain, sample.counts, log_w)
+        assert np.allclose(updated.dense().sum(axis=1), 1.0)
+
+    def test_smoothing_bounds(self, chain):
+        with pytest.raises(EstimationError):
+            cross_entropy_update(chain, chain, [], np.empty(0), smoothing=0.0)

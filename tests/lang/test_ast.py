@@ -1,0 +1,52 @@
+"""Tests for the modelling-language AST helpers."""
+
+from repro.lang.parser import parse_model
+
+SOURCE = """
+ctmc
+const int n = 2;
+const double alpha;
+const double beta = alpha * 2;
+module a
+  x : [0..n] init 0;
+  [] x < n -> alpha : (x'=x+1);
+endmodule
+module b
+  y : [0..1] init 1;
+  [] y > 0 -> beta : (y'=0);
+endmodule
+label "done" = x = n & y = 0;
+"""
+
+
+class TestModelFileHelpers:
+    def test_constant_names_in_order(self):
+        model = parse_model(SOURCE)
+        assert model.constant_names() == ["n", "alpha", "beta"]
+
+    def test_undefined_constants(self):
+        model = parse_model(SOURCE)
+        assert model.undefined_constants() == ["alpha"]
+
+    def test_variable_declarations_across_modules(self):
+        model = parse_model(SOURCE)
+        assert [v.name for v in model.variable_declarations()] == ["x", "y"]
+
+    def test_module_structure(self):
+        model = parse_model(SOURCE)
+        assert [m.name for m in model.modules] == ["a", "b"]
+        assert len(model.modules[0].commands) == 1
+
+    def test_command_line_numbers(self):
+        model = parse_model(SOURCE)
+        first = model.modules[0].commands[0]
+        assert first.line > 0
+
+    def test_update_weight_expression_names(self):
+        model = parse_model(SOURCE)
+        weight = model.modules[1].commands[0].updates[0].weight
+        assert weight.names() == {"beta"}
+
+    def test_label_condition_names(self):
+        model = parse_model(SOURCE)
+        assert model.labels[0].condition.names() == {"x", "n", "y"}

@@ -1,0 +1,80 @@
+"""Unit tests for expression evaluation."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.lang.expr import evaluate_bool, evaluate_int, evaluate_number
+from repro.lang.parser import parse_expression
+
+
+def ev(source: str, **env):
+    return parse_expression(source).evaluate(env)
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("(1 + 2) * 3") == 9
+
+    def test_division(self):
+        assert ev("7 / 2") == pytest.approx(3.5)
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError, match="zero"):
+            ev("1 / 0")
+
+    def test_unary_minus(self):
+        assert ev("-3 + 5") == 2
+        assert ev("--3") == 3
+
+    def test_variables(self):
+        assert ev("(n - s) * alpha", n=4, s=1, alpha=0.1) == pytest.approx(0.3)
+
+    def test_undefined_name(self):
+        with pytest.raises(EvaluationError, match="undefined"):
+            ev("missing + 1")
+
+
+class TestBooleans:
+    def test_comparisons(self):
+        assert ev("3 <= 3") is True
+        assert ev("3 < 3") is False
+        assert ev("2 != 3") is True
+        assert ev("x = 4", x=4) is True
+
+    def test_boolean_connectives(self):
+        assert ev("true & false") is False
+        assert ev("true | false") is True
+        assert ev("!(1 = 2)") is True
+
+    def test_short_circuit(self):
+        # The right side would fail, but & short-circuits on False.
+        assert ev("(1 = 2) & (1 / 0 = 1)") is False
+
+    def test_and_requires_booleans(self):
+        with pytest.raises(EvaluationError):
+            ev("1 & true")
+
+    def test_guard_style(self):
+        assert ev("s2 >= 2 & s1 < 2", s1=0, s2=3) is True
+
+
+class TestTypedEvaluation:
+    def test_evaluate_number_rejects_bool(self):
+        with pytest.raises(EvaluationError, match="numeric"):
+            evaluate_number(parse_expression("true"), {}, "rate")
+
+    def test_evaluate_int_accepts_integral_float(self):
+        assert evaluate_int(parse_expression("4.0"), {}, "bound") == 4
+
+    def test_evaluate_int_rejects_fraction(self):
+        with pytest.raises(EvaluationError, match="integer"):
+            evaluate_int(parse_expression("4.5"), {}, "bound")
+
+    def test_evaluate_bool_rejects_number(self):
+        with pytest.raises(EvaluationError, match="boolean"):
+            evaluate_bool(parse_expression("1"), {}, "guard")
+
+    def test_names_collection(self):
+        expr = parse_expression("(n - s) * alpha + beta")
+        assert expr.names() == {"n", "s", "alpha", "beta"}

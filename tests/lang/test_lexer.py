@@ -1,0 +1,54 @@
+"""Unit tests for the modelling-language lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)]
+
+
+class TestBasics:
+    def test_keywords_recognised(self):
+        assert kinds("ctmc module endmodule")[:-1] == ["ctmc", "module", "endmodule"]
+
+    def test_identifiers(self):
+        tokens = tokenize("state1 alpha_2")
+        assert tokens[0] == Token("ident", "state1", 1, 1)
+        assert tokens[1].kind == "ident"
+
+    def test_numbers(self):
+        tokens = tokenize("4 0.1 2.5e-3 1e6")
+        assert [t.kind for t in tokens[:-1]] == ["number"] * 4
+
+    def test_strings(self):
+        tokens = tokenize('label "failure"')
+        assert tokens[1].kind == "string"
+        assert tokens[1].text == '"failure"'
+
+    def test_compound_symbols(self):
+        assert kinds("-> .. <= >= !=")[:-1] == ["->", "..", "<=", ">=", "!="]
+
+    def test_prime_symbol(self):
+        assert "'" in kinds("(x'=1)")
+
+    def test_comments_skipped(self):
+        assert kinds("ctmc // a comment\nmodule")[:-1] == ["ctmc", "module"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("ctmc\nmodule")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("module $")
+
+    def test_minus_before_number(self):
+        # Unary minus lexes as a separate symbol.
+        assert kinds("-3")[:-1] == ["-", "number"]

@@ -1,0 +1,146 @@
+"""Unit tests for the modelling-language parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.parser import parse_model
+
+MINIMAL = """
+ctmc
+module m
+  x : [0..2] init 0;
+  [] x < 2 -> 1.0 : (x'=x+1);
+endmodule
+"""
+
+
+class TestStructure:
+    def test_minimal_model(self):
+        model = parse_model(MINIMAL)
+        assert model.model_type == "ctmc"
+        assert len(model.modules) == 1
+        assert model.modules[0].variables[0].name == "x"
+        assert len(model.modules[0].commands) == 1
+
+    def test_header_required(self):
+        with pytest.raises(ParseError, match="ctmc"):
+            parse_model("module m x : [0..1] init 0; endmodule")
+
+    def test_modules_required(self):
+        with pytest.raises(ParseError, match="no modules"):
+            parse_model("dtmc const int n = 2;")
+
+    def test_missing_endmodule(self):
+        with pytest.raises(ParseError, match="endmodule"):
+            parse_model("ctmc module m x : [0..1] init 0;")
+
+    def test_constants(self):
+        model = parse_model("ctmc const int n = 4; const double a;" + MINIMAL[5:])
+        assert model.constant_names() == ["n", "a"]
+        assert model.undefined_constants() == ["a"]
+
+    def test_const_without_type_defaults_double(self):
+        model = parse_model("ctmc const k = 2.5;" + MINIMAL[5:])
+        assert model.constants[0].type_name == "double"
+
+    def test_labels(self):
+        source = MINIMAL + 'label "done" = x = 2;'
+        model = parse_model(source)
+        assert model.labels[0].name == "done"
+
+    def test_formula_inlined(self):
+        source = """
+        ctmc
+        formula busy = x > 0;
+        module m
+          x : [0..2] init 0;
+          [] busy -> 1.0 : (x'=x-1);
+          [] x < 2 -> 1.0 : (x'=x+1);
+        endmodule
+        """
+        model = parse_model(source)
+        guard = model.modules[0].commands[0].guard
+        assert guard.evaluate({"x": 1}) is True
+        assert guard.evaluate({"x": 0}) is False
+
+    def test_sync_labels_rejected(self):
+        source = """
+        ctmc
+        module m
+          x : [0..1] init 0;
+          [tick] x < 1 -> 1.0 : (x'=x+1);
+        endmodule
+        """
+        with pytest.raises(ParseError, match="synchronisation"):
+            parse_model(source)
+
+
+class TestCommands:
+    def test_multiple_updates(self):
+        source = """
+        dtmc
+        module m
+          x : [0..2] init 0;
+          [] x = 0 -> 0.5 : (x'=1) + 0.5 : (x'=2);
+          [] x > 0 -> 1.0 : (x'=x);
+        endmodule
+        """
+        command = parse_model(source).modules[0].commands[0]
+        assert len(command.updates) == 2
+        assert command.updates[0].weight.evaluate({}) == pytest.approx(0.5)
+
+    def test_weightless_update_defaults_to_one(self):
+        source = """
+        dtmc
+        module m
+          x : [0..1] init 0;
+          [] x = 0 -> (x'=1);
+          [] x = 1 -> (x'=1);
+        endmodule
+        """
+        command = parse_model(source).modules[0].commands[0]
+        assert command.updates[0].weight.evaluate({}) == 1
+
+    def test_true_update_is_noop(self):
+        source = """
+        dtmc
+        module m
+          x : [0..1] init 0;
+          [] true -> 1.0 : true;
+        endmodule
+        """
+        command = parse_model(source).modules[0].commands[0]
+        assert command.updates[0].assignments == ()
+
+    def test_conjunctive_assignments(self):
+        source = """
+        dtmc
+        module m
+          x : [0..1] init 0;
+          y : [0..1] init 0;
+          [] true -> 1.0 : (x'=1) & (y'=1);
+        endmodule
+        """
+        command = parse_model(source).modules[0].commands[0]
+        assert [a.variable for a in command.updates[0].assignments] == ["x", "y"]
+
+    def test_weight_expression_with_arithmetic(self):
+        source = """
+        ctmc
+        const int n = 4;
+        const double alpha = 0.1;
+        module m
+          s : [0..n] init 0;
+          [] s < n -> (n-s)*alpha : (s'=s+1);
+        endmodule
+        """
+        command = parse_model(source).modules[0].commands[0]
+        weight = command.updates[0].weight.evaluate({"n": 4, "alpha": 0.1, "s": 1})
+        assert weight == pytest.approx(0.3)
+
+    def test_paper_appendix_parses(self):
+        from repro.models.repair_group import PRISM_SOURCE
+
+        model = parse_model(PRISM_SOURCE)
+        assert [m.name for m in model.modules] == ["type1", "type2", "type3"]
+        assert model.labels[0].name == "failure"

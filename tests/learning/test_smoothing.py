@@ -1,0 +1,88 @@
+"""Unit tests for Laplace and Good–Turing smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransitionCounts
+from repro.errors import LearningError
+from repro.learning import (
+    laplace_row,
+    learn_dtmc_good_turing,
+    learn_dtmc_laplace,
+    simple_good_turing,
+)
+
+
+class TestLaplace:
+    def test_add_one(self):
+        row = laplace_row(np.array([3, 0, 1]))
+        assert row.sum() == pytest.approx(1.0)
+        assert row[1] == pytest.approx(1 / 7)
+
+    def test_unseen_get_positive_mass(self):
+        row = laplace_row(np.zeros(4))
+        assert np.allclose(row, 0.25)
+
+    def test_pseudo_count_validated(self):
+        with pytest.raises(LearningError):
+            laplace_row(np.array([1.0]), pseudo_count=0.0)
+
+    def test_learn_with_support(self, small_chain):
+        counts = TransitionCounts.from_pairs([((0, 1), 3), ((0, 3), 7)])
+        support = small_chain.dense() > 0
+        learnt = learn_dtmc_laplace(counts, 4, support=support, template=small_chain)
+        assert learnt.probability(0, 2) == 0.0  # outside support
+        assert learnt.probability(0, 1) == pytest.approx(4 / 12)
+
+    def test_empty_support_rejected(self):
+        counts = TransitionCounts()
+        with pytest.raises(LearningError, match="empty support"):
+            learn_dtmc_laplace(counts, 2, support=np.zeros((2, 2), dtype=bool))
+
+
+class TestGoodTuring:
+    def test_probabilities_normalised(self):
+        adjusted, p0 = simple_good_turing(np.array([5, 3, 1, 1, 0]))
+        assert 0 <= p0 < 1
+        assert adjusted.sum() == pytest.approx(1 - p0)
+
+    def test_p0_is_singleton_fraction(self):
+        counts = np.array([4, 2, 1, 1, 1])
+        _, p0 = simple_good_turing(counts)
+        assert p0 == pytest.approx(3 / 9)
+
+    def test_seen_species_discounted_in_aggregate(self):
+        """Good–Turing reserves exactly p0 = N1/N for unseen species, so
+        the seen species collectively lose that mass versus raw MLE."""
+        counts = np.array([10, 10, 1, 1, 1, 1])
+        adjusted, p0 = simple_good_turing(counts)
+        assert p0 == pytest.approx(4 / 24)
+        assert adjusted.sum() == pytest.approx(1 - p0)
+        assert adjusted.sum() < 1.0  # aggregate discount vs raw (sums to 1)
+
+    def test_no_observations_rejected(self):
+        with pytest.raises(LearningError):
+            simple_good_turing(np.zeros(3, dtype=int))
+
+    def test_learn_spreads_p0_over_unseen(self, small_chain):
+        counts = TransitionCounts.from_pairs(
+            [((0, 1), 6), ((0, 3), 1), ((1, 0), 4), ((1, 2), 1),
+             ((2, 2), 5), ((3, 3), 5)]
+        )
+        support = small_chain.dense() > 0
+        learnt = learn_dtmc_good_turing(counts, 4, support=support, template=small_chain)
+        assert np.allclose(learnt.dense().sum(axis=1), 1.0)
+        # All support transitions keep positive probability.
+        assert learnt.probability(0, 1) > 0 and learnt.probability(0, 3) > 0
+
+    def test_unobserved_state_uniform(self, small_chain):
+        counts = TransitionCounts.from_pairs([((0, 1), 5), ((0, 3), 5)])
+        support = small_chain.dense() > 0
+        learnt = learn_dtmc_good_turing(counts, 4, support=support)
+        assert learnt.probability(1, 0) == pytest.approx(0.5)  # uniform over support
+
+    def test_full_row_observed_keeps_frequencies(self, small_chain):
+        counts = TransitionCounts.from_pairs([((0, 1), 4), ((0, 3), 6)])
+        support = small_chain.dense() > 0
+        learnt = learn_dtmc_good_turing(counts, 4, support=support)
+        assert learnt.probability(0, 1) == pytest.approx(0.4)

@@ -1,0 +1,30 @@
+"""Tests for the CaseStudy bundle."""
+
+from repro.models import CaseStudy, illustrative
+
+
+class TestCaseStudy:
+    def test_center_property(self):
+        study = illustrative.make_study()
+        assert study.center is study.imc.center
+
+    def test_fields_roundtrip(self):
+        study = illustrative.make_study(n_samples=123, confidence=0.9)
+        assert study.n_samples == 123
+        assert study.confidence == 0.9
+        assert isinstance(study, CaseStudy)
+
+    def test_imcis_summary_renders(self, rng):
+        import numpy as np
+
+        from repro.imcis import IMCISConfig, RandomSearchConfig, imcis_estimate
+
+        study = illustrative.make_study()
+        result = imcis_estimate(
+            study.imc, study.proposal, study.formula, 400, rng,
+            IMCISConfig(search=RandomSearchConfig(r_undefeated=60, record_history=False)),
+        )
+        text = result.summary()
+        assert "IMCIS interval" in text
+        assert "gamma range" in text
+        assert str(result.n_total) in text

@@ -1,0 +1,55 @@
+"""Tests of the large repair benchmark (Section VI-C).
+
+The full model has 40 320 states; building it takes a few seconds, so the
+expensive checks share one module-scoped chain and the exact-value test is
+the single slow numerical solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import repair_large
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return repair_large.embedded_chain(repair_large.ALPHA_TRUE)
+
+
+class TestStructure:
+    def test_state_count(self, chain):
+        """Product of per-type counters: 6·5·7·4·8·6 = 40 320 (the paper's
+        "40820" is a digit transposition)."""
+        assert chain.n_states == 40_320
+
+    def test_sparse_representation(self, chain):
+        assert chain.is_sparse
+
+    def test_failure_states(self, chain):
+        mask = chain.label_mask("failure")
+        # All states where at least one type is fully down.
+        assert mask.sum() > 1
+        assert not mask[chain.initial_state]
+
+    def test_source_generation(self):
+        source = repair_large.prism_source()
+        assert source.count("module") == 6 * 2  # module + endmodule markers
+        assert 'label "failure"' in source
+
+
+@pytest.mark.slow
+class TestExactValue:
+    def test_gamma_matches_paper(self):
+        """Section VI-C: γ = 7.488e-7 at α = 0.001."""
+        assert repair_large.exact_probability(1e-3) == pytest.approx(7.488e-7, rel=1e-3)
+
+
+class TestSampling:
+    def test_proposal_produces_successes(self, rng):
+        from repro.importance import run_importance_sampling
+
+        proposal = repair_large.is_proposal(mixing=0.2)
+        sample = run_importance_sampling(
+            proposal, repair_large.failure_formula(), 200, rng
+        )
+        assert sample.n_satisfied > 100

@@ -1,0 +1,107 @@
+"""Unit tests for the property-string parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.properties import (
+    And,
+    Atom,
+    Globally,
+    Next,
+    Not,
+    Or,
+    TrueFormula,
+    Until,
+    parse_property,
+)
+
+
+class TestPrimary:
+    def test_quoted_atom(self):
+        assert parse_property('"failure"') == Atom("failure")
+
+    def test_bare_identifier(self):
+        assert parse_property("failure") == Atom("failure")
+
+    def test_constants(self):
+        assert parse_property("true") == TrueFormula()
+
+    def test_parentheses(self):
+        assert parse_property('("a")') == Atom("a")
+
+    def test_p_query_wrapper(self):
+        formula = parse_property('P=? [ "a" ]')
+        assert formula == Atom("a")
+
+    def test_trailing_junk(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_property('"a" "b"')
+
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_property("")
+
+
+class TestOperators:
+    def test_eventually_sugar(self):
+        formula = parse_property('F "goal"')
+        assert isinstance(formula, Until)
+        assert formula.lhs == TrueFormula()
+
+    def test_bounded_eventually(self):
+        formula = parse_property('F<=30 "goal"')
+        assert formula.bound == 30
+
+    def test_bounded_until(self):
+        formula = parse_property('!"init" U<=100 "failure"')
+        assert isinstance(formula, Until)
+        assert formula.bound == 100
+        assert formula.lhs == Not(Atom("init"))
+
+    def test_globally_requires_bound(self):
+        with pytest.raises(ParseError, match="bound"):
+            parse_property('G "safe"')
+        formula = parse_property('G<=5 "safe"')
+        assert isinstance(formula, Globally)
+
+    def test_boolean_precedence(self):
+        formula = parse_property('"a" | "b" & "c"')
+        assert isinstance(formula, Or)
+
+    def test_nested_until_rejected(self):
+        """U parses right-associatively, so a nested U lands in rhs position —
+        outside the supported fragment; the validation reports it clearly."""
+        from repro.errors import PropertyError
+
+        with pytest.raises(PropertyError, match="right operand"):
+            parse_property('"a" U "b" U "c"')
+
+    def test_unary_binds_tighter_than_until(self):
+        """The repair property shape: X !"init" U "failure" = (X !init) U failure."""
+        formula = parse_property('X !"init" U "failure"')
+        assert isinstance(formula, Until)
+        assert isinstance(formula.lhs, Next)
+        assert formula.lhs.inner == Not(Atom("init"))
+
+    def test_paper_repair_property(self, small_chain):
+        formula = parse_property('P=? [ "init" & (X !"init" U "goal") ]')
+        assert isinstance(formula, And)
+        spec = formula.until_spec(small_chain)
+        assert spec.lhs_exempt
+        assert spec.initial_check is not None
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            'F "goal"',
+            'F<=30 "overflow"',
+            '!"init" U "failure"',
+            '"init" & (X !"init" U "failure")',
+            'G<=10 !"fail"',
+            '"a" | ("b" & !"c")',
+        ],
+    )
+    def test_parses(self, source):
+        parse_property(source)  # must not raise

@@ -1,0 +1,83 @@
+"""Unit tests for Bayesian estimation and the Bayes-factor test."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import probability
+from repro.errors import EstimationError
+from repro.properties import parse_property
+from repro.smc import BetaPosterior, bayes_factor_test, bayesian_estimate
+
+
+class TestBetaPosterior:
+    def test_moments(self):
+        post = BetaPosterior(3.0, 7.0)
+        assert post.mean == pytest.approx(0.3)
+        assert post.mode == pytest.approx(2 / 8)
+        assert post.variance == pytest.approx(3 * 7 / (100 * 11))
+
+    def test_uniform_prior_mode_undefined(self):
+        assert BetaPosterior(1.0, 1.0).mode is None
+
+    def test_update(self):
+        post = BetaPosterior(1.0, 1.0).update(4, 6)
+        assert post.alpha == 5.0 and post.beta == 7.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EstimationError):
+            BetaPosterior(0.0, 1.0)
+
+    def test_credible_interval_contains_mean(self):
+        post = BetaPosterior(10.0, 30.0)
+        interval = post.credible_interval(0.9)
+        assert interval.contains(post.mean)
+        assert interval.confidence == 0.9
+
+    def test_probability_above(self):
+        post = BetaPosterior(50.0, 50.0)
+        assert post.probability_above(0.5) == pytest.approx(0.5, abs=0.05)
+        assert post.probability_above(0.99) < 1e-6
+
+
+class TestBayesianEstimate:
+    def test_agrees_with_exact(self, small_chain, rng):
+        formula = parse_property('F "goal"')
+        exact = probability(small_chain, formula)
+        result = bayesian_estimate(small_chain, formula, 3000, rng)
+        assert result.estimate == pytest.approx(exact, abs=0.03)
+        assert result.interval.contains(exact)
+
+    def test_posterior_counts(self, small_chain, rng):
+        result = bayesian_estimate(small_chain, parse_property('F "goal"'), 100, rng)
+        assert result.posterior.alpha + result.posterior.beta == pytest.approx(102.0)
+        assert result.n_satisfied <= result.n_samples
+
+    def test_informative_prior_pulls_estimate(self, small_chain, rng):
+        formula = parse_property('F "goal"')
+        strong_prior = BetaPosterior(500.0, 500.0)  # believes gamma = 0.5
+        result = bayesian_estimate(small_chain, formula, 100, rng, prior=strong_prior)
+        assert result.estimate > 0.3  # pulled towards the prior
+
+
+class TestBayesFactor:
+    def test_accepts_true_hypothesis(self, small_chain, rng):
+        formula = parse_property('F "goal"')
+        gamma = probability(small_chain, formula)  # ~0.136
+        decision, n = bayes_factor_test(small_chain, formula, gamma - 0.08, rng=rng)
+        assert decision == "accept"
+        assert n < 100_000
+
+    def test_rejects_false_hypothesis(self, small_chain, rng):
+        formula = parse_property('F "goal"')
+        gamma = probability(small_chain, formula)
+        decision, _ = bayes_factor_test(small_chain, formula, gamma + 0.3, rng=rng)
+        assert decision == "reject"
+
+    def test_invalid_threshold(self, small_chain):
+        with pytest.raises(EstimationError):
+            bayes_factor_test(small_chain, parse_property('F "goal"'), 1.5)
+
+    def test_invalid_bound(self, small_chain):
+        with pytest.raises(EstimationError):
+            bayes_factor_test(small_chain, parse_property('F "goal"'), 0.5,
+                              bayes_factor_bound=0.5)

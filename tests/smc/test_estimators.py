@@ -1,0 +1,60 @@
+"""Unit tests for the Monte Carlo estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import probability
+from repro.errors import EstimationError
+from repro.properties import parse_property
+from repro.smc import monte_carlo_estimate
+
+
+class TestMonteCarlo:
+    def test_estimate_near_exact(self, small_chain, rng):
+        formula = parse_property('F "goal"')
+        exact = probability(small_chain, formula)
+        result = monte_carlo_estimate(small_chain, formula, 4000, rng)
+        assert result.estimate == pytest.approx(exact, abs=0.03)
+        assert result.n_samples == 4000
+        assert result.method == "monte-carlo"
+
+    def test_interval_contains_estimate(self, small_chain, rng):
+        result = monte_carlo_estimate(small_chain, parse_property('F "goal"'), 500, rng)
+        assert result.interval.contains(result.estimate)
+
+    def test_certain_event(self, small_chain, rng):
+        result = monte_carlo_estimate(small_chain, parse_property('F "init"'), 100, rng)
+        assert result.estimate == 1.0
+        assert result.std_dev == 0.0
+
+    def test_impossible_event(self, small_chain, rng):
+        result = monte_carlo_estimate(
+            small_chain, parse_property('F<=1 "goal"'), 100, rng
+        )
+        assert result.estimate == 0.0
+
+    def test_invalid_samples(self, small_chain):
+        with pytest.raises(EstimationError):
+            monte_carlo_estimate(small_chain, parse_property('F "goal"'), 0)
+
+    def test_coverage_calibration(self, small_chain):
+        """~95 % of 95 % intervals should contain the exact value."""
+        formula = parse_property('F "goal"')
+        exact = probability(small_chain, formula)
+        hits = 0
+        for seed in range(40):
+            result = monte_carlo_estimate(
+                small_chain, formula, 800, np.random.default_rng(seed), 0.95
+            )
+            hits += result.interval.contains(exact)
+        assert hits >= 33  # binomial(40, .95) below 33 has prob < 1e-3
+
+    def test_relative_error_property(self, small_chain, rng):
+        result = monte_carlo_estimate(small_chain, parse_property('F "goal"'), 1000, rng)
+        assert result.relative_error() == pytest.approx(
+            result.interval.half_width / result.estimate
+        )
+
+    def test_std_error(self, small_chain, rng):
+        result = monte_carlo_estimate(small_chain, parse_property('F "goal"'), 400, rng)
+        assert result.std_error == pytest.approx(result.std_dev / 20)

@@ -1,0 +1,40 @@
+"""Unit tests for futility-mask derivation."""
+
+import numpy as np
+
+from repro.properties import parse_property
+from repro.smc.futility import FutilityMask, futility_for_formula, futility_mask
+
+
+class TestFutilityMask:
+    def test_standard_until(self, small_chain):
+        spec = parse_property('F "goal"').until_spec(small_chain)
+        mask = futility_mask(small_chain, spec)
+        assert list(mask.mask) == [False, False, False, True]
+        assert mask.start_position == 0
+
+    def test_exempt_shape_starts_at_one(self, small_chain):
+        spec = parse_property('"init" & (X !"init" U "goal")').until_spec(small_chain)
+        mask = futility_mask(small_chain, spec)
+        assert mask.start_position == 1
+        # init itself is futile once re-entered (lhs = !init is violated).
+        assert mask.mask[0]
+        assert mask.mask[3]
+
+    def test_applies_respects_start(self):
+        mask = FutilityMask(np.array([True, False]), start_position=2)
+        assert not mask.applies(0, 1)
+        assert mask.applies(0, 2)
+        assert not mask.applies(1, 5)
+
+
+class TestFormulaDerivation:
+    def test_unbounded_gets_mask(self, small_chain):
+        assert futility_for_formula(small_chain, parse_property('F "goal"')) is not None
+
+    def test_bounded_skipped(self, small_chain):
+        assert futility_for_formula(small_chain, parse_property('F<=5 "goal"')) is None
+
+    def test_non_until_shape_skipped(self, small_chain):
+        formula = parse_property('(F "goal") | (F "fail")')
+        assert futility_for_formula(small_chain, formula) is None

@@ -1,0 +1,67 @@
+"""Tests for the estimation/trace result records."""
+
+import math
+
+import pytest
+
+from repro.core import TransitionCounts
+from repro.smc.results import (
+    BatchSummary,
+    ConfidenceInterval,
+    EstimationResult,
+    TraceRecord,
+)
+
+
+class TestEstimationResult:
+    def make(self, estimate=0.1, std_dev=0.05, n=100):
+        return EstimationResult(
+            estimate=estimate,
+            std_dev=std_dev,
+            n_samples=n,
+            interval=ConfidenceInterval(max(0.0, estimate - 0.01), estimate + 0.01, 0.95),
+            n_satisfied=int(estimate * n),
+        )
+
+    def test_std_error(self):
+        result = self.make(std_dev=0.5, n=25)
+        assert result.std_error == pytest.approx(0.1)
+
+    def test_relative_error(self):
+        result = self.make(estimate=0.1)
+        assert result.relative_error() == pytest.approx(0.01 / 0.1)
+
+    def test_zero_estimate_relative_error_infinite(self):
+        result = self.make(estimate=0.0)
+        assert math.isinf(result.relative_error())
+
+    def test_defaults(self):
+        result = self.make()
+        assert result.n_undecided == 0
+        assert result.method == "monte-carlo"
+
+
+class TestTraceRecord:
+    def test_defaults(self):
+        record = TraceRecord(satisfied=True, length=5)
+        assert record.counts is None
+        assert record.decided
+        assert record.log_proposal == 0.0
+
+    def test_with_counts(self):
+        counts = TransitionCounts.from_path([0, 1])
+        record = TraceRecord(satisfied=True, length=1, counts=counts)
+        assert record.counts.total == 1
+
+
+class TestBatchSummary:
+    def test_mean_length(self):
+        summary = BatchSummary(n_samples=4, total_length=10)
+        assert summary.mean_length == pytest.approx(2.5)
+
+    def test_empty_mean_length(self):
+        assert BatchSummary().mean_length == 0.0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError, match="confidence"):
+            ConfidenceInterval(0.0, 1.0, 1.5)

@@ -1,0 +1,66 @@
+"""Smoke tests of the command-line interface (scaled-down runs)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        for command in ("info", "table1", "table2", "fig2", "fig3", "fig4", "fig5"):
+            args = build_parser().parse_args(
+                [command] if command in ("info",) else [command]
+            )
+            assert args.command == command
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "125 states" in out
+        assert "IMCIS" in out
+
+    def test_fig5_small(self, capsys, tmp_path):
+        assert main(["fig5", "--points", "3", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert (tmp_path / "fig5.csv").exists()
+
+    def test_table1_small(self, capsys):
+        code = main(
+            ["table1", "--reps", "2", "--samples", "600", "--r-undefeated", "80",
+             "--seed", "3"]
+        )
+        assert code == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fig3_illustrative(self, capsys, tmp_path):
+        code = main(
+            ["fig3", "--study", "illustrative", "--samples", "600",
+             "--r-undefeated", "80", "--seed", "3", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert "Figure 3" in capsys.readouterr().out
+        assert (tmp_path / "fig3.csv").exists()
+
+    def test_fig2_illustrative(self, capsys):
+        code = main(
+            ["fig2", "--study", "illustrative", "--reps", "3", "--samples", "600",
+             "--r-undefeated", "80", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IMCIS" in out or "=" in out
+
+    def test_table2_illustrative(self, capsys):
+        code = main(
+            ["table2", "--study", "illustrative", "--reps", "3", "--samples", "600",
+             "--r-undefeated", "80", "--seed", "3"]
+        )
+        assert code == 0
+        assert "Table II" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Unit tests for utility helpers: stats, tables, RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util import child_rngs, describe, ensure_rng, format_table, spawn_seeds
+from repro.util.tables import format_number
+
+
+class TestStats:
+    def test_describe(self):
+        stats = describe([1.0, 2.0, 3.0])
+        assert stats.average == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.st_dev == pytest.approx(1.0)
+        assert stats.count == 3
+
+    def test_single_value(self):
+        stats = describe([5.0])
+        assert stats.st_dev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+    def test_as_dict_layout(self):
+        keys = set(describe([1.0, 2.0]).as_dict())
+        assert keys == {"average", "min", "max", "st. dev."}
+
+
+class TestTables:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1.5], ["yyyy", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line for line in lines if "-+-" not in line)
+
+    def test_title(self):
+        text = format_table(["h"], [["v"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_number(self):
+        assert format_number(0) == "0"
+        assert "e" in format_number(1.5e-7)
+        assert format_number(0.25) == "0.25"
+        assert "e" in format_number(123456.0)
+
+
+class TestRng:
+    def test_ensure_rng_idempotent(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_ensure_rng_from_seed(self):
+        a = ensure_rng(42).random()
+        b = ensure_rng(42).random()
+        assert a == b
+
+    def test_spawn_seeds_independent(self):
+        seeds = spawn_seeds(7, 4)
+        values = [np.random.default_rng(s).random() for s in seeds]
+        assert len(set(values)) == 4
+
+    def test_child_rngs_reproducible(self):
+        first = [g.random() for g in child_rngs(9, 3)]
+        second = [g.random() for g in child_rngs(9, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        seeds = spawn_seeds(gen, 2)
+        assert len(seeds) == 2
