@@ -46,6 +46,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--r-undefeated", type=int, default=1000, help="random-search stopping parameter R"
     )
+    parser.add_argument(
+        "--backend",
+        choices=["sequential", "vectorized"],
+        default="vectorized",
+        help="simulation engine: lockstep-ensemble NumPy backend (default) or "
+        "the scalar reference loop; vectorized falls back to sequential for "
+        "properties that do not compile to masks",
+    )
 
 
 def _study_for(name: str, seed: int):
@@ -81,7 +89,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     reps = args.reps or 100
     samples = args.samples or 10_000
     started = time.time()
-    result = run_table1(reps, samples, args.r_undefeated, rng=args.seed)
+    result = run_table1(reps, samples, args.r_undefeated, rng=args.seed, backend=args.backend)
     print(result.render())
     print(f"[{reps} repetitions x {samples} traces in {time.time() - started:.1f}s]")
     if args.out:
@@ -108,6 +116,7 @@ def _run_study_coverage(args: argparse.Namespace, study_name: str):
         imcis_config=config,
         n_samples=samples,
         unrolled_proposal=unrolled,
+        backend=args.backend,
     )
 
 
@@ -150,11 +159,12 @@ def cmd_fig3(args: argparse.Namespace) -> int:
     )
     rng = np.random.default_rng(args.seed)
     if unrolled is not None:
-        sample = run_bounded_importance_sampling(unrolled, samples, rng)
+        sample = run_bounded_importance_sampling(unrolled, samples, rng, backend=args.backend)
         result = imcis_from_sample(study.imc, sample, rng, config)
     else:
         result = imcis_estimate(
-            study.imc, study.proposal, study.formula, samples, rng, config
+            study.imc, study.proposal, study.formula, samples, rng, config,
+            backend=args.backend,
         )
     evolution = BoundEvolution.from_result(result)
     print(evolution.render())

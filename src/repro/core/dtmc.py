@@ -20,8 +20,11 @@ from repro.core.paths import Path, TransitionCounts
 from repro.core.validation import check_initial_state, normalise_labels
 from repro.errors import ModelError
 
-#: Default absolute tolerance for row-stochasticity.
-_ROW_ATOL = 1e-9
+#: Default absolute tolerance for row-stochasticity. Shared with the
+#: simulation engine's row compilers so a chain that passes construction
+#: validation never fails compilation (and vice versa).
+ROW_ATOL = 1e-9
+_ROW_ATOL = ROW_ATOL
 
 
 class DTMC:

@@ -108,6 +108,7 @@ def run_coverage_experiment(
     imcis_config: IMCISConfig | None = None,
     n_samples: int | None = None,
     unrolled_proposal: UnrolledProposal | None = None,
+    backend: str | None = "auto",
 ) -> CoverageReport:
     """Run the Section VI protocol on *study*.
 
@@ -116,7 +117,8 @@ def run_coverage_experiment(
     the centre ``Â``) and IMCIS (over the IMC) on that sample.
 
     *unrolled_proposal* switches sampling to the time-dependent machinery
-    (the SWaT study).
+    (the SWaT study); *backend* selects the simulation engine for both
+    sampling paths.
     """
     if imcis_config is None:
         imcis_config = IMCISConfig(confidence=study.confidence)
@@ -129,9 +131,13 @@ def run_coverage_experiment(
     )
     for child in child_rngs(rng, repetitions):
         if unrolled_proposal is not None:
-            sample = run_bounded_importance_sampling(unrolled_proposal, n, child)
+            sample = run_bounded_importance_sampling(
+                unrolled_proposal, n, child, backend=backend
+            )
         else:
-            sample = run_importance_sampling(study.proposal, study.formula, n, child)
+            sample = run_importance_sampling(
+                study.proposal, study.formula, n, child, backend=backend
+            )
         is_result = estimate_from_sample(study.center, sample, study.confidence)
         imcis_result = imcis_from_sample(study.imc, sample, child, imcis_config)
         report.outcomes.append(RepetitionOutcome(is_result, imcis_result))

@@ -82,6 +82,7 @@ def run_table1(
     r_undefeated: int = 1000,
     rng: np.random.Generator | int | None = None,
     params: illustrative.IllustrativeParameters = illustrative.IllustrativeParameters(),
+    backend: str | None = "auto",
 ) -> Table1Result:
     """Run the Table I experiment.
 
@@ -99,7 +100,8 @@ def run_table1(
     result = Table1Result()
     for child in child_rngs(rng, repetitions):
         outcome = imcis_estimate(
-            study.imc, study.proposal, study.formula, n_samples, child, config
+            study.imc, study.proposal, study.formula, n_samples, child, config,
+            backend=backend,
         )
         search = outcome.search
         if search is None:

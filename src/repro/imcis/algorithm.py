@@ -180,18 +180,20 @@ def imcis_estimate(
     rng: np.random.Generator | int | None = None,
     config: IMCISConfig = IMCISConfig(),
     max_steps: int | None = None,
+    backend: str | None = "auto",
 ) -> IMCISResult:
     """Full Algorithm 1: sample under *proposal*, optimise over *imc*.
 
     ``Remark 5.1``: candidate generation and the optimisation are
     independent of the proposal — any ``B`` absolutely continuous w.r.t.
     the chains in the IMC works; the experiments use the perfect proposal
-    of the centre chain or a cross-entropy proposal.
+    of the centre chain or a cross-entropy proposal. The sampling half
+    runs on the selected simulation *backend*.
     """
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
     generator = ensure_rng(rng)
     sample = run_importance_sampling(
-        proposal, formula, n_samples, generator, max_steps=max_steps
+        proposal, formula, n_samples, generator, max_steps=max_steps, backend=backend
     )
     return imcis_from_sample(imc, sample, generator, config)

@@ -7,6 +7,7 @@ from repro.importance.cross_entropy import (
 )
 from repro.importance.estimator import (
     ISSample,
+    ess_from_log_weights,
     estimate_from_sample,
     importance_sampling_estimate,
     log_weights,
@@ -31,6 +32,7 @@ __all__ = [
     "check_absolute_continuity",
     "cross_entropy_proposal",
     "cross_entropy_update",
+    "ess_from_log_weights",
     "estimate_from_sample",
     "importance_sampling_estimate",
     "likelihood_ratio",

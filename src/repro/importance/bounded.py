@@ -176,12 +176,15 @@ def run_bounded_importance_sampling(
     proposal: UnrolledProposal,
     n_samples: int,
     rng: np.random.Generator | int | None = None,
+    backend: str | None = "auto",
 ) -> ISSample:
     """Sample under the unrolled proposal; counts come back projected.
 
     The returned :class:`~repro.importance.estimator.ISSample` is expressed
     over the *original* chain's transitions and can be fed to
-    ``estimate_from_sample`` and ``imcis_from_sample`` unchanged.
+    ``estimate_from_sample`` and ``imcis_from_sample`` unchanged. The
+    unrolled chain is an ordinary (sparse) DTMC, so the batch engine's
+    vectorized backend applies to it like any other.
     """
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
@@ -192,17 +195,9 @@ def run_bounded_importance_sampling(
         count_mode="satisfied",
         record_log_prob=True,
         futility=proposal.futility,
+        backend=backend,
     )
-    sample = ISSample(n_total=n_samples)
-    total_length = 0
-    for _ in range(n_samples):
-        record = sampler.sample(generator)
-        total_length += record.length
-        if not record.decided:
-            sample.n_undecided += 1
-        if record.satisfied:
-            assert record.counts is not None
-            sample.counts.append(proposal.project_counts(record.counts))
-            sample.log_proposal.append(record.log_proposal)
-    sample.mean_length = total_length / n_samples
-    return sample
+    return ISSample.from_ensemble(
+        sampler.sample_ensemble(n_samples, generator),
+        project=proposal.project_counts,
+    )

@@ -49,6 +49,41 @@ class ISSample:
         """Number of successful traces."""
         return len(self.counts)
 
+    @classmethod
+    def from_ensemble(cls, batch, project=None) -> "ISSample":
+        """Build a sample from an engine :class:`EnsembleResult`.
+
+        *batch* must have been simulated with ``count_mode="satisfied"``
+        and ``record_log_prob=True``; *project* optionally maps each count
+        table (e.g. unrolled-chain counts back onto the original chain).
+        """
+        sample = cls(n_total=batch.n_samples, n_undecided=batch.n_undecided)
+        if batch.count_tables is None or batch.log_proposals is None:
+            raise EstimationError(
+                "the batch was simulated without count tables or log-proposal "
+                "probabilities; sample with count_mode='satisfied' and "
+                "record_log_prob=True"
+            )
+        log_proposals = batch.log_proposals.tolist()
+        for k in np.flatnonzero(batch.satisfied).tolist():
+            counts = batch.count_tables[k]
+            assert counts is not None
+            sample.counts.append(counts if project is None else project(counts))
+            sample.log_proposal.append(log_proposals[k])
+        sample.mean_length = batch.mean_length
+        return sample
+
+    def effective_sample_size(self, original: DTMC) -> float:
+        """ESS of the sample weighted against *original*.
+
+        The standard IS health diagnostic ``(Σ L_k)² / Σ L_k²``: the
+        number of ideal unweighted samples the weighted sample is worth.
+        An ESS far below ``n_satisfied`` signals weight degeneracy — a
+        proposal poorly matched to *original* (the failure mode behind
+        the over-confident IS intervals of the paper's Table II).
+        """
+        return ess_from_log_weights(log_weights(original, self))
+
 
 def run_importance_sampling(
     proposal: DTMC,
@@ -57,8 +92,14 @@ def run_importance_sampling(
     rng: np.random.Generator | int | None = None,
     max_steps: int | None = None,
     initial_state: int | None = None,
+    backend: str | None = "auto",
 ) -> ISSample:
-    """Draw *n_samples* traces under *proposal*, keeping success tables."""
+    """Draw *n_samples* traces under *proposal*, keeping success tables.
+
+    Simulation goes through the batch engine: with the default *backend*
+    the whole sample is advanced as a lockstep ensemble whenever the
+    formula compiles to masks, falling back to the scalar loop otherwise.
+    """
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
     generator = ensure_rng(rng)
@@ -69,20 +110,9 @@ def run_importance_sampling(
         count_mode="satisfied",
         record_log_prob=True,
         initial_state=initial_state,
+        backend=backend,
     )
-    sample = ISSample(n_total=n_samples)
-    total_length = 0
-    for _ in range(n_samples):
-        record = sampler.sample(generator)
-        total_length += record.length
-        if not record.decided:
-            sample.n_undecided += 1
-        if record.satisfied:
-            assert record.counts is not None
-            sample.counts.append(record.counts)
-            sample.log_proposal.append(record.log_proposal)
-    sample.mean_length = total_length / n_samples
-    return sample
+    return ISSample.from_ensemble(sampler.sample_ensemble(n_samples, generator))
 
 
 def log_weights(original: DTMC, sample: ISSample) -> np.ndarray:
@@ -97,6 +127,13 @@ def log_weights(original: DTMC, sample: ISSample) -> np.ndarray:
             )
         weights[k] = log_a - log_b
     return weights
+
+
+def ess_from_log_weights(log_w: np.ndarray) -> float:
+    """Effective sample size ``(Σ L_k)² / Σ L_k²`` from log weights."""
+    if log_w.size == 0:
+        return 0.0
+    return float(np.exp(2.0 * logsumexp(log_w) - logsumexp(2.0 * log_w)))
 
 
 def moments_from_log_weights(log_w: np.ndarray, n_total: int) -> tuple[float, float]:
@@ -120,7 +157,12 @@ def estimate_from_sample(
     sample: ISSample,
     confidence: float = 0.95,
 ) -> EstimationResult:
-    """IS estimate of ``γ(original)`` from a sample drawn under a proposal."""
+    """IS estimate of ``γ(original)`` from a sample drawn under a proposal.
+
+    The result carries the effective sample size of the weights as its
+    ``ess`` diagnostic — computed from the same log weights, at the cost
+    of one extra ``logsumexp``.
+    """
     log_w = log_weights(original, sample)
     gamma, std_dev = moments_from_log_weights(log_w, sample.n_total)
     return EstimationResult(
@@ -131,6 +173,7 @@ def estimate_from_sample(
         n_satisfied=sample.n_satisfied,
         n_undecided=sample.n_undecided,
         method="importance-sampling",
+        ess=ess_from_log_weights(log_w),
     )
 
 
@@ -143,9 +186,10 @@ def importance_sampling_estimate(
     confidence: float = 0.95,
     max_steps: int | None = None,
     initial_state: int | None = None,
+    backend: str | None = "auto",
 ) -> EstimationResult:
     """One-call IS estimation: sample under *proposal*, weight by *original*."""
     sample = run_importance_sampling(
-        proposal, formula, n_samples, rng, max_steps, initial_state
+        proposal, formula, n_samples, rng, max_steps, initial_state, backend=backend
     )
     return estimate_from_sample(original, sample, confidence)

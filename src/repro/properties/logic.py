@@ -83,6 +83,30 @@ class Formula:
             "required by the numerical engines"
         )
 
+    def vector_monitor(self, model: ModelLike) -> "mon.VectorMonitor | None":
+        """A lockstep-batch monitor for this formula, or ``None``.
+
+        Formulas of the reach/avoid/bounded-until fragment (anything with
+        an :class:`UntilSpec` decomposition, plus bounded ``G``) compile to
+        mask-based :class:`~repro.properties.monitor.VectorMonitor`\\ s that
+        the vectorized simulation backend evaluates on whole ensembles.
+        ``None`` signals the engine to fall back to scalar monitors.
+        """
+        if self.is_state_formula:
+            return mon.VectorStateCheckMonitor(self.mask(model))
+        try:
+            spec = self.until_spec(model)
+        except PropertyError:
+            return None
+        return mon.VectorUntilMonitor(
+            spec.lhs_mask,
+            spec.rhs_mask,
+            spec.bound,
+            n_next=spec.n_next,
+            initial_check=spec.initial_check,
+            lhs_exempt=spec.lhs_exempt,
+        )
+
     def horizon(self) -> int | None:
         """Transitions after which any trace is decided (``None``: unbounded)."""
         return None
@@ -391,6 +415,9 @@ class Globally(Formula):
         mask = self.inner.mask(model)
         bound = self.bound
         return lambda: mon.GloballyMonitor(mask, bound)
+
+    def vector_monitor(self, model: ModelLike) -> "mon.VectorMonitor | None":
+        return mon.VectorGloballyMonitor(self.inner.mask(model), self.bound)
 
     def horizon(self) -> int | None:
         return self.bound

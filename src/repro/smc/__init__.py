@@ -23,23 +23,46 @@ from repro.smc.results import (
     EstimationResult,
     TraceRecord,
 )
-from repro.smc.simulator import CompiledChain, TraceSampler
+from repro.smc.engine import (
+    BACKEND_NAMES,
+    CompiledChain,
+    CompiledCSR,
+    EnsembleResult,
+    SequentialBackend,
+    SimulationBackend,
+    SimulationPlan,
+    VectorizedBackend,
+    iter_chunks,
+    make_plan,
+    resolve_backend,
+)
+from repro.smc.simulator import TraceSampler
 from repro.smc.sprt import SPRTResult, sprt
 
 __all__ = [
+    "BACKEND_NAMES",
     "BatchSummary",
     "BayesianResult",
     "BetaPosterior",
     "CompiledChain",
+    "CompiledCSR",
     "ConfidenceInterval",
+    "EnsembleResult",
     "EstimationResult",
     "SPRTResult",
+    "SequentialBackend",
+    "SimulationBackend",
+    "SimulationPlan",
     "TraceRecord",
     "TraceSampler",
+    "VectorizedBackend",
+    "make_plan",
+    "resolve_backend",
     "bayes_factor_test",
     "bayesian_estimate",
     "bernoulli_ci",
     "chernoff_ci",
+    "iter_chunks",
     "monte_carlo_estimate",
     "normal_ci",
     "normal_quantile",

@@ -17,6 +17,7 @@ from scipy import stats
 from repro.core.dtmc import DTMC
 from repro.errors import EstimationError
 from repro.properties.logic import Formula
+from repro.smc.engine import DEFAULT_CHUNK_SIZE, iter_verdicts
 from repro.smc.results import ConfidenceInterval
 from repro.smc.simulator import TraceSampler
 from repro.util.rng import ensure_rng
@@ -94,15 +95,20 @@ def bayesian_estimate(
     prior: BetaPosterior = BetaPosterior(1.0, 1.0),
     confidence: float = 0.95,
     max_steps: int | None = None,
+    backend: str | None = "auto",
 ) -> BayesianResult:
-    """Estimate ``P(model ⊨ formula)`` with a Beta–Bernoulli posterior."""
+    """Estimate ``P(model ⊨ formula)`` with a Beta–Bernoulli posterior.
+
+    The verdicts are exchangeable, so the whole sample is drawn as one
+    batch on the selected simulation *backend*.
+    """
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
     generator = ensure_rng(rng)
-    sampler = TraceSampler(model, formula, max_steps=max_steps, count_mode="none")
-    successes = 0
-    for _ in range(n_samples):
-        successes += int(sampler.sample(generator).satisfied)
+    sampler = TraceSampler(
+        model, formula, max_steps=max_steps, count_mode="none", backend=backend
+    )
+    successes = sampler.sample_ensemble(n_samples, generator).n_satisfied
     posterior = prior.update(successes, n_samples - successes)
     return BayesianResult(
         posterior=posterior,
@@ -121,20 +127,26 @@ def bayes_factor_test(
     rng: np.random.Generator | int | None = None,
     max_samples: int = 1_000_000,
     max_steps: int | None = None,
+    backend: str | None = "auto",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> tuple[str, int]:
     """Sequential Bayes-factor test of ``H0: γ >= threshold`` (Jha et al.).
 
     Samples until the Bayes factor ``P(H0|data)/P(H1|data) ×
     P(H1)/P(H0)`` exceeds *bayes_factor_bound* (accept) or drops below its
     reciprocal (reject). Returns ``(decision, samples_used)`` with decision
-    in ``{"accept", "reject", "undecided"}``.
+    in ``{"accept", "reject", "undecided"}``. Traces come from the
+    simulation engine in batches of *chunk_size*; the factor is updated
+    per verdict, so the stopping index matches one-at-a-time sampling.
     """
     if not 0.0 < threshold < 1.0:
         raise EstimationError("threshold must be in (0, 1)")
     if bayes_factor_bound <= 1.0:
         raise EstimationError("bayes_factor_bound must exceed 1")
     generator = ensure_rng(rng)
-    sampler = TraceSampler(model, formula, max_steps=max_steps, count_mode="none")
+    sampler = TraceSampler(
+        model, formula, max_steps=max_steps, count_mode="none", backend=backend
+    )
     prior_h0 = prior.probability_above(threshold)
     prior_h1 = 1.0 - prior_h0
     if prior_h0 <= 0.0 or prior_h1 <= 0.0:
@@ -142,8 +154,10 @@ def bayes_factor_test(
     prior_odds = prior_h1 / prior_h0
 
     successes = 0
-    for n in range(1, max_samples + 1):
-        successes += int(sampler.sample(generator).satisfied)
+    n = 0
+    for satisfied in iter_verdicts(sampler, max_samples, generator, chunk_size):
+        n += 1
+        successes += int(satisfied)
         posterior = prior.update(successes, n - successes)
         p_h0 = posterior.probability_above(threshold)
         p_h1 = 1.0 - p_h0

@@ -1,0 +1,750 @@
+"""Batch simulation engine: pluggable backends behind one sampling plan.
+
+This module is the simulation core of the library. Every estimator —
+crude Monte Carlo, the importance-sampling estimator of Equation (7), the
+sequential tests, and IMCIS (Algorithm 1) — needs the same primitive:
+*draw N independent traces of a chain, decide a property per trace, and
+optionally keep per-trace transition-count tables and log-proposal
+probabilities*. That primitive is expressed here once, as a
+:class:`SimulationPlan`, and executed by interchangeable backends:
+
+:class:`SequentialBackend`
+    The reference semantics: one Python loop per trace, one transition per
+    step, scalar monitors, lazily compiled rows (:class:`CompiledChain`).
+    Always available, for every formula.
+
+:class:`VectorizedBackend`
+    Compiles the whole chain upfront into flat CSR arrays
+    (:class:`CompiledCSR`) and advances an *ensemble* of traces in
+    lockstep: one vectorized per-row binary search per step moves every
+    live trace at once, log-proposal probabilities accumulate by flat
+    gathers, and transition counts are aggregated afterwards from flat
+    ``source * n_states + target`` keys. Properties are decided by the
+    mask-based :class:`~repro.properties.monitor.VectorMonitor` path;
+    formulas outside that fragment fall back to the sequential backend
+    (see :func:`resolve_backend`).
+
+Consumers go through :class:`repro.smc.simulator.TraceSampler`, which is a
+thin facade building the plan and delegating batches to the chosen
+backend. Both backends produce identical
+:class:`~repro.smc.results.BatchSummary` structures, so everything
+downstream (estimators, observation tables, the optimiser) is
+backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from repro.core.dtmc import DTMC, ROW_ATOL
+from repro.core.paths import TransitionCounts
+from repro.errors import EstimationError, ModelError
+from repro.properties import monitor as mon
+from repro.properties.logic import Formula
+from repro.smc.futility import FutilityMask, futility_for_formula
+from repro.smc.results import BatchSummary, TraceRecord
+
+#: Safety cap on trace length for properties without a step bound.
+DEFAULT_MAX_STEPS = 1_000_000
+
+#: What to keep count tables for: successful traces (Algorithm 1), all, none.
+COUNT_MODES = ("satisfied", "all", "none")
+
+#: Recognised backend selectors.
+BACKEND_NAMES = ("auto", "sequential", "vectorized")
+
+#: Absolute tolerance for row-stochasticity during compilation. A row
+#: whose probabilities sum farther than this from one is genuinely
+#: unnormalized and raises :class:`~repro.errors.ModelError` instead of
+#: being silently rescaled. Shares :data:`repro.core.dtmc.ROW_ATOL` so
+#: construction-time validation and compilation can never disagree.
+ROW_SUM_ATOL = ROW_ATOL
+
+#: Default cap on the number of traces advanced in one lockstep ensemble;
+#: larger batches are split so per-step working arrays stay cache-friendly.
+#: Note this bounds the trace axis only — transition-key recording for
+#: count tables additionally grows with trace length and is pruned every
+#: :data:`COMPACT_INTERVAL` steps.
+DEFAULT_MAX_ENSEMBLE = 65_536
+
+#: Steps between compactions of the recorded transition keys: keys of
+#: traces that already failed (whose tables are discarded under
+#: ``count_mode="satisfied"``) are dropped so memory tracks the keys of
+#: eventually-useful traces plus one window, not traces × steps.
+COMPACT_INTERVAL = 256
+
+
+def _check_row_sum(total: float, state: int, atol: float = ROW_SUM_ATOL) -> None:
+    """Raise :class:`ModelError` when a row's probability mass is off."""
+    if abs(total - 1.0) > atol:
+        raise ModelError(
+            f"row {state} of the transition matrix sums to {total!r}, "
+            "expected 1 — refusing to renormalise a genuinely "
+            "unnormalized distribution"
+        )
+
+
+@dataclass
+class _CompiledRow:
+    indices: np.ndarray
+    cumulative: np.ndarray
+    log_probs: np.ndarray
+
+
+class CompiledChain:
+    """Per-state sampling structures for a DTMC, built lazily.
+
+    Used by the sequential backend: only the states actually visited are
+    ever compiled — essential when a handful of traces touch a corner of
+    the 40 320-state repair benchmark.
+    """
+
+    def __init__(self, chain: DTMC):
+        self._chain = chain
+        self._rows: dict[int, _CompiledRow] = {}
+
+    @property
+    def chain(self) -> DTMC:
+        """The underlying DTMC."""
+        return self._chain
+
+    def row(self, state: int) -> _CompiledRow:
+        """Compiled row of *state* (cached)."""
+        compiled = self._rows.get(state)
+        if compiled is None:
+            indices, probs = self._chain.row_entries(state)
+            if indices.size == 0:
+                raise ModelError(f"state {state} has no outgoing transitions")
+            _check_row_sum(float(probs.sum()), state)
+            cumulative = np.cumsum(probs)
+            # The sum was just validated; pinning the last cumulative
+            # weight to 1 only absorbs accumulation rounding.
+            cumulative[-1] = 1.0
+            compiled = _CompiledRow(indices, cumulative, np.log(probs))
+            self._rows[state] = compiled
+        return compiled
+
+    def step(self, state: int, rng: np.random.Generator) -> tuple[int, float]:
+        """Sample a successor; returns ``(next_state, log_prob_of_step)``."""
+        row = self.row(state)
+        pos = int(np.searchsorted(row.cumulative, rng.random(), side="right"))
+        pos = min(pos, row.indices.size - 1)
+        return int(row.indices[pos]), float(row.log_probs[pos])
+
+
+class CompiledCSR:
+    """Whole-chain flat CSR arrays for lockstep ensemble sampling.
+
+    The chain is compiled once, upfront, into four aligned arrays —
+    ``indptr`` (row pointers), ``indices`` (successor states), ``cumprobs``
+    (within-row cumulative probabilities) and ``logprobs``. A batch of
+    transition draws is resolved by :meth:`gather_step`'s vectorized
+    per-row binary search over ``cumprobs`` — every live trace advances in
+    ``O(log max_degree)`` fully-array operations, and because the search
+    compares raw within-row cumulative probabilities it is *exact*: the
+    same float comparisons the scalar backend's per-row ``searchsorted``
+    performs, with no precision lost to row-offset encodings.
+
+    Zero-probability entries (explicit zeros in sparse matrices) are
+    dropped during compilation, and every row's probability mass is
+    validated against :data:`ROW_SUM_ATOL` — an unnormalized row raises
+    :class:`~repro.errors.ModelError` instead of being silently rescaled.
+    """
+
+    __slots__ = ("n_states", "indptr", "indices", "cumprobs", "logprobs")
+
+    def __init__(
+        self,
+        n_states: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        cumprobs: np.ndarray,
+        logprobs: np.ndarray,
+    ):
+        self.n_states = n_states
+        self.indptr = indptr
+        self.indices = indices
+        self.cumprobs = cumprobs
+        self.logprobs = logprobs
+
+    @classmethod
+    def from_chain(cls, chain: DTMC, atol: float = ROW_SUM_ATOL) -> "CompiledCSR":
+        """Compile *chain* (dense or sparse) into flat CSR arrays."""
+        n = chain.n_states
+        matrix = chain.transitions
+        if chain.is_sparse:
+            csr = matrix.tocsr()
+            row_of = np.repeat(np.arange(n), np.diff(csr.indptr))
+            cols = np.asarray(csr.indices, dtype=np.int64)
+            data = np.asarray(csr.data, dtype=np.float64)
+            keep = data > 0.0
+            if not keep.all():
+                row_of, cols, data = row_of[keep], cols[keep], data[keep]
+        else:
+            dense = np.asarray(matrix, dtype=np.float64)
+            # Strictly-positive mask (not nonzero): negative entries must
+            # not survive into the cumulative arrays — dropping them makes
+            # the row-sum check below flag the corrupt row.
+            rows_idx, cols = np.nonzero(dense > 0.0)
+            row_of = rows_idx.astype(np.int64)
+            cols = cols.astype(np.int64)
+            data = dense[rows_idx, cols]
+
+        per_row = np.bincount(row_of, minlength=n)
+        empty = np.flatnonzero(per_row == 0)
+        if empty.size:
+            raise ModelError(f"state {int(empty[0])} has no outgoing transitions")
+        sums = np.bincount(row_of, weights=data, minlength=n)
+        bad = np.flatnonzero(np.abs(sums - 1.0) > atol)
+        if bad.size:
+            _check_row_sum(float(sums[bad[0]]), int(bad[0]), atol)
+
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(per_row, out=indptr[1:])
+        # Within-row cumulative sums, grouped by row degree so each group
+        # is one 2-D cumsum. Never via a global cumsum minus row-start
+        # offsets: the running total reaches ~n and subtracting it
+        # quantizes tiny within-row probabilities to ~n * 2^-52 — enough
+        # to erase rare transitions on large chains.
+        cumprobs = np.empty_like(data)
+        for degree in np.unique(per_row):
+            rows_d = np.flatnonzero(per_row == degree)
+            entry_idx = indptr[rows_d][:, None] + np.arange(degree)
+            cumprobs[entry_idx] = np.cumsum(data[entry_idx], axis=1)
+        # Validated above; pinning the row tails to 1 absorbs rounding only.
+        cumprobs[indptr[1:] - 1] = 1.0
+        logprobs = np.log(data)
+        return cls(n, indptr, cols, cumprobs, logprobs)
+
+    def gather_step(
+        self, states: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance every trace in *states* by one transition.
+
+        Returns ``(positions, next_states)`` where *positions* index the
+        flat entry arrays (for log-probability gathers). The successor of
+        each trace is the first entry of its row with cumulative
+        probability exceeding the trace's uniform draw — found by a
+        vectorized binary search bounded per trace by its row slice, so
+        the comparison is against the raw within-row cumulative (bitwise
+        the scalar backend's criterion, robust to arbitrarily small
+        transition probabilities in any row).
+
+        Consumes exactly one uniform draw per trace per step, in trace
+        order within the step. Note the consumption order is time-major,
+        while the sequential backend's is trace-major — given the same
+        seed the two backends realise identical traces only for one-trace
+        batches (larger batches agree statistically, not bitwise).
+        """
+        u = rng.random(states.shape[0])
+        lo = self.indptr[states]
+        hi = self.indptr[states + 1]
+        last = hi - 1
+        searching = lo < last  # single-successor rows resolve immediately
+        while searching.any():
+            mid = (lo + hi) >> 1
+            go_right = searching & (self.cumprobs[np.minimum(mid, last)] <= u)
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(searching & ~go_right, mid, hi)
+            searching = lo < hi
+        # The row tail is pinned to cumulative 1.0 > u, so lo stays inside
+        # the row; the minimum() above is only an idle-lane gather guard.
+        pos = np.minimum(lo, last)
+        return pos, self.indices[pos]
+
+
+@dataclass(frozen=True)
+class SimulationPlan:
+    """Everything a backend needs to simulate one (chain, formula) workload.
+
+    Built once by :func:`make_plan` (or the :class:`TraceSampler` facade)
+    and shared by backends: the chain, the scalar monitor factory, the
+    optional vector monitor, the futility mask, the step cap and the
+    bookkeeping switches.
+    """
+
+    chain: DTMC
+    formula: Formula
+    monitor_factory: Callable[[], mon.Monitor]
+    vector_monitor: "mon.VectorMonitor | None"
+    futility: FutilityMask | None
+    max_steps: int
+    count_mode: str
+    record_log_prob: bool
+    initial_state: int
+
+
+def make_plan(
+    chain: DTMC,
+    formula: Formula,
+    max_steps: int | None = None,
+    count_mode: str = "satisfied",
+    record_log_prob: bool = False,
+    initial_state: int | None = None,
+    futility: "FutilityMask | str | None" = "auto",
+) -> SimulationPlan:
+    """Validate the arguments and precompile a :class:`SimulationPlan`."""
+    if count_mode not in COUNT_MODES:
+        raise EstimationError(f"count_mode must be one of {COUNT_MODES}")
+    if futility == "auto":
+        fut = futility_for_formula(chain, formula)
+    elif futility is None or isinstance(futility, FutilityMask):
+        fut = futility
+    else:
+        raise EstimationError("futility must be 'auto', None, or a FutilityMask")
+    horizon = formula.horizon()
+    if max_steps is None:
+        max_steps = horizon if horizon is not None else DEFAULT_MAX_STEPS
+    if max_steps < 0:
+        raise EstimationError("max_steps must be non-negative")
+    start = chain.initial_state if initial_state is None else int(initial_state)
+    if not 0 <= start < chain.n_states:
+        raise EstimationError(f"initial state {initial_state} out of range")
+    return SimulationPlan(
+        chain=chain,
+        formula=formula,
+        monitor_factory=formula.compile(chain),
+        vector_monitor=formula.vector_monitor(chain),
+        futility=fut,
+        max_steps=int(max_steps),
+        count_mode=count_mode,
+        record_log_prob=record_log_prob,
+        initial_state=start,
+    )
+
+
+@dataclass
+class EnsembleResult:
+    """Array-level outcome of a batch of traces — the engine's fast path.
+
+    Per-trace results live in flat NumPy arrays instead of per-trace
+    Python objects, so a ten-thousand-trace batch costs a handful of array
+    reductions rather than ten thousand allocations. ``count_tables`` is
+    ``None`` when counting was off, otherwise a list aligned with the
+    trace axis holding a :class:`TransitionCounts` per kept trace (``None``
+    for dropped ones, mirroring ``count_mode="satisfied"``).
+
+    :meth:`to_summary` materializes the classic per-record
+    :class:`~repro.smc.results.BatchSummary` for consumers that want
+    :class:`~repro.smc.results.TraceRecord` objects.
+    """
+
+    satisfied: np.ndarray
+    decided: np.ndarray
+    lengths: np.ndarray
+    log_proposals: np.ndarray | None = None
+    count_tables: "list[TransitionCounts | None] | None" = None
+
+    @property
+    def n_samples(self) -> int:
+        """Number of traces in the batch."""
+        return int(self.satisfied.shape[0])
+
+    @property
+    def n_satisfied(self) -> int:
+        """Number of traces satisfying the property."""
+        return int(np.count_nonzero(self.satisfied))
+
+    @property
+    def n_undecided(self) -> int:
+        """Traces whose verdict was still open at the step cap."""
+        return self.n_samples - int(np.count_nonzero(self.decided))
+
+    @property
+    def total_length(self) -> int:
+        """Total number of simulated transitions."""
+        return int(self.lengths.sum())
+
+    @property
+    def mean_length(self) -> float:
+        """Average trace length (transitions)."""
+        n = self.n_samples
+        return self.total_length / n if n else 0.0
+
+    def merge(self, other: "EnsembleResult") -> "EnsembleResult":
+        """Concatenate two batches along the trace axis."""
+        return EnsembleResult.concatenate([self, other])
+
+    @staticmethod
+    def concatenate(chunks: "list[EnsembleResult]") -> "EnsembleResult":
+        """Concatenate many batches with one copy per field."""
+        if not chunks:
+            raise EstimationError("no chunks to concatenate")
+        if len(chunks) == 1:
+            return chunks[0]
+        logp = None
+        if all(c.log_proposals is not None for c in chunks):
+            logp = np.concatenate([c.log_proposals for c in chunks])
+        tables = None
+        if all(c.count_tables is not None for c in chunks):
+            tables = [t for c in chunks for t in c.count_tables]
+        return EnsembleResult(
+            satisfied=np.concatenate([c.satisfied for c in chunks]),
+            decided=np.concatenate([c.decided for c in chunks]),
+            lengths=np.concatenate([c.lengths for c in chunks]),
+            log_proposals=logp,
+            count_tables=tables,
+        )
+
+    def to_summary(self) -> BatchSummary:
+        """Materialize per-trace :class:`TraceRecord` objects."""
+        summary = BatchSummary(
+            n_samples=self.n_samples,
+            n_satisfied=self.n_satisfied,
+            n_undecided=self.n_undecided,
+            total_length=self.total_length,
+        )
+        satisfied = self.satisfied.tolist()
+        decided = self.decided.tolist()
+        lengths = self.lengths.tolist()
+        logp = self.log_proposals.tolist() if self.log_proposals is not None else None
+        for k in range(self.n_samples):
+            summary.records.append(
+                TraceRecord(
+                    satisfied=satisfied[k],
+                    length=lengths[k],
+                    counts=self.count_tables[k] if self.count_tables is not None else None,
+                    log_proposal=logp[k] if logp is not None else 0.0,
+                    decided=decided[k],
+                )
+            )
+        return summary
+
+
+class SimulationBackend:
+    """Protocol of a simulation backend: run batches against one plan."""
+
+    #: Identifier reported in diagnostics (``"sequential"``/``"vectorized"``).
+    name: str
+
+    @property
+    def plan(self) -> SimulationPlan:
+        """The sampling plan this backend executes."""
+        raise NotImplementedError
+
+    def run(self, n_samples: int, rng: np.random.Generator) -> BatchSummary:
+        """Sample *n_samples* traces and aggregate them into records."""
+        return self.run_ensemble(n_samples, rng).to_summary()
+
+    def run_ensemble(self, n_samples: int, rng: np.random.Generator) -> EnsembleResult:
+        """Sample *n_samples* traces into flat per-trace arrays."""
+        raise NotImplementedError
+
+
+class SequentialBackend(SimulationBackend):
+    """The reference backend: one scalar Python loop per trace.
+
+    Exact extraction of the original per-trace simulation semantics; the
+    vectorized backend is tested against it verdict for verdict.
+    """
+
+    name = "sequential"
+
+    def __init__(self, plan: SimulationPlan):
+        self._plan = plan
+        self._compiled = CompiledChain(plan.chain)
+
+    @property
+    def plan(self) -> SimulationPlan:
+        return self._plan
+
+    def sample_one(self, rng: np.random.Generator) -> TraceRecord:
+        """Sample one trace; returns its :class:`TraceRecord`."""
+        plan = self._plan
+        monitor = plan.monitor_factory()
+        state = plan.initial_state
+        verdict = monitor.update(state)
+        if (
+            not verdict.decided
+            and plan.futility is not None
+            and plan.futility.applies(state, 0)
+        ):
+            verdict = mon.Verdict.FALSE
+        keep_counts = plan.count_mode != "none"
+        counts = TransitionCounts() if keep_counts else None
+        log_prob = 0.0
+        steps = 0
+        while not verdict.decided and steps < plan.max_steps:
+            next_state, step_log_prob = self._compiled.step(state, rng)
+            if counts is not None:
+                counts.record(state, next_state)
+            if plan.record_log_prob:
+                log_prob += step_log_prob
+            state = next_state
+            steps += 1
+            verdict = monitor.update(state)
+            if (
+                not verdict.decided
+                and plan.futility is not None
+                and plan.futility.applies(state, steps)
+            ):
+                verdict = mon.Verdict.FALSE
+        satisfied = verdict is mon.Verdict.TRUE
+        if plan.count_mode == "satisfied" and not satisfied:
+            counts = None
+        return TraceRecord(
+            satisfied=satisfied,
+            length=steps,
+            counts=counts,
+            log_proposal=log_prob,
+            decided=verdict.decided,
+        )
+
+    def run_ensemble(self, n_samples: int, rng: np.random.Generator) -> EnsembleResult:
+        if n_samples <= 0:
+            raise EstimationError("n_samples must be positive")
+        plan = self._plan
+        satisfied = np.empty(n_samples, dtype=bool)
+        decided = np.empty(n_samples, dtype=bool)
+        lengths = np.empty(n_samples, dtype=np.int64)
+        logp = np.empty(n_samples, dtype=np.float64) if plan.record_log_prob else None
+        tables: "list[TransitionCounts | None] | None" = (
+            [] if plan.count_mode != "none" else None
+        )
+        for k in range(n_samples):
+            record = self.sample_one(rng)
+            satisfied[k] = record.satisfied
+            decided[k] = record.decided
+            lengths[k] = record.length
+            if logp is not None:
+                logp[k] = record.log_proposal
+            if tables is not None:
+                tables.append(record.counts)
+        return EnsembleResult(
+            satisfied=satisfied,
+            decided=decided,
+            lengths=lengths,
+            log_proposals=logp,
+            count_tables=tables,
+        )
+
+
+class VectorizedBackend(SimulationBackend):
+    """Lockstep ensemble backend: advances all live traces per step at once.
+
+    Requires the formula to compile to a
+    :class:`~repro.properties.monitor.VectorMonitor` (the reach/avoid/
+    bounded-until fragment); :func:`resolve_backend` falls back to
+    :class:`SequentialBackend` otherwise.
+
+    Per simulated step the backend performs a constant number of NumPy
+    operations on arrays sized by the number of live traces: one uniform
+    batch draw, one flat ``searchsorted`` gather through
+    :class:`CompiledCSR`, mask gathers for the monitor and futility
+    verdicts, and (when requested) appends of flat
+    ``source * n_states + target`` transition keys. Count tables are
+    reduced afterwards with one ``lexsort`` + run-length encoding over all
+    recorded keys — the ``np.bincount``-style aggregation is deferred off
+    the hot loop.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, plan: SimulationPlan, max_ensemble: int = DEFAULT_MAX_ENSEMBLE):
+        if plan.vector_monitor is None:
+            raise EstimationError(
+                f"{plan.formula!r} does not compile to a vectorized monitor; "
+                "use the sequential backend"
+            )
+        if max_ensemble <= 0:
+            raise EstimationError("max_ensemble must be positive")
+        self._plan = plan
+        self._max_ensemble = int(max_ensemble)
+        self._csr = CompiledCSR.from_chain(plan.chain)
+
+    @property
+    def plan(self) -> SimulationPlan:
+        return self._plan
+
+    @property
+    def csr(self) -> CompiledCSR:
+        """The upfront-compiled chain arrays."""
+        return self._csr
+
+    def run_ensemble(self, n_samples: int, rng: np.random.Generator) -> EnsembleResult:
+        if n_samples <= 0:
+            raise EstimationError("n_samples must be positive")
+        chunks: list[EnsembleResult] = []
+        remaining = n_samples
+        while remaining > 0:
+            chunk = self._simulate(min(remaining, self._max_ensemble), rng)
+            chunks.append(chunk)
+            remaining -= chunk.n_samples
+        return EnsembleResult.concatenate(chunks)
+
+    def _simulate(self, n: int, rng: np.random.Generator) -> EnsembleResult:
+        plan, csr = self._plan, self._csr
+        vm = plan.vector_monitor
+        assert vm is not None
+        fut = plan.futility
+        keep_counts = plan.count_mode != "none"
+
+        states = np.full(n, plan.initial_state, dtype=np.int64)
+        verdicts = vm.update(states, 0).copy()
+        if fut is not None and 0 >= fut.start_position:
+            cut = (verdicts == mon.VECTOR_UNDECIDED) & fut.mask[states]
+            verdicts[cut] = mon.VECTOR_FALSE
+        lengths = np.zeros(n, dtype=np.int64)
+        logp = np.zeros(n, dtype=np.float64) if plan.record_log_prob else None
+        step_traces: list[np.ndarray] = []
+        step_keys: list[np.ndarray] = []
+
+        active = np.flatnonzero(verdicts == mon.VECTOR_UNDECIDED)
+        time = 0
+        while active.size and time < plan.max_steps:
+            current = states[active]
+            pos, nxt = csr.gather_step(current, rng)
+            if logp is not None:
+                logp[active] += csr.logprobs[pos]
+            if keep_counts:
+                step_traces.append(active)
+                step_keys.append(current * csr.n_states + nxt)
+            states[active] = nxt
+            lengths[active] += 1
+            time += 1
+            codes = vm.update(nxt, time)
+            if fut is not None and time >= fut.start_position:
+                codes = codes.copy()
+                codes[(codes == mon.VECTOR_UNDECIDED) & fut.mask[nxt]] = mon.VECTOR_FALSE
+            verdicts[active] = codes
+            active = active[codes == mon.VECTOR_UNDECIDED]
+            if (
+                keep_counts
+                and plan.count_mode == "satisfied"
+                and time % COMPACT_INTERVAL == 0
+                and len(step_traces) > 1
+            ):
+                useful = verdicts != mon.VECTOR_FALSE  # still live or satisfied
+                traces_cat = np.concatenate(step_traces)
+                keys_cat = np.concatenate(step_keys)
+                sel = useful[traces_cat]
+                step_traces = [traces_cat[sel]]
+                step_keys = [keys_cat[sel]]
+
+        satisfied = verdicts == mon.VECTOR_TRUE
+        decided = verdicts != mon.VECTOR_UNDECIDED
+        counts_list: "list[TransitionCounts | None] | None" = None
+        if keep_counts:
+            counts_list = [None] * n
+            want = satisfied if plan.count_mode == "satisfied" else np.ones(n, dtype=bool)
+            for k in np.flatnonzero(want).tolist():
+                counts_list[k] = TransitionCounts()
+            if step_traces:
+                self._fill_counts(counts_list, want, step_traces, step_keys)
+        return EnsembleResult(
+            satisfied=satisfied,
+            decided=decided,
+            lengths=lengths,
+            log_proposals=logp,
+            count_tables=counts_list,
+        )
+
+    def _fill_counts(
+        self,
+        counts_list: "list[TransitionCounts | None]",
+        want: np.ndarray,
+        step_traces: list[np.ndarray],
+        step_keys: list[np.ndarray],
+    ) -> None:
+        """Aggregate recorded flat transition keys into per-trace tables."""
+        traces = np.concatenate(step_traces)
+        keys = np.concatenate(step_keys)
+        sel = want[traces]
+        traces, keys = traces[sel], keys[sel]
+        if not traces.size:
+            return
+        order = np.lexsort((keys, traces))
+        traces, keys = traces[order], keys[order]
+        # Run-length encode identical (trace, key) pairs: the run lengths
+        # are exactly the n_ij counts of Equation (1).
+        new_pair = np.empty(traces.size, dtype=bool)
+        new_pair[0] = True
+        new_pair[1:] = (traces[1:] != traces[:-1]) | (keys[1:] != keys[:-1])
+        starts = np.flatnonzero(new_pair)
+        run_lengths = np.diff(np.append(starts, traces.size))
+        pair_traces = traces[starts]
+        pair_keys = keys[starts]
+        sources, targets = np.divmod(pair_keys, self._csr.n_states)
+        # Slice the per-pair arrays into per-trace groups.
+        new_trace = np.empty(pair_traces.size, dtype=bool)
+        new_trace[0] = True
+        new_trace[1:] = pair_traces[1:] != pair_traces[:-1]
+        group_bounds = np.append(np.flatnonzero(new_trace), pair_traces.size).tolist()
+        pairs = list(zip(sources.tolist(), targets.tolist()))
+        count_list = run_lengths.tolist()
+        trace_ids = pair_traces.tolist()
+        for a, b in zip(group_bounds[:-1], group_bounds[1:]):
+            table = counts_list[trace_ids[a]]
+            assert table is not None
+            table.counts.update(dict(zip(pairs[a:b], count_list[a:b])))
+
+
+def resolve_backend(
+    backend: "str | SimulationBackend | None", plan: SimulationPlan
+) -> SimulationBackend:
+    """Turn a backend selector into a backend instance for *plan*.
+
+    ``"auto"`` (and ``None``) and ``"vectorized"`` pick
+    :class:`VectorizedBackend` whenever the plan's formula compiled to a
+    vector monitor and fall back to :class:`SequentialBackend` otherwise;
+    ``"sequential"`` always picks the reference backend. An already
+    constructed backend instance passes through untouched.
+    """
+    if isinstance(backend, SimulationBackend):
+        return backend
+    if backend is None:
+        backend = "auto"
+    if backend not in BACKEND_NAMES:
+        raise EstimationError(f"backend must be one of {BACKEND_NAMES}, got {backend!r}")
+    if backend in ("auto", "vectorized") and plan.vector_monitor is not None:
+        return VectorizedBackend(plan)
+    return SequentialBackend(plan)
+
+
+#: Default traces per batch for sequential tests walking verdicts one by
+#: one (SPRT, Bayes factor): large enough to amortise the vectorized
+#: engine's per-batch overhead, small enough that early stopping wastes
+#: little simulation.
+DEFAULT_CHUNK_SIZE = 256
+
+
+def iter_chunks(total: int, chunk_size: int) -> Iterator[int]:
+    """Yield chunk sizes covering *total* samples, each at most *chunk_size*.
+
+    Helper for sequential tests (SPRT, Bayes factor) that consume batches
+    but stop early: they draw one chunk at a time and walk its verdicts.
+    """
+    if total <= 0:
+        raise EstimationError("total must be positive")
+    if chunk_size <= 0:
+        raise EstimationError("chunk_size must be positive")
+    remaining = total
+    while remaining > 0:
+        take = min(remaining, chunk_size)
+        yield take
+        remaining -= take
+
+
+def iter_verdicts(
+    sampler,
+    max_samples: int,
+    rng: np.random.Generator,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[bool]:
+    """Yield up to *max_samples* per-trace satisfaction verdicts.
+
+    Draws batches of *chunk_size* from *sampler* (anything exposing
+    ``sample_ensemble`` and ``backend_name``, i.e. a
+    :class:`~repro.smc.simulator.TraceSampler`) and flattens them into an
+    early-stoppable verdict stream. On a non-vectorized backend the chunk
+    size collapses to one — batching only pays off when simulation is
+    vectorized, and a scalar backend would waste up to ``chunk_size - 1``
+    traces past the consumer's stopping point.
+    """
+    if sampler.backend_name != "vectorized":
+        chunk_size = 1
+    for take in iter_chunks(max_samples, chunk_size):
+        yield from sampler.sample_ensemble(take, rng).satisfied.tolist()

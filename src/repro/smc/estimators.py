@@ -28,13 +28,16 @@ def monte_carlo_estimate(
     confidence: float = 0.95,
     max_steps: int | None = None,
     initial_state: int | None = None,
+    backend: str | None = "auto",
 ) -> EstimationResult:
     """Estimate ``P(model ⊨ formula)`` by crude Monte Carlo.
 
     Returns an :class:`~repro.smc.results.EstimationResult` whose interval
     is the normal-approximation CI of Section II-C. For rare properties
     this needs ``N ≈ 100/γ`` samples for a 10 % relative error — the
-    motivation for importance sampling.
+    motivation for importance sampling. Sampling runs as one batch on the
+    selected simulation *backend* (vectorized whenever the property
+    compiles to masks).
     """
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
@@ -45,13 +48,11 @@ def monte_carlo_estimate(
         max_steps=max_steps,
         count_mode="none",
         initial_state=initial_state,
+        backend=backend,
     )
-    n_satisfied = 0
-    n_undecided = 0
-    for _ in range(n_samples):
-        record = sampler.sample(generator)
-        n_satisfied += int(record.satisfied)
-        n_undecided += int(not record.decided)
+    batch = sampler.sample_ensemble(n_samples, generator)
+    n_satisfied = batch.n_satisfied
+    n_undecided = batch.n_undecided
     estimate = n_satisfied / n_samples
     std_dev = math.sqrt(estimate * (1.0 - estimate))
     return EstimationResult(

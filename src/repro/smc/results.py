@@ -75,6 +75,11 @@ class EstimationResult:
         satisfying; should be zero on well-posed models).
     method:
         Short identifier, e.g. ``"monte-carlo"`` or ``"importance-sampling"``.
+    ess:
+        Effective sample size of the importance weights,
+        ``(Σ L_k)² / Σ L_k²`` — the standard IS health diagnostic. ``None``
+        for unweighted (crude Monte Carlo / Bayesian) estimates, where it
+        would equal ``n_satisfied``.
     """
 
     estimate: float
@@ -84,6 +89,7 @@ class EstimationResult:
     n_satisfied: int
     n_undecided: int = 0
     method: str = "monte-carlo"
+    ess: float | None = None
 
     @property
     def std_error(self) -> float:

@@ -1,78 +1,57 @@
-"""Trace sampling engine (Algorithm 1, lines 1–15).
+"""Trace sampling facade (Algorithm 1, lines 1–15).
 
 :class:`TraceSampler` draws independent traces of a chain, decides a property
-on the fly with a monitor, and optionally accumulates the per-trace
-transition-count tables ``(T_k, n_k)`` and the log-probability of the trace
-under the sampling distribution (the likelihood-ratio denominator when the
-sampling chain is an importance-sampling proposal).
+on the fly, and optionally accumulates the per-trace transition-count tables
+``(T_k, n_k)`` and the log-probability of the trace under the sampling
+distribution (the likelihood-ratio denominator when the sampling chain is an
+importance-sampling proposal).
 
-Rows of the sampling chain are compiled lazily into cumulative-probability
-arrays: sampling a step is one uniform draw plus a binary search, and only
-the states actually visited are ever compiled — essential on the
-40 320-state repair benchmark.
+Since the batch-engine refactor the sampler itself holds no simulation
+logic: it builds a :class:`~repro.smc.engine.SimulationPlan` once and
+delegates to a pluggable :class:`~repro.smc.engine.SimulationBackend` —
+the lockstep-ensemble :class:`~repro.smc.engine.VectorizedBackend` whenever
+the property compiles to masks, the scalar
+:class:`~repro.smc.engine.SequentialBackend` otherwise (or on request).
+Single-trace :meth:`TraceSampler.sample` always runs the sequential
+reference path; bulk work should go through :meth:`TraceSampler.sample_batch`.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.dtmc import DTMC
 from repro.core.paths import TransitionCounts
-from repro.errors import EstimationError, ModelError
+from repro.errors import EstimationError
 from repro.properties.logic import Formula
-from repro.properties.monitor import Verdict
-from repro.smc.futility import FutilityMask, futility_for_formula
+from repro.smc.engine import (
+    COUNT_MODES,
+    DEFAULT_MAX_STEPS,
+    CompiledChain,
+    CompiledCSR,
+    EnsembleResult,
+    SequentialBackend,
+    SimulationBackend,
+    VectorizedBackend,
+    make_plan,
+    resolve_backend,
+)
+from repro.smc.futility import FutilityMask
 from repro.smc.results import BatchSummary, TraceRecord
 
-#: Safety cap on trace length for properties without a step bound.
-DEFAULT_MAX_STEPS = 1_000_000
-
-#: What to keep count tables for: successful traces (Algorithm 1), all, none.
-COUNT_MODES = ("satisfied", "all", "none")
-
-
-@dataclass
-class _CompiledRow:
-    indices: np.ndarray
-    cumulative: np.ndarray
-    log_probs: np.ndarray
-
-
-class CompiledChain:
-    """Per-state sampling structures for a DTMC, built lazily."""
-
-    def __init__(self, chain: DTMC):
-        self._chain = chain
-        self._rows: dict[int, _CompiledRow] = {}
-
-    @property
-    def chain(self) -> DTMC:
-        """The underlying DTMC."""
-        return self._chain
-
-    def row(self, state: int) -> _CompiledRow:
-        """Compiled row of *state* (cached)."""
-        compiled = self._rows.get(state)
-        if compiled is None:
-            indices, probs = self._chain.row_entries(state)
-            if indices.size == 0:
-                raise ModelError(f"state {state} has no outgoing transitions")
-            cumulative = np.cumsum(probs)
-            # Guard against rounding: force the last cumulative weight to 1.
-            cumulative[-1] = 1.0
-            compiled = _CompiledRow(indices, cumulative, np.log(probs))
-            self._rows[state] = compiled
-        return compiled
-
-    def step(self, state: int, rng: np.random.Generator) -> tuple[int, float]:
-        """Sample a successor; returns ``(next_state, log_prob_of_step)``."""
-        row = self.row(state)
-        pos = int(np.searchsorted(row.cumulative, rng.random(), side="right"))
-        pos = min(pos, row.indices.size - 1)
-        return int(row.indices[pos]), float(row.log_probs[pos])
+__all__ = [
+    "COUNT_MODES",
+    "DEFAULT_MAX_STEPS",
+    "CompiledChain",
+    "CompiledCSR",
+    "EnsembleResult",
+    "SequentialBackend",
+    "SimulationBackend",
+    "TraceSampler",
+    "VectorizedBackend",
+]
 
 
 class TraceSampler:
@@ -87,8 +66,9 @@ class TraceSampler:
         The property to decide per trace.
     max_steps:
         Cap on the number of transitions; defaults to the formula's horizon
-        when bounded, :data:`DEFAULT_MAX_STEPS` otherwise. Traces undecided
-        at the cap count as not satisfying and are tallied separately.
+        when bounded, :data:`~repro.smc.engine.DEFAULT_MAX_STEPS` otherwise.
+        Traces undecided at the cap count as not satisfying and are tallied
+        separately.
     count_mode:
         Which traces get a :class:`TransitionCounts` table: ``"satisfied"``
         (Algorithm 1's choice), ``"all"`` (needed for model learning), or
@@ -104,6 +84,12 @@ class TraceSampler:
         cut immediately with verdict FALSE — without it, an unbounded
         ``F "goal"`` trace absorbed in a failure state would run to the
         step cap. Pass ``None`` to disable, or a precomputed mask.
+    backend:
+        ``"auto"`` (default) or ``"vectorized"`` batch-simulates through
+        the lockstep ensemble engine when the formula compiles to masks,
+        falling back to the scalar loop otherwise; ``"sequential"`` forces
+        the reference loop. A :class:`SimulationBackend` instance is used
+        as-is.
     """
 
     def __init__(
@@ -115,95 +101,63 @@ class TraceSampler:
         record_log_prob: bool = False,
         initial_state: int | None = None,
         futility: "FutilityMask | str | None" = "auto",
+        backend: "str | SimulationBackend | None" = "auto",
     ):
-        if count_mode not in COUNT_MODES:
-            raise EstimationError(f"count_mode must be one of {COUNT_MODES}")
-        self._compiled = CompiledChain(chain)
-        self._monitor_factory = formula.compile(chain)
-        if futility == "auto":
-            self._futility = futility_for_formula(chain, formula)
-        elif futility is None or isinstance(futility, FutilityMask):
-            self._futility = futility
-        else:
-            raise EstimationError("futility must be 'auto', None, or a FutilityMask")
-        horizon = formula.horizon()
-        if max_steps is None:
-            max_steps = horizon if horizon is not None else DEFAULT_MAX_STEPS
-        if max_steps < 0:
-            raise EstimationError("max_steps must be non-negative")
-        self._max_steps = int(max_steps)
-        self._count_mode = count_mode
-        self._record_log_prob = record_log_prob
-        self._initial_state = (
-            chain.initial_state if initial_state is None else int(initial_state)
+        self._plan = make_plan(
+            chain,
+            formula,
+            max_steps=max_steps,
+            count_mode=count_mode,
+            record_log_prob=record_log_prob,
+            initial_state=initial_state,
+            futility=futility,
         )
-        if not 0 <= self._initial_state < chain.n_states:
-            raise EstimationError(f"initial state {initial_state} out of range")
+        self._backend = resolve_backend(backend, self._plan)
+        if isinstance(self._backend, SequentialBackend):
+            self._sequential = self._backend
+        else:
+            self._sequential = SequentialBackend(self._plan)
 
     @property
     def chain(self) -> DTMC:
         """The chain being simulated."""
-        return self._compiled.chain
+        return self._plan.chain
 
     @property
     def max_steps(self) -> int:
         """The trace-length cap."""
-        return self._max_steps
+        return self._plan.max_steps
+
+    @property
+    def backend(self) -> SimulationBackend:
+        """The backend executing :meth:`sample_batch`."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Short identifier of the active batch backend."""
+        return self._backend.name
 
     def sample(self, rng: np.random.Generator) -> TraceRecord:
-        """Sample one trace; returns its :class:`TraceRecord`."""
-        monitor = self._monitor_factory()
-        state = self._initial_state
-        verdict = monitor.update(state)
-        if (
-            not verdict.decided
-            and self._futility is not None
-            and self._futility.applies(state, 0)
-        ):
-            verdict = Verdict.FALSE
-        keep_counts = self._count_mode != "none"
-        counts = TransitionCounts() if keep_counts else None
-        log_prob = 0.0
-        steps = 0
-        while not verdict.decided and steps < self._max_steps:
-            next_state, step_log_prob = self._compiled.step(state, rng)
-            if counts is not None:
-                counts.record(state, next_state)
-            if self._record_log_prob:
-                log_prob += step_log_prob
-            state = next_state
-            steps += 1
-            verdict = monitor.update(state)
-            if (
-                not verdict.decided
-                and self._futility is not None
-                and self._futility.applies(state, steps)
-            ):
-                verdict = Verdict.FALSE
-        satisfied = verdict is Verdict.TRUE
-        if self._count_mode == "satisfied" and not satisfied:
-            counts = None
-        return TraceRecord(
-            satisfied=satisfied,
-            length=steps,
-            counts=counts,
-            log_proposal=log_prob,
-            decided=verdict.decided,
-        )
+        """Sample one trace through the sequential reference path."""
+        return self._sequential.sample_one(rng)
 
     def sample_batch(self, n_samples: int, rng: np.random.Generator) -> BatchSummary:
-        """Sample *n_samples* traces and aggregate them."""
+        """Sample *n_samples* traces through the active backend.
+
+        Returns the classic per-record summary; bulk consumers that only
+        need aggregate arrays should prefer :meth:`sample_ensemble`, which
+        skips materializing one :class:`TraceRecord` per trace.
+        """
         if n_samples <= 0:
             raise EstimationError("n_samples must be positive")
-        summary = BatchSummary()
-        for _ in range(n_samples):
-            record = self.sample(rng)
-            summary.n_samples += 1
-            summary.n_satisfied += int(record.satisfied)
-            summary.n_undecided += int(not record.decided)
-            summary.total_length += record.length
-            summary.records.append(record)
-        return summary
+        return self._backend.run(n_samples, rng)
+
+    def sample_ensemble(self, n_samples: int, rng: np.random.Generator) -> EnsembleResult:
+        """Sample *n_samples* traces into flat per-trace arrays (fast path)."""
+        if n_samples <= 0:
+            raise EstimationError("n_samples must be positive")
+        return self._backend.run_ensemble(n_samples, rng)
 
     def log_probability_of_counts(self, counts: TransitionCounts) -> float:
         """Log-probability of a count table under the sampled chain."""

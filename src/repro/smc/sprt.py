@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.dtmc import DTMC
 from repro.errors import EstimationError
 from repro.properties.logic import Formula
+from repro.smc.engine import DEFAULT_CHUNK_SIZE, iter_verdicts
 from repro.smc.simulator import TraceSampler
 from repro.util.rng import ensure_rng
 
@@ -56,8 +57,16 @@ def sprt(
     rng: np.random.Generator | int | None = None,
     max_samples: int = 10_000_000,
     max_steps: int | None = None,
+    backend: str | None = "auto",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> SPRTResult:
     """Sequentially test ``P(model ⊨ formula) >= threshold``.
+
+    Traces are drawn from the simulation engine in batches of *chunk_size*
+    and their verdicts consumed one by one, so the vectorized backend's
+    throughput is available while the walk still stops at exactly the
+    same sample index a one-trace-at-a-time test would (surplus traces of
+    the final chunk are discarded).
 
     Parameters
     ----------
@@ -68,6 +77,8 @@ def sprt(
         Type I and type II error bounds.
     max_samples:
         Hard cap; if reached, the decision is ``"undecided"``.
+    backend, chunk_size:
+        Simulation backend selector and the batch size drawn per round.
     """
     p0 = threshold + indifference
     p1 = threshold - indifference
@@ -78,7 +89,9 @@ def sprt(
     if not 0.0 < alpha < 1.0 or not 0.0 < beta < 1.0:
         raise EstimationError("alpha and beta must be in (0, 1)")
     generator = ensure_rng(rng)
-    sampler = TraceSampler(model, formula, max_steps=max_steps, count_mode="none")
+    sampler = TraceSampler(
+        model, formula, max_steps=max_steps, count_mode="none", backend=backend
+    )
 
     log_accept_h1 = math.log((1.0 - beta) / alpha)
     log_accept_h0 = math.log(beta / (1.0 - alpha))
@@ -86,11 +99,12 @@ def sprt(
     step_failure = math.log((1.0 - p1) / (1.0 - p0))
 
     log_ratio = 0.0
+    n_samples = 0
     n_satisfied = 0
-    for n_samples in range(1, max_samples + 1):
-        record = sampler.sample(generator)
-        n_satisfied += int(record.satisfied)
-        log_ratio += step_success if record.satisfied else step_failure
+    for satisfied in iter_verdicts(sampler, max_samples, generator, chunk_size):
+        n_samples += 1
+        n_satisfied += int(satisfied)
+        log_ratio += step_success if satisfied else step_failure
         if log_ratio >= log_accept_h1:
             return SPRTResult(
                 "reject", n_samples, n_satisfied, threshold, indifference, alpha, beta

@@ -7,6 +7,7 @@ from repro.analysis import probability
 from repro.core import DTMC
 from repro.errors import EstimationError
 from repro.importance import (
+    ess_from_log_weights,
     estimate_from_sample,
     importance_sampling_estimate,
     log_weights,
@@ -94,3 +95,44 @@ class TestEstimation:
         original, proposal, formula = setup
         with pytest.raises(EstimationError):
             run_importance_sampling(proposal, formula, 0)
+
+
+class TestEffectiveSampleSize:
+    def test_equal_weights_give_full_ess(self):
+        log_w = np.full(50, -3.0)
+        assert ess_from_log_weights(log_w) == pytest.approx(50.0)
+
+    def test_empty_weights(self):
+        assert ess_from_log_weights(np.empty(0)) == 0.0
+
+    def test_degenerate_weights_collapse(self):
+        # One dominant weight: ESS approaches 1.
+        log_w = np.array([0.0, -30.0, -30.0, -30.0])
+        assert ess_from_log_weights(log_w) == pytest.approx(1.0, abs=1e-10)
+
+    def test_estimate_carries_ess(self, setup, rng):
+        original, proposal, formula = setup
+        result = importance_sampling_estimate(original, proposal, formula, 500, rng)
+        assert result.ess is not None
+        assert 0 < result.ess <= result.n_satisfied + 1e-9
+
+    def test_perfect_proposal_ess_is_sample_size(self):
+        from repro.models import illustrative
+
+        proposal = illustrative.perfect_proposal()
+        center = illustrative.illustrative_chain(
+            illustrative.A_HAT, illustrative.C_HAT
+        )
+        sample = run_importance_sampling(
+            proposal, illustrative.reach_goal_formula(), 400, rng=7
+        )
+        # Every trace succeeds and carries the constant weight γ.
+        assert sample.n_satisfied == 400
+        assert sample.effective_sample_size(center) == pytest.approx(400.0)
+
+    def test_monte_carlo_has_no_ess(self, rng):
+        from repro.smc import monte_carlo_estimate
+
+        chain = DTMC(illustrative_matrix(0.3, 0.4), 0, labels={"goal": [2]})
+        result = monte_carlo_estimate(chain, parse_property('F "goal"'), 200, rng)
+        assert result.ess is None

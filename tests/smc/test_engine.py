@@ -1,0 +1,278 @@
+"""Backend parity and unit tests for the batch simulation engine.
+
+The key invariants: with the same RNG stream and one-trace batches both
+backends realise *identical* traces (count tables and log-probabilities
+agree exactly), and at scale their estimates agree within statistical
+tolerance.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core import DTMC
+from repro.errors import EstimationError, ModelError
+from repro.models import illustrative
+from repro.properties import parse_property
+from repro.smc import (
+    CompiledChain,
+    CompiledCSR,
+    SequentialBackend,
+    TraceSampler,
+    VectorizedBackend,
+    make_plan,
+    monte_carlo_estimate,
+    resolve_backend,
+)
+
+from tests.conftest import random_dtmc
+
+#: Formulas covering the vectorized fragment: unbounded/bounded until,
+#: state check, bounded globally, and the repair property's exempt shape.
+VECTOR_FORMULAS = [
+    'F "goal"',
+    'F<=4 "goal"',
+    '!"fail" U "goal"',
+    '!"fail" U<=6 "goal"',
+    '"init"',
+    'G<=3 !"fail"',
+    '"init" & (X !"init" U "goal")',
+    'X "goal"',
+]
+
+
+def _labelled_chain(rng: np.random.Generator, n_states: int = 6) -> DTMC:
+    return random_dtmc(rng, n_states, sparsity=0.6).with_labels(
+        {"init": [0], "goal": [n_states - 1], "fail": [1]}
+    )
+
+
+class TestCompiledCSR:
+    def test_matches_lazy_rows(self, small_chain):
+        csr = CompiledCSR.from_chain(small_chain)
+        lazy = CompiledChain(small_chain)
+        for s in range(small_chain.n_states):
+            row = lazy.row(s)
+            sl = slice(csr.indptr[s], csr.indptr[s + 1])
+            np.testing.assert_array_equal(csr.indices[sl], row.indices)
+            np.testing.assert_allclose(csr.cumprobs[sl], row.cumulative)
+            np.testing.assert_allclose(csr.logprobs[sl], row.log_probs)
+
+    def test_sparse_and_dense_agree(self, small_chain):
+        dense = CompiledCSR.from_chain(small_chain)
+        sparse_chain = DTMC(
+            sparse.csr_matrix(small_chain.dense()), 0, small_chain.labels
+        )
+        sp = CompiledCSR.from_chain(sparse_chain)
+        np.testing.assert_array_equal(dense.indptr, sp.indptr)
+        np.testing.assert_array_equal(dense.indices, sp.indices)
+        np.testing.assert_allclose(dense.cumprobs, sp.cumprobs)
+
+    def test_explicit_sparse_zeros_dropped(self):
+        matrix = sparse.csr_matrix(
+            (np.array([0.5, 0.0, 0.5, 1.0]),
+             np.array([0, 1, 2, 2]),
+             np.array([0, 3, 4])),
+            shape=(2, 3),
+        )
+        # Pad to square with an absorbing third state.
+        full = sparse.lil_matrix((3, 3))
+        full[:2] = matrix[:, :3]
+        full[2, 2] = 1.0
+        chain = DTMC(full.tocsr(), 0)
+        csr = CompiledCSR.from_chain(chain)
+        assert np.all(np.exp(csr.logprobs) > 0)
+        assert csr.indptr[1] - csr.indptr[0] == 2  # the zero entry is gone
+
+    def test_unnormalized_row_raises(self):
+        bad = np.array([[0.5, 0.4], [0.0, 1.0]])  # row 0 sums to 0.9
+        chain = DTMC(bad, 0, _validate=False)
+        with pytest.raises(ModelError):
+            CompiledCSR.from_chain(chain)
+
+    def test_gather_step_matches_scalar_distribution(self, small_chain, rng):
+        csr = CompiledCSR.from_chain(small_chain)
+        states = np.zeros(4000, dtype=np.int64)
+        _pos, nxt = csr.gather_step(states, rng)
+        hits = int(np.count_nonzero(nxt == 1))
+        assert hits / 4000 == pytest.approx(0.3, abs=0.035)
+
+    def test_tiny_probability_in_high_index_row(self):
+        """Regression: the gather must resolve per-trace draws against the
+        raw within-row cumulative — a row-offset encoding (``row + u``)
+        quantizes u to ~``row * 2**-52`` and silently drops transitions
+        rarer than that in high-index rows."""
+
+        class StubRng:
+            def __init__(self, value):
+                self._value = value
+
+            def random(self, k):
+                return np.full(k, self._value)
+
+        n = 50_002
+        hot, rare_target, eps = 50_000, 50_001, 1e-13
+        matrix = sparse.lil_matrix((n, n))
+        matrix.setdiag(1.0)
+        matrix[hot, hot] = 0.0
+        matrix[hot, rare_target] = eps
+        matrix[hot, 0] = 1.0 - eps
+        csr = CompiledCSR.from_chain(DTMC(matrix.tocsr(), 0, _validate=False))
+        states = np.full(8, hot, dtype=np.int64)
+        # Column order sorts the row as [0, rare_target] with cumulative
+        # [1 - eps, 1.0]: the rare transition owns the final eps-wide slice
+        # of the unit interval, far below the ~9e-12 resolution a
+        # row-offset key would have at row 50 000.
+        _pos, nxt = csr.gather_step(states, StubRng(1.0 - eps / 2))
+        assert np.all(nxt == rare_target)
+        _pos, nxt = csr.gather_step(states, StubRng(1.0 - 2 * eps))
+        assert np.all(nxt == 0)
+
+
+class TestCompiledChainValidation:
+    def test_unnormalized_row_raises(self):
+        bad = np.array([[0.7, 0.2], [0.0, 1.0]])
+        chain = DTMC(bad, 0, _validate=False)
+        with pytest.raises(ModelError):
+            CompiledChain(chain).row(0)
+
+    def test_rounding_noise_tolerated(self, small_chain):
+        # Validated chains compile; the last cumulative weight is pinned to 1.
+        row = CompiledChain(small_chain).row(0)
+        assert row.cumulative[-1] == 1.0
+
+
+class TestBackendResolution:
+    def test_auto_picks_vectorized_for_mask_formulas(self, small_chain):
+        sampler = TraceSampler(small_chain, parse_property('F "goal"'))
+        assert sampler.backend_name == "vectorized"
+
+    def test_fallback_for_non_mask_formula(self, small_chain):
+        # An OR of two path formulas has no UntilSpec decomposition.
+        formula = parse_property('(F<=3 "goal") | (F<=5 "fail")')
+        sampler = TraceSampler(small_chain, formula, backend="vectorized")
+        assert sampler.backend_name == "sequential"
+
+    def test_sequential_forced(self, small_chain):
+        sampler = TraceSampler(
+            small_chain, parse_property('F "goal"'), backend="sequential"
+        )
+        assert sampler.backend_name == "sequential"
+
+    def test_unknown_backend_rejected(self, small_chain):
+        with pytest.raises(EstimationError):
+            TraceSampler(small_chain, parse_property('F "goal"'), backend="gpu")
+
+    def test_backend_instance_passthrough(self, small_chain):
+        plan = make_plan(small_chain, parse_property('F "goal"'))
+        backend = SequentialBackend(plan)
+        assert resolve_backend(backend, plan) is backend
+
+    def test_vectorized_requires_vector_monitor(self, small_chain):
+        formula = parse_property('(F<=3 "goal") | (F<=5 "fail")')
+        plan = make_plan(small_chain, formula)
+        with pytest.raises(EstimationError):
+            VectorizedBackend(plan)
+
+
+class TestExactParity:
+    """One-trace batches on a shared stream realise identical traces."""
+
+    @pytest.mark.parametrize("prop", VECTOR_FORMULAS)
+    def test_trace_for_trace(self, prop, rng):
+        chain = _labelled_chain(rng)
+        formula = parse_property(prop)
+        seq = TraceSampler(
+            chain, formula, count_mode="all", record_log_prob=True,
+            backend="sequential", max_steps=50,
+        )
+        vec = TraceSampler(
+            chain, formula, count_mode="all", record_log_prob=True,
+            backend="vectorized", max_steps=50,
+        )
+        assert vec.backend_name == "vectorized"
+        rng_a = np.random.default_rng(99)
+        rng_b = np.random.default_rng(99)
+        for _ in range(150):
+            a = seq.sample_batch(1, rng_a).records[0]
+            b = vec.sample_batch(1, rng_b).records[0]
+            assert a.satisfied == b.satisfied
+            assert a.decided == b.decided
+            assert a.length == b.length
+            assert a.log_proposal == pytest.approx(b.log_proposal, abs=1e-12)
+            assert dict(a.counts.counts) == dict(b.counts.counts)
+
+    def test_satisfied_count_mode_parity(self, small_chain):
+        formula = parse_property('F "goal"')
+        seq = TraceSampler(small_chain, formula, backend="sequential")
+        vec = TraceSampler(small_chain, formula, backend="vectorized")
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        for _ in range(100):
+            a = seq.sample_batch(1, rng_a).records[0]
+            b = vec.sample_batch(1, rng_b).records[0]
+            assert (a.counts is None) == (b.counts is None)
+            if a.counts is not None:
+                assert dict(a.counts.counts) == dict(b.counts.counts)
+
+
+class TestStatisticalParity:
+    def test_estimates_agree_on_illustrative(self):
+        chain = illustrative.illustrative_chain(0.3, 0.4)
+        formula = illustrative.reach_goal_formula()
+        exact = illustrative.exact_probability(0.3, 0.4)
+        estimates = {}
+        for backend in ("sequential", "vectorized"):
+            result = monte_carlo_estimate(
+                chain, formula, 4000, rng=11, backend=backend
+            )
+            estimates[backend] = result.estimate
+            assert result.estimate == pytest.approx(exact, abs=0.03)
+        assert estimates["sequential"] == pytest.approx(
+            estimates["vectorized"], abs=0.03
+        )
+
+    def test_batch_chunking_preserves_statistics(self, small_chain, rng):
+        plan = make_plan(small_chain, parse_property('F "goal"'), count_mode="none")
+        backend = VectorizedBackend(plan, max_ensemble=64)
+        result = backend.run_ensemble(1000, rng)
+        assert result.n_samples == 1000
+        assert 0 < result.n_satisfied < 1000
+        assert result.lengths.shape == (1000,)
+
+    def test_undecided_at_cap(self, small_chain):
+        formula = parse_property('F "goal"')
+        for backend in ("sequential", "vectorized"):
+            sampler = TraceSampler(
+                small_chain, formula, futility=None, max_steps=3, backend=backend
+            )
+            batch = sampler.sample_ensemble(400, np.random.default_rng(1))
+            assert batch.n_undecided > 0
+            undecided = ~batch.decided
+            assert not batch.satisfied[undecided].any()
+
+
+class TestEnsembleResult:
+    def test_to_summary_roundtrip(self, small_chain, rng):
+        sampler = TraceSampler(
+            small_chain, parse_property('F "goal"'),
+            count_mode="all", record_log_prob=True,
+        )
+        result = sampler.sample_ensemble(50, rng)
+        summary = result.to_summary()
+        assert summary.n_samples == 50
+        assert len(summary.records) == 50
+        assert summary.n_satisfied == result.n_satisfied
+        assert summary.total_length == result.total_length
+        for k, record in enumerate(summary.records):
+            assert record.satisfied == bool(result.satisfied[k])
+            assert record.length == int(result.lengths[k])
+            assert record.log_proposal == float(result.log_proposals[k])
+
+    def test_merge(self, small_chain, rng):
+        sampler = TraceSampler(small_chain, parse_property('F "goal"'))
+        a = sampler.sample_ensemble(30, rng)
+        b = sampler.sample_ensemble(20, rng)
+        merged = a.merge(b)
+        assert merged.n_samples == 50
+        assert merged.n_satisfied == a.n_satisfied + b.n_satisfied
