@@ -44,7 +44,8 @@ def run():
 
     start = time.perf_counter()
     search = random_search(
-        objective, space, 11, RandomSearchConfig(r_undefeated=scaled(600, 1000), record_history=False)
+        objective, space, 11,
+        RandomSearchConfig(r_undefeated=scaled(600, 1000), record_history=False),
     )
     outcomes["random-search"] = (
         search.moments_min.gamma,

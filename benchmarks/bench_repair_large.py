@@ -41,7 +41,8 @@ def run():
         rows.append(
             [
                 k,
-                f"[{format_number(is_result.interval.low)}, {format_number(is_result.interval.high)}]",
+                f"[{format_number(is_result.interval.low)}, "
+                f"{format_number(is_result.interval.high)}]",
                 f"[{format_number(imcis.interval.low)}, {format_number(imcis.interval.high)}]",
             ]
         )

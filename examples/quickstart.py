@@ -8,7 +8,6 @@ Run with::
 
 import numpy as np
 
-from repro.analysis import probability
 from repro.imcis import IMCISConfig, RandomSearchConfig, imcis_estimate
 from repro.models import illustrative
 from repro.smc import monte_carlo_estimate, required_samples_relative_error

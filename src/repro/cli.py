@@ -23,7 +23,6 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.experiments.coverage import run_coverage_experiment
 from repro.experiments.figures import (
     BoundEvolution,
     IntervalSeries,
@@ -31,11 +30,26 @@ from repro.experiments.figures import (
     write_csv,
 )
 from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import render_table2
+from repro.experiments.table2 import render_table2, run_table2
 from repro.imcis.algorithm import IMCISConfig, imcis_estimate, imcis_from_sample
 from repro.imcis.random_search import RandomSearchConfig
 from repro.importance.bounded import run_bounded_importance_sampling
 from repro.models import illustrative, repair_group, repair_large, swat
+
+
+def _workers_arg(value: str) -> "int | str":
+    """Parse ``--workers``: the literal ``auto`` or a positive integer."""
+    if value == "auto":
+        return value
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a positive integer, got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"workers must be positive, got {workers}")
+    return workers
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -48,11 +62,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=["sequential", "vectorized"],
+        choices=["sequential", "vectorized", "parallel"],
         default="vectorized",
-        help="simulation engine: lockstep-ensemble NumPy backend (default) or "
-        "the scalar reference loop; vectorized falls back to sequential for "
-        "properties that do not compile to masks",
+        help="simulation engine: lockstep-ensemble NumPy backend (default), "
+        "the scalar reference loop, or the process-pool sharded engine; "
+        "vectorized/parallel fall back to sequential for properties that "
+        "do not compile to masks",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default="auto",
+        help="worker processes for the repetition fan-out ('auto' = CPU "
+        "count, 1 = run everything in-process); repetition results are "
+        "bitwise identical for every value, on every machine. To shard "
+        "the sampling of a single run instead, use --backend parallel",
     )
 
 
@@ -89,45 +113,52 @@ def cmd_table1(args: argparse.Namespace) -> int:
     reps = args.reps or 100
     samples = args.samples or 10_000
     started = time.time()
-    result = run_table1(reps, samples, args.r_undefeated, rng=args.seed, backend=args.backend)
+    result = run_table1(
+        reps, samples, args.r_undefeated, rng=args.seed, backend=args.backend,
+        workers=args.workers,
+    )
     print(result.render())
     print(f"[{reps} repetitions x {samples} traces in {time.time() - started:.1f}s]")
     if args.out:
-        rows = list(
-            zip(result.n_rounds, result.a_min, result.c_min, result.a_max, result.c_max)
+        path = write_csv(
+            args.out / "table1.csv", ["nr", "amin", "cmin", "amax", "cmax"], result.rows()
         )
-        path = write_csv(args.out / "table1.csv", ["nr", "amin", "cmin", "amax", "cmax"], rows)
         print("wrote", path)
     return 0
 
 
+def _search_config(args: argparse.Namespace) -> RandomSearchConfig:
+    return RandomSearchConfig(r_undefeated=args.r_undefeated, record_history=False)
+
+
 def _run_study_coverage(args: argparse.Namespace, study_name: str):
     study, unrolled = _study_for(study_name, args.seed)
-    reps = args.reps or 100
-    samples = args.samples or study.n_samples
-    config = IMCISConfig(
-        confidence=study.confidence,
-        search=RandomSearchConfig(r_undefeated=args.r_undefeated, record_history=False),
-    )
-    return study, run_coverage_experiment(
-        study,
-        reps,
+    report = run_table2(
+        [(study, unrolled)],
+        args.reps or 100,
         rng=args.seed,
-        imcis_config=config,
-        n_samples=samples,
-        unrolled_proposal=unrolled,
+        search=_search_config(args),
+        n_samples=args.samples or study.n_samples,
         backend=args.backend,
-    )
+        workers=args.workers,
+    )[0]
+    return study, report
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
     """Regenerate Table II for one or all case studies."""
-    reports = []
     names = [args.study] if args.study else ["illustrative", "group-repair", "swat"]
     started = time.time()
-    for name in names:
-        _study, report = _run_study_coverage(args, name)
-        reports.append(report)
+    studies = [_study_for(name, args.seed) for name in names]
+    reports = run_table2(
+        studies,
+        args.reps or 100,
+        rng=args.seed,
+        search=_search_config(args),
+        n_samples=args.samples,
+        backend=args.backend,
+        workers=args.workers,
+    )
     print(render_table2(reports))
     print(f"[{time.time() - started:.1f}s]")
     return 0
@@ -157,9 +188,14 @@ def cmd_fig3(args: argparse.Namespace) -> int:
         confidence=study.confidence,
         search=RandomSearchConfig(r_undefeated=args.r_undefeated, record_history=True),
     )
+    # No workers= here: fig3 is a single run, and sharded sampling would
+    # move it off the reference RNG stream (changing published numbers).
+    # Sharding stays available explicitly through --backend parallel.
     rng = np.random.default_rng(args.seed)
     if unrolled is not None:
-        sample = run_bounded_importance_sampling(unrolled, samples, rng, backend=args.backend)
+        sample = run_bounded_importance_sampling(
+            unrolled, samples, rng, backend=args.backend
+        )
         result = imcis_from_sample(study.imc, sample, rng, config)
     else:
         result = imcis_estimate(

@@ -11,8 +11,14 @@ from repro.experiments.figures import (
     ProbabilityCurve,
     write_csv,
 )
+from repro.experiments.runner import map_repetitions, resolve_workers
 from repro.experiments.table1 import Table1Result, run_table1, transition_value
-from repro.experiments.table2 import Table2Row, render_table2, rows_from_report
+from repro.experiments.table2 import (
+    Table2Row,
+    render_table2,
+    rows_from_report,
+    run_table2,
+)
 
 __all__ = [
     "BoundEvolution",
@@ -22,10 +28,13 @@ __all__ = [
     "RepetitionOutcome",
     "Table1Result",
     "Table2Row",
+    "map_repetitions",
     "render_table2",
+    "resolve_workers",
     "rows_from_report",
     "run_coverage_experiment",
     "run_table1",
+    "run_table2",
     "transition_value",
     "write_csv",
 ]

@@ -14,12 +14,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.experiments.runner import map_repetitions
 from repro.imcis.algorithm import IMCISConfig, IMCISResult, imcis_from_sample
 from repro.importance.bounded import UnrolledProposal, run_bounded_importance_sampling
 from repro.importance.estimator import estimate_from_sample, run_importance_sampling
 from repro.models.base import CaseStudy
 from repro.smc.results import ConfidenceInterval, EstimationResult
-from repro.util.rng import child_rngs
+from repro.util.rng import spawn_seeds
 
 
 @dataclass
@@ -54,11 +55,19 @@ class CoverageReport:
     gamma_center: float
     outcomes: list[RepetitionOutcome] = field(default_factory=list)
 
-    def _coverage(self, intervals: list[ConfidenceInterval], value: float | None) -> float | None:
-        if value is None:
+    def _coverage(
+        self, intervals: list[ConfidenceInterval], value: float | None
+    ) -> float | None:
+        """Fraction of *intervals* containing *value*.
+
+        ``None`` — distinct from an observed 0 % coverage — when there is
+        no target value (the study has no exact γ) or no intervals yet
+        (an empty report has no coverage, rather than zero coverage).
+        """
+        if value is None or not intervals:
             return None
         hits = sum(1 for ci in intervals if ci.contains(value))
-        return hits / len(intervals) if intervals else 0.0
+        return hits / len(intervals)
 
     @property
     def is_intervals(self) -> list[ConfidenceInterval]:
@@ -70,17 +79,17 @@ class CoverageReport:
         """IMCIS intervals of every repetition."""
         return [o.imcis_interval for o in self.outcomes]
 
-    def is_coverage_of_center(self) -> float:
-        """Fraction of IS intervals containing γ(Â)."""
-        return self._coverage(self.is_intervals, self.gamma_center) or 0.0
+    def is_coverage_of_center(self) -> float | None:
+        """Fraction of IS intervals containing γ(Â) (``None`` when empty)."""
+        return self._coverage(self.is_intervals, self.gamma_center)
 
     def is_coverage_of_true(self) -> float | None:
         """Fraction of IS intervals containing γ."""
         return self._coverage(self.is_intervals, self.gamma_true)
 
-    def imcis_coverage_of_center(self) -> float:
-        """Fraction of IMCIS intervals containing γ(Â)."""
-        return self._coverage(self.imcis_intervals, self.gamma_center) or 0.0
+    def imcis_coverage_of_center(self) -> float | None:
+        """Fraction of IMCIS intervals containing γ(Â) (``None`` when empty)."""
+        return self._coverage(self.imcis_intervals, self.gamma_center)
 
     def imcis_coverage_of_true(self) -> float | None:
         """Fraction of IMCIS intervals containing γ."""
@@ -101,6 +110,42 @@ class CoverageReport:
         return self._mean_interval(self.imcis_intervals)
 
 
+@dataclass(frozen=True)
+class _CoverageContext:
+    """Per-experiment payload shipped to repetition workers once."""
+
+    study: CaseStudy
+    imcis_config: IMCISConfig
+    n_samples: int
+    unrolled_proposal: UnrolledProposal | None
+    backend: str | None
+
+
+def _coverage_repetition(
+    context: _CoverageContext, seed: np.random.SeedSequence
+) -> RepetitionOutcome:
+    """One Section VI repetition, a pure function of ``(context, seed)``.
+
+    Module-level so the parallel runner can ship it to workers by
+    reference; deriving every draw from *seed* is what makes the coverage
+    numbers invariant to the worker count.
+    """
+    study = context.study
+    child = np.random.default_rng(seed)
+    if context.unrolled_proposal is not None:
+        sample = run_bounded_importance_sampling(
+            context.unrolled_proposal, context.n_samples, child, backend=context.backend
+        )
+    else:
+        sample = run_importance_sampling(
+            study.proposal, study.formula, context.n_samples, child,
+            backend=context.backend,
+        )
+    is_result = estimate_from_sample(study.center, sample, study.confidence)
+    imcis_result = imcis_from_sample(study.imc, sample, child, context.imcis_config)
+    return RepetitionOutcome(is_result, imcis_result)
+
+
 def run_coverage_experiment(
     study: CaseStudy,
     repetitions: int,
@@ -109,16 +154,20 @@ def run_coverage_experiment(
     n_samples: int | None = None,
     unrolled_proposal: UnrolledProposal | None = None,
     backend: str | None = "auto",
+    workers: "int | str | None" = None,
 ) -> CoverageReport:
     """Run the Section VI protocol on *study*.
 
-    Each repetition gets an independent child generator, draws one sample
-    of ``n_samples`` traces under the proposal, and evaluates IS (w.r.t.
-    the centre ``Â``) and IMCIS (over the IMC) on that sample.
+    Each repetition gets an independent child seed, draws one sample of
+    ``n_samples`` traces under the proposal, and evaluates IS (w.r.t. the
+    centre ``Â``) and IMCIS (over the IMC) on that sample.
 
     *unrolled_proposal* switches sampling to the time-dependent machinery
     (the SWaT study); *backend* selects the simulation engine for both
-    sampling paths.
+    sampling paths. *workers* fans the repetitions out across a process
+    pool (``"auto"`` = CPU count) — because each repetition depends only on
+    its own child seed, the report is bitwise-identical for every worker
+    count, including the serial ``workers=None``/``1`` path.
     """
     if imcis_config is None:
         imcis_config = IMCISConfig(confidence=study.confidence)
@@ -129,16 +178,24 @@ def run_coverage_experiment(
         gamma_true=study.gamma_true,
         gamma_center=study.gamma_center,
     )
-    for child in child_rngs(rng, repetitions):
-        if unrolled_proposal is not None:
-            sample = run_bounded_importance_sampling(
-                unrolled_proposal, n, child, backend=backend
-            )
-        else:
-            sample = run_importance_sampling(
-                study.proposal, study.formula, n, child, backend=backend
-            )
-        is_result = estimate_from_sample(study.center, sample, study.confidence)
-        imcis_result = imcis_from_sample(study.imc, sample, child, imcis_config)
-        report.outcomes.append(RepetitionOutcome(is_result, imcis_result))
+    # The repetition axis owns the process parallelism: per-repetition
+    # sampling always runs in-process ("parallel" would nest a process
+    # pool inside every repetition worker). Downgraded unconditionally —
+    # not only when a pool is used — so the report stays invariant to the
+    # worker count.
+    context = _CoverageContext(
+        study=study,
+        imcis_config=imcis_config,
+        n_samples=n,
+        unrolled_proposal=unrolled_proposal,
+        backend="auto" if backend == "parallel" else backend,
+    )
+    report.outcomes.extend(
+        map_repetitions(
+            _coverage_repetition,
+            context,
+            spawn_seeds(rng, repetitions),
+            workers=workers,
+        )
+    )
     return report

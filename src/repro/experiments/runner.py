@@ -1,0 +1,107 @@
+"""Parallel experiment runner: fan repetition loops out across processes.
+
+The Section VI protocol is embarrassingly parallel — 100 coverage
+repetitions per case study, each already owning an independent child seed
+through :mod:`repro.util.rng` — yet the harness ran them strictly serially
+on one core. :func:`map_repetitions` is the shared fan-out primitive behind
+:func:`~repro.experiments.coverage.run_coverage_experiment` and
+:func:`~repro.experiments.table1.run_table1`: it maps a module-level
+repetition function over per-repetition seeds on a process pool.
+
+Determinism contract: a repetition's result is a function of
+``(context, seed)`` only, so the merged result list — returned in seed
+order, not completion order — is bitwise-identical for any worker count,
+including the in-process serial path. The context (case study, config,
+sample sizes) is shipped to each worker once through the pool initializer;
+tasks carry only a seed.
+
+Small jobs skip the pool entirely: below
+:data:`MIN_PARALLEL_REPETITIONS` repetitions (or with one worker) the
+repetitions run inline, so tests and smoke runs never pay fork latency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, TypeVar
+
+import numpy as np
+
+from repro.smc.parallel import resolve_workers
+
+__all__ = [
+    "MIN_PARALLEL_REPETITIONS",
+    "map_repetitions",
+    "resolve_workers",
+]
+
+T = TypeVar("T")
+
+#: Below this many repetitions the pool is skipped and the loop runs
+#: inline: a pool spawn costs tens of milliseconds per worker, which
+#: dwarfs one or two cheap repetitions.
+MIN_PARALLEL_REPETITIONS = 4
+
+#: Per-worker (function, context) pair, installed by the pool initializer.
+_WORKER_TASK: "tuple[Callable[..., Any], Any] | None" = None
+
+
+def _init_worker(fn: Callable[..., Any], context: Any) -> None:
+    global _WORKER_TASK
+    _WORKER_TASK = (fn, context)
+
+
+def _run_repetition(seed: np.random.SeedSequence) -> Any:
+    task = _WORKER_TASK
+    assert task is not None, "worker pool used before initialization"
+    fn, context = task
+    return fn(context, seed)
+
+
+def map_repetitions(
+    fn: "Callable[[Any, np.random.SeedSequence], T]",
+    context: Any,
+    seeds: Sequence[np.random.SeedSequence],
+    workers: "int | str | None" = None,
+    min_parallel: int = MIN_PARALLEL_REPETITIONS,
+) -> list[T]:
+    """Evaluate ``fn(context, seed)`` for every seed, possibly in parallel.
+
+    Parameters
+    ----------
+    fn:
+        A *module-level* function (workers import it by reference) mapping
+        ``(context, seed)`` to one repetition's result. It must derive all
+        randomness from ``seed`` — that is what makes the output
+        independent of scheduling.
+    context:
+        Arbitrary per-experiment payload, shipped to each worker once via
+        the pool initializer.
+    seeds:
+        One :class:`numpy.random.SeedSequence` per repetition (see
+        :func:`repro.util.rng.spawn_seeds`).
+    workers:
+        ``None`` (the library default) runs the loop inline — no pool, no
+        forking; ``"auto"`` = CPU count; ``1`` also forces the inline
+        loop. Results are identical for every value.
+    min_parallel:
+        Fewer repetitions than this run inline regardless of *workers*.
+
+    Returns
+    -------
+    list
+        Results in seed order — identical for every worker count.
+    """
+    if workers is None:
+        n_workers = 1
+    else:
+        n_workers = min(resolve_workers(workers), len(seeds)) if seeds else 1
+    if n_workers <= 1 or len(seeds) < min_parallel:
+        return [fn(context, seed) for seed in seeds]
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_init_worker,
+        initargs=(fn, context),
+    ) as pool:
+        return list(pool.map(_run_repetition, seeds))

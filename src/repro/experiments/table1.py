@@ -17,11 +17,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.experiments.runner import map_repetitions
 from repro.imcis.algorithm import IMCISConfig, imcis_estimate
 from repro.imcis.random_search import RandomSearchConfig
 from repro.models import illustrative
 from repro.models.base import CaseStudy
-from repro.util.rng import child_rngs
+from repro.util.rng import spawn_seeds
 from repro.util.stats import DescriptiveStats, describe
 from repro.util.tables import format_table
 
@@ -42,13 +43,52 @@ def transition_value(
 
 @dataclass
 class Table1Result:
-    """Collected per-repetition statistics and their summaries."""
+    """Collected per-repetition statistics and their summaries.
 
-    n_rounds: list[int] = field(default_factory=list)
-    a_min: list[float] = field(default_factory=list)
-    c_min: list[float] = field(default_factory=list)
-    a_max: list[float] = field(default_factory=list)
-    c_max: list[float] = field(default_factory=list)
+    :attr:`records` — one possibly-sparse mapping per successful
+    repetition (a repetition lacks a key when ``transition_value``
+    returned ``None`` for it) — is the single source of truth; the
+    per-column views the summary statistics consume are derived from it,
+    so columns and rows can never desynchronize.
+    """
+
+    records: list[dict[str, float]] = field(default_factory=list)
+
+    def _column(self, key: str) -> list[float]:
+        return [record[key] for record in self.records if key in record]
+
+    @property
+    def n_rounds(self) -> list[int]:
+        """Rounds to converge, per repetition."""
+        return [int(record["n_rounds"]) for record in self.records]
+
+    @property
+    def a_min(self) -> list[float]:
+        """Optimised ``a`` at the minimising extreme, per repetition."""
+        return self._column("a_min")
+
+    @property
+    def c_min(self) -> list[float]:
+        """Optimised ``c`` at the minimising extreme, per repetition."""
+        return self._column("c_min")
+
+    @property
+    def a_max(self) -> list[float]:
+        """Optimised ``a`` at the maximising extreme, per repetition."""
+        return self._column("a_max")
+
+    @property
+    def c_max(self) -> list[float]:
+        """Optimised ``c`` at the maximising extreme, per repetition."""
+        return self._column("c_max")
+
+    def rows(self) -> list[list[object]]:
+        """Aligned per-repetition rows (blank cells for missing values)."""
+        return [
+            [int(record["n_rounds"])]
+            + [record.get(key, "") for key in ("a_min", "c_min", "a_max", "c_max")]
+            for record in self.records
+        ]
 
     def summaries(self) -> dict[str, DescriptiveStats]:
         """Column summaries in the paper's layout."""
@@ -76,6 +116,44 @@ class Table1Result:
         )
 
 
+@dataclass(frozen=True)
+class _Table1Context:
+    """Per-experiment payload shipped to repetition workers once."""
+
+    study: CaseStudy
+    config: IMCISConfig
+    n_samples: int
+    backend: str | None
+
+
+def _table1_repetition(
+    context: _Table1Context, seed: np.random.SeedSequence
+) -> "dict[str, float] | None":
+    """One Table I repetition: Algorithm 1 plus the extreme-value readout.
+
+    Module-level (the parallel runner ships it to workers by reference)
+    and a pure function of ``(context, seed)``, so the collected statistics
+    are invariant to the worker count. ``None`` when the search produced no
+    trace (no successful sample).
+    """
+    study = context.study
+    outcome = imcis_estimate(
+        study.imc, study.proposal, study.formula, context.n_samples,
+        np.random.default_rng(seed), context.config, backend=context.backend,
+    )
+    search = outcome.search
+    if search is None:
+        return None
+    values = {
+        "n_rounds": float(search.rounds_total),
+        "a_min": transition_value(study, search.rows_min, illustrative.S0, illustrative.S1),
+        "c_min": transition_value(study, search.rows_min, illustrative.S1, illustrative.S2),
+        "a_max": transition_value(study, search.rows_max, illustrative.S0, illustrative.S1),
+        "c_max": transition_value(study, search.rows_max, illustrative.S1, illustrative.S2),
+    }
+    return {key: value for key, value in values.items() if value is not None}
+
+
 def run_table1(
     repetitions: int = 100,
     n_samples: int = 10_000,
@@ -83,10 +161,13 @@ def run_table1(
     rng: np.random.Generator | int | None = None,
     params: illustrative.IllustrativeParameters = illustrative.IllustrativeParameters(),
     backend: str | None = "auto",
+    workers: "int | str | None" = None,
 ) -> Table1Result:
     """Run the Table I experiment.
 
     The paper's protocol: 100 repetitions, N = 10 000 traces, R = 1000.
+    *workers* fans the repetitions out across a process pool (``"auto"`` =
+    CPU count); the statistics are identical for every worker count.
     """
     study = illustrative.make_study(params, n_samples=n_samples)
     config = IMCISConfig(
@@ -97,23 +178,15 @@ def run_table1(
             record_history=False,
         ),
     )
-    result = Table1Result()
-    for child in child_rngs(rng, repetitions):
-        outcome = imcis_estimate(
-            study.imc, study.proposal, study.formula, n_samples, child, config,
-            backend=backend,
-        )
-        search = outcome.search
-        if search is None:
-            continue
-        result.n_rounds.append(search.rounds_total)
-        values = {
-            "a_min": transition_value(study, search.rows_min, illustrative.S0, illustrative.S1),
-            "c_min": transition_value(study, search.rows_min, illustrative.S1, illustrative.S2),
-            "a_max": transition_value(study, search.rows_max, illustrative.S0, illustrative.S1),
-            "c_max": transition_value(study, search.rows_max, illustrative.S1, illustrative.S2),
-        }
-        for key, value in values.items():
-            if value is not None:
-                getattr(result, key).append(value)
-    return result
+    # As in the coverage harness: repetitions own the process parallelism,
+    # so per-repetition sampling never nests the sharded backend.
+    context = _Table1Context(
+        study=study,
+        config=config,
+        n_samples=n_samples,
+        backend="auto" if backend == "parallel" else backend,
+    )
+    outcomes = map_repetitions(
+        _table1_repetition, context, spawn_seeds(rng, repetitions), workers=workers
+    )
+    return Table1Result(records=[values for values in outcomes if values is not None])

@@ -12,7 +12,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.coverage import CoverageReport
+from repro.experiments.coverage import CoverageReport, run_coverage_experiment
+from repro.imcis.algorithm import IMCISConfig
+from repro.imcis.random_search import RandomSearchConfig
+from repro.importance.bounded import UnrolledProposal
+from repro.models.base import CaseStudy
 from repro.util.tables import format_number, format_table
 
 
@@ -70,6 +74,48 @@ def rows_from_report(report: CoverageReport) -> list[Table2Row]:
             coverage_true=report.imcis_coverage_of_true(),
         ),
     ]
+
+
+def run_table2(
+    studies: "list[tuple[CaseStudy, UnrolledProposal | None]]",
+    repetitions: int,
+    rng: "np.random.Generator | int | None" = None,
+    imcis_config: IMCISConfig | None = None,
+    search: RandomSearchConfig | None = None,
+    n_samples: int | None = None,
+    backend: str | None = "auto",
+    workers: "int | str | None" = None,
+) -> list[CoverageReport]:
+    """Run the Table II protocol over several case studies.
+
+    Each study runs one coverage experiment; *workers* fans the
+    repetitions of every study out across the process pool (studies run
+    one after another — the repetition axis is where the hardware
+    parallelism is). *imcis_config* applies to every study verbatim;
+    *search* instead tunes only the random search while keeping each
+    study's own confidence level. With an integer (or ``None``) *rng*
+    every study is seeded identically, so a single-study run reproduces
+    its rows from the full sweep; a shared ``Generator`` hands each study
+    the next spawned stream instead.
+    """
+    reports = []
+    for study, unrolled in studies:
+        config = imcis_config
+        if config is None and search is not None:
+            config = IMCISConfig(confidence=study.confidence, search=search)
+        reports.append(
+            run_coverage_experiment(
+                study,
+                repetitions,
+                rng=rng,
+                imcis_config=config,
+                n_samples=n_samples,
+                unrolled_proposal=unrolled,
+                backend=backend,
+                workers=workers,
+            )
+        )
+    return reports
 
 
 def render_table2(reports: list[CoverageReport]) -> str:

@@ -181,6 +181,7 @@ def imcis_estimate(
     config: IMCISConfig = IMCISConfig(),
     max_steps: int | None = None,
     backend: str | None = "auto",
+    workers: "int | str | None" = None,
 ) -> IMCISResult:
     """Full Algorithm 1: sample under *proposal*, optimise over *imc*.
 
@@ -188,12 +189,14 @@ def imcis_estimate(
     independent of the proposal — any ``B`` absolutely continuous w.r.t.
     the chains in the IMC works; the experiments use the perfect proposal
     of the centre chain or a cross-entropy proposal. The sampling half
-    runs on the selected simulation *backend*.
+    runs on the selected simulation *backend*; *workers* shards it across
+    a process pool.
     """
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
     generator = ensure_rng(rng)
     sample = run_importance_sampling(
-        proposal, formula, n_samples, generator, max_steps=max_steps, backend=backend
+        proposal, formula, n_samples, generator, max_steps=max_steps,
+        backend=backend, workers=workers,
     )
     return imcis_from_sample(imc, sample, generator, config)

@@ -187,7 +187,9 @@ class CandidateSpace:
                 log_max[plan.obs_columns] = logs
         return log_min, log_max
 
-    def row_summary(self, rows: dict[int, np.ndarray], direction: str) -> dict[tuple[int, int], float]:
+    def row_summary(
+        self, rows: dict[int, np.ndarray], direction: str
+    ) -> dict[tuple[int, int], float]:
         """Transition-probability assignment of a candidate, for reporting.
 
         Includes sampled rows and the pinned values of *direction*
@@ -205,5 +207,6 @@ class CandidateSpace:
             elif plan.kind == PINNED:
                 logs = plan.pinned_log_min if direction == "min" else plan.pinned_log_max
                 target = self._tables.transitions[int(plan.obs_columns[0])][1]
-                summary[(plan.state, target)] = math.exp(float(logs[0])) if logs[0] != float("-inf") else 0.0
+                value = math.exp(float(logs[0])) if logs[0] != float("-inf") else 0.0
+                summary[(plan.state, target)] = value
         return summary

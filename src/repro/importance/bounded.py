@@ -177,6 +177,7 @@ def run_bounded_importance_sampling(
     n_samples: int,
     rng: np.random.Generator | int | None = None,
     backend: str | None = "auto",
+    workers: "int | str | None" = None,
 ) -> ISSample:
     """Sample under the unrolled proposal; counts come back projected.
 
@@ -184,7 +185,8 @@ def run_bounded_importance_sampling(
     over the *original* chain's transitions and can be fed to
     ``estimate_from_sample`` and ``imcis_from_sample`` unchanged. The
     unrolled chain is an ordinary (sparse) DTMC, so the batch engine's
-    vectorized backend applies to it like any other.
+    vectorized backend applies to it like any other — and *workers* shards
+    the ensemble across a process pool like any other.
     """
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
@@ -196,6 +198,7 @@ def run_bounded_importance_sampling(
         record_log_prob=True,
         futility=proposal.futility,
         backend=backend,
+        workers=workers,
     )
     return ISSample.from_ensemble(
         sampler.sample_ensemble(n_samples, generator),

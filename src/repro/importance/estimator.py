@@ -93,12 +93,16 @@ def run_importance_sampling(
     max_steps: int | None = None,
     initial_state: int | None = None,
     backend: str | None = "auto",
+    workers: "int | str | None" = None,
 ) -> ISSample:
     """Draw *n_samples* traces under *proposal*, keeping success tables.
 
     Simulation goes through the batch engine: with the default *backend*
     the whole sample is advanced as a lockstep ensemble whenever the
     formula compiles to masks, falling back to the scalar loop otherwise.
+    *workers* shards the ensemble across a process pool (see
+    :class:`~repro.smc.parallel.ParallelBackend`); the sample is invariant
+    to the worker count.
     """
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
@@ -111,6 +115,7 @@ def run_importance_sampling(
         record_log_prob=True,
         initial_state=initial_state,
         backend=backend,
+        workers=workers,
     )
     return ISSample.from_ensemble(sampler.sample_ensemble(n_samples, generator))
 
@@ -187,9 +192,11 @@ def importance_sampling_estimate(
     max_steps: int | None = None,
     initial_state: int | None = None,
     backend: str | None = "auto",
+    workers: "int | str | None" = None,
 ) -> EstimationResult:
     """One-call IS estimation: sample under *proposal*, weight by *original*."""
     sample = run_importance_sampling(
-        proposal, formula, n_samples, rng, max_steps, initial_state, backend=backend
+        proposal, formula, n_samples, rng, max_steps, initial_state,
+        backend=backend, workers=workers,
     )
     return estimate_from_sample(original, sample, confidence)

@@ -119,7 +119,9 @@ class StateSpaceBuilder:
             env[var.name] = value
         return env
 
-    def _apply(self, state: tuple[int, ...], update: ast.Update, env: Mapping[str, object]) -> tuple[int, ...]:
+    def _apply(
+        self, state: tuple[int, ...], update: ast.Update, env: Mapping[str, object]
+    ) -> tuple[int, ...]:
         values = {var.name: value for var, value in zip(self._variables, state)}
         for assignment in update.assignments:
             if assignment.variable not in values:

@@ -61,7 +61,7 @@ def simple_good_turing(frequencies: np.ndarray) -> tuple[np.ndarray, float]:
     ----------
     frequencies:
         Observed occurrence counts of the seen species (here: transitions
-    	out of one state), all non-negative integers.
+        out of one state), all non-negative integers.
 
     Returns
     -------

@@ -141,7 +141,8 @@ class NextUntilMonitor(Monitor):
                 self._verdict = Verdict.TRUE
         else:
             self._verdict = Verdict.FALSE
-        if self._verdict is Verdict.UNDECIDED and self._bound is not None and self._time >= self._bound:
+        bounded_out = self._bound is not None and self._time >= self._bound
+        if self._verdict is Verdict.UNDECIDED and bounded_out:
             self._verdict = Verdict.FALSE
         return self._verdict
 

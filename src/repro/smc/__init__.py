@@ -36,6 +36,7 @@ from repro.smc.engine import (
     make_plan,
     resolve_backend,
 )
+from repro.smc.parallel import ParallelBackend, resolve_workers
 from repro.smc.simulator import TraceSampler
 from repro.smc.sprt import SPRTResult, sprt
 
@@ -49,6 +50,7 @@ __all__ = [
     "ConfidenceInterval",
     "EnsembleResult",
     "EstimationResult",
+    "ParallelBackend",
     "SPRTResult",
     "SequentialBackend",
     "SimulationBackend",
@@ -69,6 +71,7 @@ __all__ = [
     "okamoto_epsilon",
     "okamoto_sample_size",
     "required_samples_relative_error",
+    "resolve_workers",
     "sprt",
     "wilson_ci",
 ]

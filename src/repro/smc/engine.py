@@ -54,7 +54,7 @@ DEFAULT_MAX_STEPS = 1_000_000
 COUNT_MODES = ("satisfied", "all", "none")
 
 #: Recognised backend selectors.
-BACKEND_NAMES = ("auto", "sequential", "vectorized")
+BACKEND_NAMES = ("auto", "sequential", "vectorized", "parallel")
 
 #: Absolute tolerance for row-stochasticity during compilation. A row
 #: whose probabilities sum farther than this from one is genuinely
@@ -690,7 +690,10 @@ def resolve_backend(
     ``"auto"`` (and ``None``) and ``"vectorized"`` pick
     :class:`VectorizedBackend` whenever the plan's formula compiled to a
     vector monitor and fall back to :class:`SequentialBackend` otherwise;
-    ``"sequential"`` always picks the reference backend. An already
+    ``"sequential"`` always picks the reference backend; ``"parallel"``
+    shards batches across a process pool
+    (:class:`~repro.smc.parallel.ParallelBackend` with default settings —
+    construct it directly to tune workers or shard size). An already
     constructed backend instance passes through untouched.
     """
     if isinstance(backend, SimulationBackend):
@@ -699,6 +702,10 @@ def resolve_backend(
         backend = "auto"
     if backend not in BACKEND_NAMES:
         raise EstimationError(f"backend must be one of {BACKEND_NAMES}, got {backend!r}")
+    if backend == "parallel":
+        from repro.smc.parallel import ParallelBackend
+
+        return ParallelBackend(plan)
     if backend in ("auto", "vectorized") and plan.vector_monitor is not None:
         return VectorizedBackend(plan)
     return SequentialBackend(plan)

@@ -88,8 +88,20 @@ class TraceSampler:
         ``"auto"`` (default) or ``"vectorized"`` batch-simulates through
         the lockstep ensemble engine when the formula compiles to masks,
         falling back to the scalar loop otherwise; ``"sequential"`` forces
-        the reference loop. A :class:`SimulationBackend` instance is used
-        as-is.
+        the reference loop; ``"parallel"`` shards batches across a process
+        pool. A :class:`SimulationBackend` instance is used as-is.
+    workers:
+        When not ``None``, shard batches across this many worker processes
+        (``"auto"`` = CPU count) through
+        :class:`~repro.smc.parallel.ParallelBackend`, executing *backend*
+        inside each worker. Any value — including 1 — selects the same
+        sharded seed schedule, so results are invariant to the worker
+        count and to the machine's CPU count; batches above one shard
+        therefore consume a different (equally deterministic) stream
+        layout than the unsharded backends. Leave it ``None`` for the
+        plain backend's reference stream. Single-shard batches always run
+        in-process on *backend* directly, bitwise-identically to
+        ``workers=None``.
     """
 
     def __init__(
@@ -102,6 +114,7 @@ class TraceSampler:
         initial_state: int | None = None,
         futility: "FutilityMask | str | None" = "auto",
         backend: "str | SimulationBackend | None" = "auto",
+        workers: "int | str | None" = None,
     ):
         self._plan = make_plan(
             chain,
@@ -112,7 +125,15 @@ class TraceSampler:
             initial_state=initial_state,
             futility=futility,
         )
-        self._backend = resolve_backend(backend, self._plan)
+        if workers is not None and not isinstance(backend, SimulationBackend):
+            from repro.smc.parallel import ParallelBackend
+
+            inner = "auto" if backend in (None, "parallel") else backend
+            self._backend: SimulationBackend = ParallelBackend(
+                self._plan, workers=workers, inner=inner
+            )
+        else:
+            self._backend = resolve_backend(backend, self._plan)
         if isinstance(self._backend, SequentialBackend):
             self._sequential = self._backend
         else:

@@ -8,7 +8,6 @@ and statistically independent regardless of execution order.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 
 import numpy as np
 
@@ -16,7 +15,9 @@ import numpy as np
 RngLike = "np.random.Generator | np.random.SeedSequence | int | None"
 
 
-def ensure_rng(rng: np.random.Generator | np.random.SeedSequence | int | None) -> np.random.Generator:
+def ensure_rng(
+    rng: np.random.Generator | np.random.SeedSequence | int | None,
+) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for *rng*.
 
     Accepts an existing generator (returned unchanged), a seed sequence, an

@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis import probability, spec_probability, until_values
+from repro.analysis import probability, until_values
 from repro.properties import parse_property
 
 from tests.conftest import illustrative_matrix, random_dtmc

@@ -76,12 +76,12 @@ class TestMTTF:
         assert mean_time_to_failure(ctmc) == pytest.approx(0.5)
 
     def test_birth_death_mttf(self):
-        # 0 -> 1 at rate l; 1 -> 0 at rate m, 1 -> 2 (failure) at rate l.
-        l, m = 1.0, 3.0
-        rates = np.array([[0.0, l, 0.0], [m, 0.0, l], [0.0, 0.0, 0.0]])
+        # 0 -> 1 at rate lam; 1 -> 0 at rate m, 1 -> 2 (failure) at rate lam.
+        lam, m = 1.0, 3.0
+        rates = np.array([[0.0, lam, 0.0], [m, 0.0, lam], [0.0, 0.0, 0.0]])
         ctmc = CTMC(rates, labels={"failure": [2]})
-        # m0 = 1/l + m1; m1 = 1/(l+m) + (m/(l+m)) m0  =>  solve by hand:
-        expected_m0 = (1 / l + 1 / (l + m)) / (1 - m / (l + m))
+        # m0 = 1/lam + m1; m1 = 1/(lam+m) + (m/(lam+m)) m0  =>  solve by hand:
+        expected_m0 = (1 / lam + 1 / (lam + m)) / (1 - m / (lam + m))
         assert mean_time_to_failure(ctmc) == pytest.approx(expected_m0)
 
     def test_unreachable_failure(self):

@@ -1,6 +1,5 @@
 """Tests of the coverage-experiment harness (small-scale Table II runs)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import run_coverage_experiment
@@ -46,6 +45,24 @@ class TestCoverageReport:
             outcomes=report.outcomes,
         )
         assert report_no_truth.is_coverage_of_true() is None
+
+    def test_empty_report_has_no_coverage(self, report):
+        """No intervals ⇒ coverage is unknown (None), not an observed 0 %.
+
+        A genuine 0 % (``is_coverage_of_true`` in the paper's pattern) must
+        stay distinguishable from "nothing was measured"."""
+        empty = type(report)(
+            study_name="x",
+            repetitions=0,
+            gamma_true=report.gamma_true,
+            gamma_center=report.gamma_center,
+        )
+        assert empty.is_coverage_of_center() is None
+        assert empty.imcis_coverage_of_center() is None
+        assert empty.is_coverage_of_true() is None
+        assert empty.imcis_coverage_of_true() is None
+        # ... while a measured zero stays a float zero:
+        assert report.is_coverage_of_true() == 0.0
 
 
 class TestTable2Rendering:

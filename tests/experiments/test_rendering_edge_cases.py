@@ -1,7 +1,6 @@
 """Edge-case tests for the report/figure rendering helpers."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.figures import BoundEvolution, IntervalSeries, ProbabilityCurve
 from repro.smc.results import ConfidenceInterval

@@ -1,6 +1,5 @@
 """Unit tests for observation tables."""
 
-import numpy as np
 import pytest
 
 from repro.core import TransitionCounts

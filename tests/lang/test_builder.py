@@ -1,6 +1,5 @@
 """Unit tests for state-space construction from parsed models."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ModelError

@@ -15,8 +15,6 @@ class TestCaseStudy:
         assert isinstance(study, CaseStudy)
 
     def test_imcis_summary_renders(self, rng):
-        import numpy as np
-
         from repro.imcis import IMCISConfig, RandomSearchConfig, imcis_estimate
 
         study = illustrative.make_study()

@@ -1,6 +1,5 @@
 """Tests of the illustrative case study against the paper's numbers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import probability

@@ -5,7 +5,6 @@ expensive checks share one module-scoped chain and the exact-value test is
 the single slow numerical solve.
 """
 
-import numpy as np
 import pytest
 
 from repro.models import repair_large

@@ -1,6 +1,5 @@
 """Unit tests for the property AST: masks, spec decomposition, horizons."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PropertyError

@@ -1,8 +1,7 @@
 """Unit tests for trace monitors, including the repair-property shape."""
 
-import pytest
 
-from repro.properties import Atom, Eventually, Globally, Next, Not, Until, Verdict
+from repro.properties import Atom, Eventually, Globally, Next, Not, Until
 from repro.properties.monitor import Verdict as V
 
 

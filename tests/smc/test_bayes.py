@@ -1,6 +1,5 @@
 """Unit tests for Bayesian estimation and the Bayes-factor test."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import probability

@@ -1,6 +1,5 @@
 """Unit tests for confidence-interval arithmetic."""
 
-import math
 
 import pytest
 

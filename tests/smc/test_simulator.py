@@ -1,6 +1,5 @@
 """Unit tests for the trace sampling engine."""
 
-import numpy as np
 import pytest
 
 from repro.errors import EstimationError

@@ -17,6 +17,19 @@ class TestParser:
             )
             assert args.command == command
 
+    def test_workers_option(self):
+        assert build_parser().parse_args(["table1"]).workers == "auto"
+        assert build_parser().parse_args(["table1", "--workers", "4"]).workers == 4
+        assert build_parser().parse_args(["table1", "--workers", "auto"]).workers == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--workers", "many"])
+
+    def test_backend_choices_include_parallel(self):
+        args = build_parser().parse_args(["table1", "--backend", "parallel"])
+        assert args.backend == "parallel"
+
 
 class TestCommands:
     def test_info(self, capsys):
