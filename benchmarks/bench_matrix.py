@@ -1,0 +1,126 @@
+"""Benchmark: the cross-study experiment matrix as a correctness gate.
+
+Runs ``repro.experiments.matrix`` over the registry's quick set with the
+default estimator pair and records, per cell, the simulation throughput
+(traces/sec) and whether the cell's mean confidence interval contains the
+study's exact ``gamma_true`` — the estimate-sanity gate. A registry
+family whose proposal, IMC or closed form drifts out of agreement with
+the estimator stack turns a cell red here before it can corrupt any
+experiment built on top.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_matrix.py            # full
+    PYTHONPATH=src python benchmarks/bench_matrix.py --quick    # CI gate
+
+Results are printed and written to ``BENCH_matrix.json`` (override with
+``--out``). The script exits non-zero when any cell misses its
+``gamma_true`` — in quick *and* full mode: unlike a scaling gate, the
+sanity gate has no hardware prerequisites. The JSON is written before
+exiting so CI can upload the trajectory even (especially) on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+
+from repro.experiments.matrix import DEFAULT_ESTIMATORS, MatrixConfig, run_matrix
+from repro.models.registry import REGISTRY
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI configuration: fewer repetitions and traces per cell",
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="root RNG seed")
+    parser.add_argument(
+        "--workers",
+        default="auto",
+        help="worker processes for the repetition fan-out (default: auto)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_matrix.json"),
+        help="output JSON path (default: ./BENCH_matrix.json)",
+    )
+    args = parser.parse_args(argv)
+
+    # Full mode mirrors the nightly CI workload (every study including the
+    # slow ones, moderated repetitions); quick mode is the per-commit gate.
+    config = MatrixConfig(
+        estimators=DEFAULT_ESTIMATORS,
+        repetitions=4 if args.quick else 10,
+        n_samples=1_000 if args.quick else 4_000,
+        search_rounds=100 if args.quick else 1000,
+        quick=args.quick,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    studies = REGISTRY.quick_studies() if args.quick else REGISTRY.list_studies()
+    print(
+        f"== matrix benchmark ({len(studies)} studies x "
+        f"{len(config.estimators)} estimators, {os.cpu_count()} CPUs) =="
+    )
+    result = run_matrix(config)
+
+    cells = []
+    for cell in result.cells:
+        cells.append(
+            {
+                "study": cell.study,
+                "estimator": cell.estimator,
+                "repetitions": cell.repetitions,
+                "n_samples": cell.n_samples,
+                "gamma_true": cell.gamma_true,
+                "estimate_mean": cell.estimate_mean,
+                "ci": [cell.ci_low, cell.ci_high],
+                "ess_mean": cell.ess_mean,
+                "coverage": cell.coverage,
+                "within_ci": cell.within_ci,
+                "wall_time": round(cell.wall_time, 3),
+                "traces_per_sec": round(cell.traces_per_sec, 1),
+            }
+        )
+        status = {True: "ok", False: "MISS", None: "no gamma_true"}[cell.within_ci]
+        gamma = "?" if cell.gamma_true is None else f"{cell.gamma_true:.4g}"
+        print(
+            f"{cell.study:>14}/{cell.estimator:<5} "
+            f"{cell.traces_per_sec:>12,.0f} traces/s  "
+            f"estimate {cell.estimate_mean:.4g} vs gamma {gamma}  [{status}]"
+        )
+
+    failing = [f"{cell.study}/{cell.estimator}" for cell in result.failing_cells()]
+    results = {
+        "benchmark": "matrix",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "quick": args.quick,
+        "estimators": list(config.estimators),
+        "studies": studies,
+        "cells": cells,
+        "gate": {
+            "criterion": "every cell's mean CI contains gamma_true",
+            "failing_cells": failing,
+            "status": "failed" if failing else "passed",
+        },
+    }
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if failing:
+        print(f"FAIL: {len(failing)} cell(s) miss gamma_true: {', '.join(failing)}")
+        return 1
+    print("gate: passed — every cell's mean CI contains gamma_true")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

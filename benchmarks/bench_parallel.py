@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.experiments import run_coverage_experiment
 from repro.imcis import IMCISConfig, RandomSearchConfig
-from repro.models import illustrative, repair_group
+from repro.models.registry import REGISTRY
 from repro.smc import ParallelBackend, make_plan
 
 #: Worker counts benchmarked, and the pair the CI gate compares.
@@ -55,7 +55,7 @@ def bench_backend(n_traces: int, shard_size: int, repeats: int, seed: int) -> di
     which is the regime the sharded backend targets. (A 4-state chain with
     4-step traces would measure pure dispatch overhead instead.)
     """
-    study = repair_group.make_study()
+    study = REGISTRY.make_study("group-repair").study
     plan = make_plan(study.proposal, study.formula, count_mode="none")
     entry: dict = {
         "model": "group-repair/proposal",
@@ -80,7 +80,7 @@ def bench_backend(n_traces: int, shard_size: int, repeats: int, seed: int) -> di
 
 def bench_runner(repetitions: int, n_samples: int, repeats: int, seed: int) -> dict:
     """Repetitions/sec of the coverage protocol per worker count."""
-    study = illustrative.make_study(n_samples=n_samples)
+    study = REGISTRY.make_study("illustrative", n_samples=n_samples).study
     config = IMCISConfig(
         confidence=study.confidence,
         search=RandomSearchConfig(r_undefeated=100, record_history=False),

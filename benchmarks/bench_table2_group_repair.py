@@ -11,11 +11,11 @@ from conftest import scaled, write_report
 
 from repro.experiments import render_table2, run_coverage_experiment
 from repro.imcis import IMCISConfig, RandomSearchConfig
-from repro.models import repair_group
+from repro.models.registry import REGISTRY
 
 
 def run():
-    study = repair_group.make_study()
+    study = REGISTRY.make_study("group-repair").study
     # refine_rounds: the local-refinement extension (imcis.refine) pushes
     # the search to the polytope extremes the paper's own interval widths
     # imply — see EXPERIMENTS.md for the plain-Algorithm-2 numbers.

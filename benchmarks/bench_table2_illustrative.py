@@ -8,11 +8,11 @@ from conftest import scaled, write_report
 
 from repro.experiments import render_table2, run_coverage_experiment
 from repro.imcis import IMCISConfig, RandomSearchConfig
-from repro.models import illustrative
+from repro.models.registry import REGISTRY
 
 
 def run():
-    study = illustrative.make_study()
+    study = REGISTRY.make_study("illustrative").study
     config = IMCISConfig(
         confidence=study.confidence,
         search=RandomSearchConfig(r_undefeated=scaled(1000, 1000), record_history=False),

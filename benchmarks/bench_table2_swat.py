@@ -10,11 +10,11 @@ from conftest import scaled, write_report
 
 from repro.experiments import render_table2, run_coverage_experiment
 from repro.imcis import IMCISConfig, RandomSearchConfig
-from repro.models import swat
+from repro.models.registry import REGISTRY
 
 
 def run():
-    study, proposal = swat.make_study(rng=2018)
+    study, proposal = REGISTRY.make_study("swat", rng=2018).as_pair()
     config = IMCISConfig(
         confidence=study.confidence,
         search=RandomSearchConfig(r_undefeated=scaled(500, 1000), record_history=False),

@@ -9,6 +9,7 @@ Examples
     repro table2 --study illustrative --reps 20
     repro fig3 --samples 5000 --out results/
     repro fig5 --points 21
+    repro matrix --quick --workers 4 --out results/
 
 Every command prints an ASCII rendering; ``--out DIR`` additionally writes
 the underlying CSV series.
@@ -23,18 +24,26 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import EstimationError, ModelError
 from repro.experiments.figures import (
     BoundEvolution,
     IntervalSeries,
     ProbabilityCurve,
     write_csv,
 )
+from repro.experiments.matrix import (
+    DEFAULT_ESTIMATORS,
+    ESTIMATOR_NAMES,
+    MatrixConfig,
+    run_matrix,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import render_table2, run_table2
 from repro.imcis.algorithm import IMCISConfig, imcis_estimate, imcis_from_sample
 from repro.imcis.random_search import RandomSearchConfig
 from repro.importance.bounded import run_bounded_importance_sampling
-from repro.models import illustrative, repair_group, repair_large, swat
+from repro.models import illustrative, repair_group
+from repro.models.registry import REGISTRY
 
 
 def _workers_arg(value: str) -> "int | str":
@@ -81,16 +90,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _study_for(name: str, seed: int):
-    if name == "illustrative":
-        return illustrative.make_study(), None
-    if name == "group-repair":
-        return repair_group.make_study(), None
-    if name == "large-repair":
-        return repair_large.make_study(), None
-    if name == "swat":
-        study, proposal = swat.make_study(rng=seed)
-        return study, proposal
-    raise SystemExit(f"unknown study {name!r}")
+    """Resolve *name* through the registry (seeded factories get *seed*)."""
+    try:
+        return REGISTRY.make_study(name, rng=seed).as_pair()
+    except ModelError as error:
+        raise SystemExit(str(error)) from None
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -98,13 +102,22 @@ def cmd_info(args: argparse.Namespace) -> int:
     print("IMCIS reproduction — Jegourel, Wang, Sun, DSN 2018")
     print()
     print("illustrative:  4 states,  gamma =", illustrative.exact_probability())
-    print("               gamma(A_hat) =", illustrative.exact_probability(
-        illustrative.A_HAT, illustrative.C_HAT))
+    print(
+        "               gamma(A_hat) =",
+        illustrative.exact_probability(illustrative.A_HAT, illustrative.C_HAT),
+    )
     chain = repair_group.embedded_chain()
-    print(f"group repair:  {chain.n_states} states, gamma(alpha=0.1) =",
-          repair_group.exact_probability(repair_group.ALPHA_TRUE))
+    print(
+        f"group repair:  {chain.n_states} states, gamma(alpha=0.1) =",
+        repair_group.exact_probability(repair_group.ALPHA_TRUE),
+    )
     print("swat truth:    70 states (synthetic surrogate; see DESIGN.md)")
     print("large repair:  40320 states (build with `repro table2 --study large-repair`)")
+    print()
+    print("registered studies (run the matrix over them with `repro matrix`):")
+    for spec in REGISTRY:
+        tags = f"  [{', '.join(sorted(spec.tags))}]" if spec.tags else ""
+        print(f"  {spec.name:<14} {spec.description}{tags}")
     return 0
 
 
@@ -229,6 +242,52 @@ def cmd_fig4(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_matrix(args: argparse.Namespace) -> int:
+    """Run the cross-study experiment matrix over the registry."""
+    studies = tuple(args.studies.split(",")) if args.studies else None
+    estimators = tuple(args.estimators.split(","))
+    repetitions = args.reps or (4 if args.quick else 20)
+    n_samples = args.samples if args.samples is not None else (1000 if args.quick else None)
+    # The matrix parser defaults --r-undefeated to None (not 1000) so an
+    # explicit value always wins; unset, --quick scales the search down.
+    if args.r_undefeated is not None:
+        search_rounds = args.r_undefeated
+    else:
+        search_rounds = 100 if args.quick else 1000
+    config = MatrixConfig(
+        studies=studies,
+        estimators=estimators,
+        backend=args.backend,
+        repetitions=repetitions,
+        n_samples=n_samples,
+        search_rounds=search_rounds,
+        quick=args.quick,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    started = time.time()
+    try:
+        result = run_matrix(config)
+    except (ModelError, EstimationError) as error:
+        raise SystemExit(str(error)) from None
+    print(result.render())
+    elapsed = time.time() - started
+    print(f"[{len(result.cells)} cells x {repetitions} repetitions in {elapsed:.1f}s]")
+    failing = result.failing_cells()
+    for cell in failing:
+        print(
+            f"WARNING: {cell.study}/{cell.estimator} mean interval "
+            f"[{cell.ci_low:.6g}, {cell.ci_high:.6g}] misses gamma_true {cell.gamma_true:.6g}"
+        )
+    if args.out:
+        for path in result.write(args.out).values():
+            print("wrote", path)
+    if args.check and failing:
+        print(f"FAIL: {len(failing)} cell(s) miss gamma_true")
+        return 1
+    return 0
+
+
 def cmd_fig5(args: argparse.Namespace) -> int:
     """Regenerate Figure 5 (probability curve)."""
     grid, values = repair_group.probability_curve(points=args.points)
@@ -253,20 +312,50 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table1", help="Table I random-search statistics")
     _add_common(p)
 
+    study_names = REGISTRY.list_studies()
+
     p = sub.add_parser("table2", help="Table II IS vs IMCIS coverage")
     _add_common(p)
-    p.add_argument("--study", choices=["illustrative", "group-repair", "large-repair", "swat"])
+    p.add_argument("--study", choices=study_names)
 
     p = sub.add_parser("fig2", help="Figure 2 interval superposition")
     _add_common(p)
-    p.add_argument("--study", choices=["illustrative", "group-repair", "large-repair", "swat"])
+    p.add_argument("--study", choices=study_names)
 
     p = sub.add_parser("fig3", help="Figure 3 bound evolution")
     _add_common(p)
-    p.add_argument("--study", choices=["illustrative", "group-repair", "swat"])
+    p.add_argument("--study", choices=study_names)
 
     p = sub.add_parser("fig4", help="Figure 4 SWaT intervals")
     _add_common(p)
+
+    p = sub.add_parser("matrix", help="cross-study experiment matrix over the registry")
+    _add_common(p)
+    p.add_argument(
+        "--studies",
+        default=None,
+        help="comma-separated study names (default: every registered study; "
+        "with --quick, every study not tagged slow)",
+    )
+    p.add_argument(
+        "--estimators",
+        default=",".join(DEFAULT_ESTIMATORS),
+        help=f"comma-separated estimators out of {', '.join(ESTIMATOR_NAMES)} "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke configuration: skip slow studies, apply quick study "
+        "parameters, default to 4 repetitions x 1000 traces and R = 100",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any cell's mean interval misses gamma_true",
+    )
+    # None (not 1000) so cmd_matrix can tell an explicit R from the default.
+    p.set_defaults(r_undefeated=None)
 
     p = sub.add_parser("fig5", help="Figure 5 probability curve")
     p.add_argument("--points", type=int, default=21)
@@ -286,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig3": cmd_fig3,
         "fig4": cmd_fig4,
         "fig5": cmd_fig5,
+        "matrix": cmd_matrix,
     }
     return handlers[args.command](args)
 

@@ -11,6 +11,12 @@ from repro.experiments.figures import (
     ProbabilityCurve,
     write_csv,
 )
+from repro.experiments.matrix import (
+    MatrixCell,
+    MatrixConfig,
+    MatrixResult,
+    run_matrix,
+)
 from repro.experiments.runner import map_repetitions, resolve_workers
 from repro.experiments.table1 import Table1Result, run_table1, transition_value
 from repro.experiments.table2 import (
@@ -24,11 +30,15 @@ __all__ = [
     "BoundEvolution",
     "CoverageReport",
     "IntervalSeries",
+    "MatrixCell",
+    "MatrixConfig",
+    "MatrixResult",
     "ProbabilityCurve",
     "RepetitionOutcome",
     "Table1Result",
     "Table2Row",
     "map_repetitions",
+    "run_matrix",
     "render_table2",
     "resolve_workers",
     "rows_from_report",

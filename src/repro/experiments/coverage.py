@@ -55,9 +55,7 @@ class CoverageReport:
     gamma_center: float
     outcomes: list[RepetitionOutcome] = field(default_factory=list)
 
-    def _coverage(
-        self, intervals: list[ConfidenceInterval], value: float | None
-    ) -> float | None:
+    def _coverage(self, intervals: list[ConfidenceInterval], value: float | None) -> float | None:
         """Fraction of *intervals* containing *value*.
 
         ``None`` — distinct from an observed 0 % coverage — when there is
@@ -138,7 +136,10 @@ def _coverage_repetition(
         )
     else:
         sample = run_importance_sampling(
-            study.proposal, study.formula, context.n_samples, child,
+            study.proposal,
+            study.formula,
+            context.n_samples,
+            child,
             backend=context.backend,
         )
     is_result = estimate_from_sample(study.center, sample, study.confidence)

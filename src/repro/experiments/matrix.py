@@ -1,0 +1,393 @@
+"""Cross-study experiment matrix: every registered study × every estimator.
+
+The registry (:mod:`repro.models.registry`) turns the paper's three-table
+reproduction into a benchmark suite; this module is its runner. A *cell*
+is one ``(study, estimator, backend)`` combination; each cell runs a
+configurable number of repetitions through the shared parallel fan-out
+(:func:`~repro.experiments.runner.map_repetitions`) and aggregates the
+per-repetition estimates, intervals and effective sample sizes into one
+consolidated records table, rendered as ASCII, CSV, JSON and markdown.
+
+Estimator semantics — each cell estimates the study's ground truth γ:
+
+* ``mc`` / ``bayes`` simulate the exact chain ``A`` directly (crude
+  baselines; blind to rare events at small sample sizes);
+* ``is`` samples the study's proposal and weights against ``A`` (against
+  the centre ``Â`` when the study has no ground truth), so its interval
+  is an honest CI for γ — the matrix checks estimator correctness,
+  whereas the Table II experiments deliberately weight against ``Â`` to
+  exhibit the coverage failure;
+* ``imcis`` runs Algorithm 1 over the study's IMC on the same kind of
+  sample; its conservative interval covers γ whenever ``A ∈ [Â]``.
+
+Determinism contract: every cell derives its repetition seeds from the
+root seed alone — identically for every cell, so a single-study run
+reproduces its rows from the full sweep — and repetitions are pure
+functions of ``(context, seed)``. The rendered tables are therefore
+bitwise identical for every worker count. Wall-clock timings are the one
+exception; they are kept out of the deterministic artifacts and written
+to a separate timing table.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.experiments.runner import map_repetitions
+from repro.imcis.algorithm import IMCISConfig, imcis_from_sample
+from repro.imcis.random_search import RandomSearchConfig
+from repro.importance.bounded import run_bounded_importance_sampling
+from repro.importance.estimator import estimate_from_sample, run_importance_sampling
+from repro.models.registry import REGISTRY, PreparedStudy, StudyRegistry
+from repro.smc.bayes import bayesian_estimate
+from repro.smc.estimators import monte_carlo_estimate
+from repro.smc.results import ConfidenceInterval
+from repro.util.rng import spawn_seeds
+from repro.util.tables import format_number, format_table
+
+#: Estimators the matrix knows how to run.
+ESTIMATOR_NAMES = ("mc", "bayes", "is", "imcis")
+#: The default cell set: the paper's estimator stack (the crude baselines
+#: cannot see rare events at smoke-run sample sizes).
+DEFAULT_ESTIMATORS = ("is", "imcis")
+
+#: Column order of the deterministic records table.
+RECORD_FIELDS = (
+    "study",
+    "estimator",
+    "backend",
+    "repetitions",
+    "n_samples",
+    "gamma_true",
+    "estimate_mean",
+    "estimate_std",
+    "ci_low",
+    "ci_high",
+    "ess_mean",
+    "coverage",
+    "within_ci",
+)
+
+
+@dataclass(frozen=True)
+class MatrixConfig:
+    """Configuration of one matrix run.
+
+    ``studies=None`` resolves to the registry's quick set under
+    ``quick=True`` and to every registered study otherwise.
+    ``n_samples``/``confidence`` of ``None`` defer to each study's own
+    values. ``search_rounds`` is the IMCIS random-search stopping
+    parameter ``R``.
+    """
+
+    studies: "tuple[str, ...] | None" = None
+    estimators: "tuple[str, ...]" = DEFAULT_ESTIMATORS
+    backend: str | None = "vectorized"
+    repetitions: int = 20
+    n_samples: int | None = None
+    confidence: float | None = None
+    search_rounds: int = 1000
+    quick: bool = False
+    seed: int = 2018
+    workers: "int | str | None" = None
+
+
+@dataclass(frozen=True)
+class _CellOutcome:
+    """One repetition of one cell."""
+
+    estimate: float
+    interval: ConfidenceInterval
+    ess: float | None
+
+
+@dataclass(frozen=True)
+class _CellContext:
+    """Per-cell payload shipped to repetition workers once."""
+
+    prepared: PreparedStudy
+    estimator: str
+    n_samples: int
+    confidence: float
+    search_rounds: int
+    backend: str | None
+
+
+def _draw_sample(context: _CellContext, rng: np.random.Generator):
+    """Draw one IS sample under the study's (possibly unrolled) proposal."""
+    study = context.prepared.study
+    if context.prepared.unrolled_proposal is not None:
+        return run_bounded_importance_sampling(
+            context.prepared.unrolled_proposal,
+            context.n_samples,
+            rng,
+            backend=context.backend,
+        )
+    return run_importance_sampling(
+        study.proposal,
+        study.formula,
+        context.n_samples,
+        rng,
+        backend=context.backend,
+    )
+
+
+def _matrix_repetition(context: _CellContext, seed: np.random.SeedSequence) -> _CellOutcome:
+    """One cell repetition, a pure function of ``(context, seed)``.
+
+    Module-level so the parallel runner can ship it to workers by
+    reference; deriving every draw from *seed* is what makes the matrix
+    invariant to the worker count.
+    """
+    study = context.prepared.study
+    target = study.true_chain if study.true_chain is not None else study.center
+    child = np.random.default_rng(seed)
+    if context.estimator == "mc":
+        result = monte_carlo_estimate(
+            target,
+            study.formula,
+            context.n_samples,
+            child,
+            confidence=context.confidence,
+            backend=context.backend,
+        )
+        return _CellOutcome(result.estimate, result.interval, result.ess)
+    if context.estimator == "bayes":
+        result = bayesian_estimate(
+            target,
+            study.formula,
+            context.n_samples,
+            child,
+            confidence=context.confidence,
+            backend=context.backend,
+        )
+        return _CellOutcome(result.estimate, result.interval, None)
+    sample = _draw_sample(context, child)
+    if context.estimator == "is":
+        result = estimate_from_sample(target, sample, context.confidence)
+        return _CellOutcome(result.estimate, result.interval, result.ess)
+    if context.estimator == "imcis":
+        config = IMCISConfig(
+            confidence=context.confidence,
+            search=RandomSearchConfig(r_undefeated=context.search_rounds, record_history=False),
+        )
+        result = imcis_from_sample(study.imc, sample, child, config)
+        return _CellOutcome(result.mid_value, result.interval, result.center_estimate.ess)
+    raise EstimationError(f"unknown estimator {context.estimator!r}; known: {ESTIMATOR_NAMES}")
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """Aggregate of one ``(study, estimator, backend)`` cell."""
+
+    study: str
+    estimator: str
+    backend: str
+    repetitions: int
+    n_samples: int
+    gamma_true: float | None
+    estimate_mean: float
+    estimate_std: float
+    ci_low: float
+    ci_high: float
+    ess_mean: float | None
+    coverage: float | None
+    within_ci: bool | None
+    wall_time: float
+    traces_per_sec: float
+
+    def record(self, include_timing: bool = False) -> dict:
+        """The cell as a flat record (timing excluded by default — it is
+        the one non-deterministic column)."""
+        record = {name: getattr(self, name) for name in RECORD_FIELDS}
+        if include_timing:
+            record["wall_time"] = self.wall_time
+            record["traces_per_sec"] = self.traces_per_sec
+        return record
+
+
+def _aggregate_cell(
+    context: _CellContext,
+    outcomes: "list[_CellOutcome]",
+    wall_time: float,
+) -> MatrixCell:
+    """Fold one cell's repetition outcomes into its matrix record."""
+    study = context.prepared.study
+    gamma_true = study.gamma_true
+    estimates = np.array([o.estimate for o in outcomes])
+    lows = np.array([o.interval.low for o in outcomes])
+    highs = np.array([o.interval.high for o in outcomes])
+    ess_values = [o.ess for o in outcomes if o.ess is not None]
+    ci_low = float(lows.mean())
+    ci_high = float(highs.mean())
+    coverage: float | None = None
+    within_ci: bool | None = None
+    if gamma_true is not None:
+        hits = sum(1 for o in outcomes if o.interval.contains(gamma_true))
+        coverage = hits / len(outcomes)
+        mean_interval = ConfidenceInterval(ci_low, ci_high, context.confidence)
+        within_ci = mean_interval.contains(gamma_true)
+    total_traces = context.n_samples * len(outcomes)
+    return MatrixCell(
+        study=study.name,
+        estimator=context.estimator,
+        backend=context.backend or "auto",
+        repetitions=len(outcomes),
+        n_samples=context.n_samples,
+        gamma_true=gamma_true,
+        estimate_mean=float(estimates.mean()),
+        estimate_std=float(estimates.std()),
+        ci_low=ci_low,
+        ci_high=ci_high,
+        ess_mean=float(np.mean(ess_values)) if ess_values else None,
+        coverage=coverage,
+        within_ci=within_ci,
+        wall_time=wall_time,
+        traces_per_sec=total_traces / wall_time if wall_time > 0 else 0.0,
+    )
+
+
+@dataclass
+class MatrixResult:
+    """The consolidated records table of one matrix run."""
+
+    config: MatrixConfig
+    cells: "list[MatrixCell]"
+
+    def records(self, include_timing: bool = False) -> "list[dict]":
+        """Flat per-cell records, in run order."""
+        return [cell.record(include_timing) for cell in self.cells]
+
+    def failing_cells(self) -> "list[MatrixCell]":
+        """Cells whose mean interval misses the study's exact γ."""
+        return [cell for cell in self.cells if cell.within_ci is False]
+
+    @staticmethod
+    def _cell_text(value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return format_number(value)
+        return str(value)
+
+    def _table_rows(self) -> "list[list[str]]":
+        return [
+            [self._cell_text(record[name]) for name in RECORD_FIELDS]
+            for record in self.records()
+        ]
+
+    def render(self) -> str:
+        """ASCII rendering of the matrix (deterministic columns only)."""
+        return format_table(
+            list(RECORD_FIELDS),
+            self._table_rows(),
+            title="Cross-study experiment matrix",
+        )
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (deterministic columns only)."""
+        header = "| " + " | ".join(RECORD_FIELDS) + " |"
+        separator = "| " + " | ".join("---" for _ in RECORD_FIELDS) + " |"
+        body = ["| " + " | ".join(row) + " |" for row in self._table_rows()]
+        return "\n".join([header, separator, *body]) + "\n"
+
+    def to_csv_text(self) -> str:
+        """The records as CSV, floats at full ``repr`` precision."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(RECORD_FIELDS)
+        for record in self.records():
+            writer.writerow(
+                ["" if record[name] is None else record[name] for name in RECORD_FIELDS]
+            )
+        return buffer.getvalue()
+
+    def to_json_text(self) -> str:
+        """The records as a JSON document."""
+        return json.dumps(self.records(), indent=2) + "\n"
+
+    def timing_csv_text(self) -> str:
+        """Per-cell wall time and throughput (non-deterministic by nature)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(["study", "estimator", "backend", "wall_time", "traces_per_sec"])
+        for cell in self.cells:
+            writer.writerow(
+                [cell.study, cell.estimator, cell.backend, cell.wall_time, cell.traces_per_sec]
+            )
+        return buffer.getvalue()
+
+    def write(self, out_dir: Path) -> "dict[str, Path]":
+        """Write CSV/JSON/markdown (plus the timing table) under *out_dir*.
+
+        Returns the written paths. All files except ``matrix_timing.csv``
+        are bitwise identical across worker counts and machines.
+        """
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "csv": out_dir / "matrix.csv",
+            "json": out_dir / "matrix.json",
+            "markdown": out_dir / "matrix.md",
+            "timing": out_dir / "matrix_timing.csv",
+        }
+        paths["csv"].write_text(self.to_csv_text())
+        paths["json"].write_text(self.to_json_text())
+        paths["markdown"].write_text(self.render_markdown())
+        paths["timing"].write_text(self.timing_csv_text())
+        return paths
+
+
+def resolve_studies(config: MatrixConfig, registry: StudyRegistry = REGISTRY) -> "list[str]":
+    """The study names a matrix run covers, in registry order."""
+    if config.studies is not None:
+        return [registry.get(name).name for name in config.studies]
+    if config.quick:
+        return registry.quick_studies()
+    return registry.list_studies()
+
+
+def run_matrix(config: MatrixConfig, registry: StudyRegistry = REGISTRY) -> MatrixResult:
+    """Run the full (study × estimator) matrix described by *config*.
+
+    Studies are built once each (quick factories under ``quick=True``) and
+    shipped to the repetition workers per cell; the repetition axis owns
+    the process parallelism, exactly as in the coverage harness.
+    """
+    for estimator in config.estimators:
+        if estimator not in ESTIMATOR_NAMES:
+            raise EstimationError(f"unknown estimator {estimator!r}; known: {ESTIMATOR_NAMES}")
+    if config.repetitions < 1:
+        raise EstimationError("repetitions must be positive")
+    backend = "auto" if config.backend == "parallel" else config.backend
+    cells: "list[MatrixCell]" = []
+    for name in resolve_studies(config, registry):
+        prepared = registry.make_study(name, rng=config.seed, quick=config.quick)
+        study = prepared.study
+        n_samples = config.n_samples if config.n_samples is not None else study.n_samples
+        confidence = config.confidence if config.confidence is not None else study.confidence
+        for estimator in config.estimators:
+            context = _CellContext(
+                prepared=prepared,
+                estimator=estimator,
+                n_samples=n_samples,
+                confidence=confidence,
+                search_rounds=config.search_rounds,
+                backend=backend,
+            )
+            seeds = spawn_seeds(config.seed, config.repetitions)
+            started = time.perf_counter()
+            outcomes = map_repetitions(_matrix_repetition, context, seeds, workers=config.workers)
+            wall_time = time.perf_counter() - started
+            cells.append(_aggregate_cell(context, outcomes, wall_time))
+    return MatrixResult(config=config, cells=cells)

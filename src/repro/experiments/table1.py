@@ -138,8 +138,13 @@ def _table1_repetition(
     """
     study = context.study
     outcome = imcis_estimate(
-        study.imc, study.proposal, study.formula, context.n_samples,
-        np.random.default_rng(seed), context.config, backend=context.backend,
+        study.imc,
+        study.proposal,
+        study.formula,
+        context.n_samples,
+        np.random.default_rng(seed),
+        context.config,
+        backend=context.backend,
     )
     search = outcome.search
     if search is None:

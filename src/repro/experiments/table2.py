@@ -58,9 +58,7 @@ def rows_from_report(report: CoverageReport) -> list[Table2Row]:
             method="IS",
             ci_low=is_low,
             ci_high=is_high,
-            mid_value=float(
-                np.mean([o.is_result.estimate for o in report.outcomes])
-            ),
+            mid_value=float(np.mean([o.is_result.estimate for o in report.outcomes])),
             coverage_center=report.is_coverage_of_center(),
             coverage_true=report.is_coverage_of_true(),
         ),

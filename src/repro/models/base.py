@@ -11,8 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.dtmc import DTMC
+import numpy as np
+
+from repro.core import linalg
+from repro.core.dtmc import DTMC, ROW_ATOL
 from repro.core.imc import IMC
+from repro.errors import ModelError
 from repro.properties.logic import Formula
 
 
@@ -52,6 +56,36 @@ class CaseStudy:
     gamma_center: float
     n_samples: int = 10_000
     confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        """Reject studies with out-of-range probabilities or a broken proposal.
+
+        The exact probabilities must be probabilities, and the proposal —
+        the one distribution the experiments actually sample from — must
+        be row-stochastic with entries in [0, 1] (the same CSR-friendly
+        checks the DTMC constructor applies, re-run here because proposals
+        can reach a study through validation-skipping paths such as
+        ``with_labels``).
+        """
+        checks = (("gamma_true", self.gamma_true), ("gamma_center", self.gamma_center))
+        for field_name, value in checks:
+            if value is None:
+                continue
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(
+                    f"{field_name} of study {self.name!r} must lie in [0, 1], got {value!r}"
+                )
+        linalg.check_entries_in_unit_interval(
+            self.proposal.transitions, f"proposal of study {self.name!r}"
+        )
+        sums = linalg.row_sums(self.proposal.transitions)
+        bad = np.flatnonzero(np.abs(sums - 1.0) > ROW_ATOL)
+        if bad.size:
+            state = int(bad[0])
+            raise ModelError(
+                f"proposal row {state} of study {self.name!r} sums to "
+                f"{sums[state]!r}, expected 1"
+            )
 
     @property
     def center(self) -> DTMC:

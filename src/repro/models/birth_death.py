@@ -1,0 +1,123 @@
+"""Birth–death queue with an interval service probability.
+
+The embedded jump chain of an M/M/1/K queue on the states ``0..K``
+(queue occupancy): from the empty queue the first arrival always moves to
+state 1, interior states move up with probability ``p`` (an arrival wins
+the race against the server) and down with ``1 − p``, and the full queue
+can only drain. The dependability property is the classic busy-cycle
+overflow — starting from the empty queue, the buffer fills before the
+system drains back to empty,
+
+    P=? [ "init" & (X !"init" U "full") ],
+
+whose probability has the gambler's-ruin closed form
+
+    γ = (1 − r) / (1 − r^K),          r = (1 − p) / p
+
+(``γ = 1/K`` at ``p = 1/2``). For the default ``p = 0.25, K = 10``,
+``γ ≈ 3.39e-5`` — a rare event of the same magnitude as the paper's
+repair studies. The IMC perturbs the service race: ``p ∈ [p̂ ± ε]`` on
+every interior row, exactly the Section II-B construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dtmc import DTMC
+from repro.core.imc import IMC
+from repro.importance.zero_variance import zero_variance_proposal
+from repro.models.base import CaseStudy
+from repro.properties.logic import Formula
+from repro.properties.parser import parse_property
+
+#: Buffer capacity ``K`` (states ``0..K``).
+CAPACITY = 10
+#: True probability that an arrival beats the server at interior states.
+P_TRUE = 0.25
+#: The learnt point estimate and its margin: ``p ∈ [p̂ − ε, p̂ + ε]``.
+P_HAT = 0.26
+P_EPSILON = 0.02
+
+#: The busy-cycle overflow property.
+PROPERTY = 'P=? [ "init" & (X !"init" U "full") ]'
+
+
+def birth_death_chain(p: float = P_TRUE, capacity: int = CAPACITY) -> DTMC:
+    """The embedded jump chain of the M/M/1/K queue at up-probability *p*."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must lie strictly inside (0, 1)")
+    if capacity < 2:
+        raise ValueError("capacity must be at least 2")
+    n = capacity + 1
+    matrix = np.zeros((n, n))
+    matrix[0, 1] = 1.0
+    for state in range(1, capacity):
+        matrix[state, state + 1] = p
+        matrix[state, state - 1] = 1.0 - p
+    matrix[capacity, capacity - 1] = 1.0
+    labels = {"init": [0], "full": [capacity]}
+    names = [f"q{state}" for state in range(n)]
+    return DTMC(matrix, 0, labels, state_names=names)
+
+
+def exact_probability(p: float = P_TRUE, capacity: int = CAPACITY) -> float:
+    """Closed-form γ of filling the buffer before draining back to empty."""
+    if p == 0.5:
+        return 1.0 / capacity
+    r = (1.0 - p) / p
+    return (1.0 - r) / (1.0 - r**capacity)
+
+
+def overflow_formula() -> Formula:
+    """``P=? [ "init" & (X !"init" U "full") ]``."""
+    return parse_property(PROPERTY)
+
+
+def birth_death_imc(
+    p_hat: float = P_HAT,
+    p_epsilon: float = P_EPSILON,
+    capacity: int = CAPACITY,
+) -> IMC:
+    """The IMC ``[Â ± ε]``: the service race perturbed on every interior row."""
+    center = birth_death_chain(p_hat, capacity)
+    epsilon = np.zeros((capacity + 1, capacity + 1))
+    for state in range(1, capacity):
+        epsilon[state, state + 1] = p_epsilon
+        epsilon[state, state - 1] = p_epsilon
+    return IMC.from_center(center, epsilon)
+
+
+def is_proposal(p_hat: float = P_HAT, capacity: int = CAPACITY, mixing: float = 0.0) -> DTMC:
+    """Zero-variance IS proposal w.r.t. the learnt chain (see repair_group)."""
+    chain = birth_death_chain(p_hat, capacity)
+    return zero_variance_proposal(chain, overflow_formula(), mixing=mixing)
+
+
+def make_study(
+    p_true: float = P_TRUE,
+    p_hat: float = P_HAT,
+    p_epsilon: float = P_EPSILON,
+    capacity: int = CAPACITY,
+    n_samples: int = 10_000,
+    confidence: float = 0.95,
+    proposal_mixing: float = 0.2,
+) -> CaseStudy:
+    """Prepare the birth–death overflow study.
+
+    ``proposal_mixing`` keeps the proposal deliberately imperfect so the
+    IS interval has non-degenerate width (see ``repair_group.make_study``).
+    """
+    true_chain = birth_death_chain(p_true, capacity)
+    imc = birth_death_imc(p_hat, p_epsilon, capacity)
+    return CaseStudy(
+        name="birth-death",
+        imc=imc,
+        formula=overflow_formula(),
+        proposal=is_proposal(p_hat, capacity, mixing=proposal_mixing),
+        true_chain=true_chain,
+        gamma_true=exact_probability(p_true, capacity),
+        gamma_center=exact_probability(p_hat, capacity),
+        n_samples=n_samples,
+        confidence=confidence,
+    )

@@ -1,0 +1,118 @@
+"""Gambler's ruin with a perturbed win bias.
+
+A walk on ``0..N`` starting from bankroll ``k``: each round is won with
+probability ``p`` (one unit up) and lost with ``1 − p``; the boundary
+states ``0`` (ruin) and ``N`` (the target fortune) are absorbing. The
+property is reaching the target before ruin, ``F "win"``, with the closed
+form
+
+    γ = (1 − r^k) / (1 − r^N),          r = (1 − p) / p
+
+(``γ = k/N`` at ``p = 1/2``). The default unfavourable bias
+``p = 0.3, N = 20, k = 10`` gives ``γ ≈ 2.09e-4``. The IMC perturbs the
+bias on every non-absorbing row, ``p ∈ [p̂ ± ε]`` — the standard
+parametric-family stress test of the interval-chain literature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dtmc import DTMC
+from repro.core.imc import IMC
+from repro.importance.zero_variance import zero_variance_proposal
+from repro.models.base import CaseStudy
+from repro.properties.logic import Atom, Eventually, Formula
+
+#: Target fortune ``N`` and initial bankroll ``k``.
+TARGET = 20
+START = 10
+#: True per-round win probability.
+P_TRUE = 0.3
+#: The learnt point estimate and its margin: ``p ∈ [p̂ − ε, p̂ + ε]``.
+P_HAT = 0.31
+P_EPSILON = 0.02
+
+
+def gamblers_ruin_chain(p: float = P_TRUE, target: int = TARGET, start: int = START) -> DTMC:
+    """The ruin walk on ``0..target`` with win probability *p*."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must lie strictly inside (0, 1)")
+    if not 0 < start < target:
+        raise ValueError(f"start must lie strictly between 0 and {target}")
+    n = target + 1
+    matrix = np.zeros((n, n))
+    matrix[0, 0] = 1.0
+    matrix[target, target] = 1.0
+    for state in range(1, target):
+        matrix[state, state + 1] = p
+        matrix[state, state - 1] = 1.0 - p
+    labels = {"init": [start], "win": [target], "ruin": [0]}
+    names = [f"b{state}" for state in range(n)]
+    return DTMC(matrix, start, labels, state_names=names)
+
+
+def exact_probability(p: float = P_TRUE, target: int = TARGET, start: int = START) -> float:
+    """Closed-form γ of reaching the target fortune before ruin."""
+    if p == 0.5:
+        return start / target
+    r = (1.0 - p) / p
+    return (1.0 - r**start) / (1.0 - r**target)
+
+
+def win_formula() -> Formula:
+    """The property φ: eventually reach the target fortune."""
+    return Eventually(Atom("win"))
+
+
+def gamblers_ruin_imc(
+    p_hat: float = P_HAT,
+    p_epsilon: float = P_EPSILON,
+    target: int = TARGET,
+    start: int = START,
+) -> IMC:
+    """The IMC ``[Â ± ε]``: the bias perturbed on every transient row."""
+    center = gamblers_ruin_chain(p_hat, target, start)
+    epsilon = np.zeros((target + 1, target + 1))
+    for state in range(1, target):
+        epsilon[state, state + 1] = p_epsilon
+        epsilon[state, state - 1] = p_epsilon
+    return IMC.from_center(center, epsilon)
+
+
+def is_proposal(
+    p_hat: float = P_HAT,
+    target: int = TARGET,
+    start: int = START,
+    mixing: float = 0.0,
+) -> DTMC:
+    """Zero-variance IS proposal w.r.t. the learnt chain (see repair_group)."""
+    chain = gamblers_ruin_chain(p_hat, target, start)
+    return zero_variance_proposal(chain, win_formula(), mixing=mixing)
+
+
+def make_study(
+    p_true: float = P_TRUE,
+    p_hat: float = P_HAT,
+    p_epsilon: float = P_EPSILON,
+    target: int = TARGET,
+    start: int = START,
+    n_samples: int = 10_000,
+    confidence: float = 0.95,
+    proposal_mixing: float = 0.2,
+) -> CaseStudy:
+    """Prepare the gambler's-ruin study (see ``repair_group.make_study``
+    for the role of ``proposal_mixing``)."""
+    true_chain = gamblers_ruin_chain(p_true, target, start)
+    imc = gamblers_ruin_imc(p_hat, p_epsilon, target, start)
+    return CaseStudy(
+        name="gamblers-ruin",
+        imc=imc,
+        formula=win_formula(),
+        proposal=is_proposal(p_hat, target, start, mixing=proposal_mixing),
+        true_chain=true_chain,
+        gamma_true=exact_probability(p_true, target, start),
+        gamma_center=exact_probability(p_hat, target, start),
+        n_samples=n_samples,
+        confidence=confidence,
+    )

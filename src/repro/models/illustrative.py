@@ -118,9 +118,7 @@ def make_study(
 ) -> CaseStudy:
     """Prepare the Section VI-A experiment configuration."""
     true_chain = illustrative_chain(params.a_true, params.c_true)
-    imc = illustrative_imc(
-        params.a_hat, params.c_hat, params.a_epsilon, params.c_epsilon
-    )
+    imc = illustrative_imc(params.a_hat, params.c_hat, params.a_epsilon, params.c_epsilon)
     return CaseStudy(
         name="illustrative",
         imc=imc,

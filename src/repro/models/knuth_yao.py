@@ -1,0 +1,118 @@
+"""Knuth–Yao die with an interval coin.
+
+The classic Knuth–Yao automaton simulates a six-sided die with a sequence
+of coin flips: seven internal states ``s0..s6`` and six absorbing face
+states. With a fair coin every face has probability exactly ``1/6``; with
+a heads-biased coin (heads probability ``p``, tails ``q = 1 − p``) the
+probability of rolling a six has the closed form
+
+    γ = q³ / (1 − p·q)
+
+(the six-branch ``s0 →T s2 →T s6 →T face6`` with the ``s6 →H s2`` retry
+loop). The default ``p = 0.9`` makes rolling a six a ``γ ≈ 1.1e-3`` rare
+event. The IMC gives the coin an interval bias, ``p ∈ [p̂ ± ε]`` on every
+internal row — the smallest member of the registry's parametric families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dtmc import DTMC
+from repro.core.imc import IMC
+from repro.importance.zero_variance import zero_variance_proposal
+from repro.models.base import CaseStudy
+from repro.properties.logic import Atom, Eventually, Formula
+
+#: True heads probability of the coin.
+P_TRUE = 0.9
+#: The learnt point estimate and its margin: ``p ∈ [p̂ − ε, p̂ + ε]``.
+P_HAT = 0.89
+P_EPSILON = 0.015
+
+#: Internal states.
+S0, S1, S2, S3, S4, S5, S6 = range(7)
+#: Absorbing face states (die values 1..6).
+FACE_1, FACE_2, FACE_3, FACE_4, FACE_5, FACE_6 = range(7, 13)
+N_STATES = 13
+
+#: ``(heads-successor, tails-successor)`` of every internal state.
+COIN_EDGES = {
+    S0: (S1, S2),
+    S1: (S3, S4),
+    S2: (S5, S6),
+    S3: (S1, FACE_1),
+    S4: (FACE_2, FACE_3),
+    S5: (FACE_4, FACE_5),
+    S6: (S2, FACE_6),
+}
+
+
+def knuth_yao_chain(p: float = P_TRUE) -> DTMC:
+    """The Knuth–Yao die automaton with coin bias *p*."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must lie strictly inside (0, 1)")
+    matrix = np.zeros((N_STATES, N_STATES))
+    for state, (heads, tails) in COIN_EDGES.items():
+        matrix[state, heads] += p
+        matrix[state, tails] += 1.0 - p
+    for face in range(FACE_1, FACE_6 + 1):
+        matrix[face, face] = 1.0
+    labels = {
+        "init": [S0],
+        "six": [FACE_6],
+        "rolled": list(range(FACE_1, FACE_6 + 1)),
+    }
+    names = [f"s{state}" for state in range(7)] + [f"d{face}" for face in range(1, 7)]
+    return DTMC(matrix, S0, labels, state_names=names)
+
+
+def exact_probability(p: float = P_TRUE) -> float:
+    """Closed-form γ = q³/(1 − p·q) of rolling a six."""
+    q = 1.0 - p
+    return q**3 / (1.0 - p * q)
+
+
+def six_formula() -> Formula:
+    """The property φ: eventually roll a six."""
+    return Eventually(Atom("six"))
+
+
+def knuth_yao_imc(p_hat: float = P_HAT, p_epsilon: float = P_EPSILON) -> IMC:
+    """The IMC ``[Â ± ε]``: the coin bias perturbed on every internal row."""
+    center = knuth_yao_chain(p_hat)
+    epsilon = np.zeros((N_STATES, N_STATES))
+    for state, (heads, tails) in COIN_EDGES.items():
+        epsilon[state, heads] = p_epsilon
+        epsilon[state, tails] = p_epsilon
+    return IMC.from_center(center, epsilon)
+
+
+def is_proposal(p_hat: float = P_HAT, mixing: float = 0.0) -> DTMC:
+    """Zero-variance IS proposal w.r.t. the learnt chain (see repair_group)."""
+    return zero_variance_proposal(knuth_yao_chain(p_hat), six_formula(), mixing=mixing)
+
+
+def make_study(
+    p_true: float = P_TRUE,
+    p_hat: float = P_HAT,
+    p_epsilon: float = P_EPSILON,
+    n_samples: int = 10_000,
+    confidence: float = 0.95,
+    proposal_mixing: float = 0.2,
+) -> CaseStudy:
+    """Prepare the Knuth–Yao interval-coin study (see
+    ``repair_group.make_study`` for the role of ``proposal_mixing``)."""
+    true_chain = knuth_yao_chain(p_true)
+    imc = knuth_yao_imc(p_hat, p_epsilon)
+    return CaseStudy(
+        name="knuth-yao",
+        imc=imc,
+        formula=six_formula(),
+        proposal=is_proposal(p_hat, mixing=proposal_mixing),
+        true_chain=true_chain,
+        gamma_true=exact_probability(p_true),
+        gamma_center=exact_probability(p_hat),
+        n_samples=n_samples,
+        confidence=confidence,
+    )

@@ -69,9 +69,7 @@ def prism_source() -> str:
                 "endmodule",
             ]
         )
-    failure = " | ".join(
-        f"s{i} = n{i}" for i in range(1, len(COMPONENT_COUNTS) + 1)
-    )
+    failure = " | ".join(f"s{i} = n{i}" for i in range(1, len(COMPONENT_COUNTS) + 1))
     lines.append(f'label "failure" = {failure};')
     return "\n".join(lines)
 
@@ -113,9 +111,7 @@ def large_repair_imc(
 
 def is_proposal(alpha_hat: float = ALPHA_HAT, mixing: float = 0.0) -> DTMC:
     """Zero-variance IS proposal w.r.t. the learnt chain (see repair_group)."""
-    return zero_variance_proposal(
-        embedded_chain(alpha_hat), failure_formula(), mixing=mixing
-    )
+    return zero_variance_proposal(embedded_chain(alpha_hat), failure_formula(), mixing=mixing)
 
 
 def make_study(

@@ -128,9 +128,7 @@ def ground_truth() -> DTMC:
         "init": [state_index(INITIAL_MODE, INITIAL_LEVEL)],
         "repairing": [state_index(REPAIRING, level) for level in range(LEVELS)],
     }
-    names = [
-        f"({MODE_NAMES[m]},L{level})" for m in range(MODES) for level in range(LEVELS)
-    ]
+    names = [f"({MODE_NAMES[m]},L{level})" for m in range(MODES) for level in range(LEVELS)]
     return DTMC(matrix, state_index(INITIAL_MODE, INITIAL_LEVEL), labels, names)
 
 
@@ -167,9 +165,7 @@ def learn_pipeline(
     """
     generator = ensure_rng(rng)
     truth = ground_truth()
-    counts = observe_traces_batch(
-        truth, n_steps=log_steps, n_traces=log_traces, rng=generator
-    )
+    counts = observe_traces_batch(truth, n_steps=log_steps, n_traces=log_traces, rng=generator)
     imc = learn_imc(counts, truth.n_states, delta=delta, template=truth)
     formula = overflow_formula()
     proposal = time_dependent_zero_variance(imc.center, formula, mixing=proposal_mixing)

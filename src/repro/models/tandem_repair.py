@@ -1,0 +1,164 @@
+"""Tandem repair network — the repair family at configurable scale.
+
+A parametric generalisation of the Section VI-B group-repair benchmark:
+``n_types`` component types with ``n_components`` components each fail
+independently at rate ``(n − k)·α`` and are repaired one by one at rate
+``μ`` under strict tandem priority — type ``i`` repairs only while every
+higher-priority type ``j < i`` is fully up. The modelling-language source
+is generated, so the state space ``(n_components + 1)^n_types`` scales
+from the 64-state default (3 × 3) up to repair_large territory.
+
+The dependability property is the family's usual one: every component of
+every type fails before the system returns to the all-up state,
+
+    P=? [ "init" & (X !"init" U "failure") ],
+
+evaluated on the embedded jump chain. γ has no closed form and is
+computed by the numerical engine; at the default ``α = 0.15``,
+``γ ≈ 8.2e-3``. The IMC ranges the transition probabilities over a learnt
+α interval via :meth:`~repro.core.parametric.ParametricModel.imc_over_box`,
+exactly like the paper's repair studies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.analysis.reachability import probability
+from repro.core.dtmc import DTMC
+from repro.core.imc import IMC
+from repro.core.parametric import ParametricModel
+from repro.importance.zero_variance import zero_variance_proposal
+from repro.lang.builder import build_ctmc
+from repro.models.base import CaseStudy
+from repro.properties.logic import Formula
+from repro.properties.parser import parse_property
+
+#: Network shape: component types and components per type.
+N_TYPES = 3
+N_COMPONENTS = 3
+#: Repair rate (shared by every type).
+MU = 1.0
+
+#: The paper-style parameter values.
+ALPHA_TRUE = 0.15
+ALPHA_HAT = 0.1495
+#: The learnt confidence interval for α (±2 % around the estimate).
+ALPHA_INTERVAL = (0.1465, 0.1525)
+
+#: The dependability property.
+PROPERTY = 'P=? [ "init" & (X !"init" U "failure") ]'
+
+
+def prism_source(n_types: int = N_TYPES, n_components: int = N_COMPONENTS) -> str:
+    """Generate the modelling-language source of the tandem network."""
+    if n_types < 1 or n_components < 1:
+        raise ValueError("the network needs at least one type and one component")
+    lines = [
+        "ctmc",
+        f"const int n = {n_components};",
+        "const double alpha;",
+        f"const double mu = {MU};",
+    ]
+    for index in range(1, n_types + 1):
+        higher_priority_idle = " & ".join(f"s{j} = 0" for j in range(1, index))
+        guard = f"s{index} > 0"
+        if higher_priority_idle:
+            guard = f"{guard} & {higher_priority_idle}"
+        lines.extend(
+            [
+                f"module type{index}",
+                f"  s{index} : [0..n] init 0;",
+                f"  [] s{index} < n -> (n-s{index})*alpha : (s{index}'=s{index}+1);",
+                f"  [] {guard} -> mu : (s{index}'=s{index}-1);",
+                "endmodule",
+            ]
+        )
+    failure = " & ".join(f"s{i} = n" for i in range(1, n_types + 1))
+    lines.append(f'label "failure" = {failure};')
+    return "\n".join(lines)
+
+
+def embedded_chain(
+    alpha: float = ALPHA_TRUE,
+    n_types: int = N_TYPES,
+    n_components: int = N_COMPONENTS,
+) -> DTMC:
+    """The embedded jump chain of the tandem network at rate *alpha*."""
+    return build_ctmc(prism_source(n_types, n_components), {"alpha": alpha}).embedded_dtmc()
+
+
+def parametric_model(n_types: int = N_TYPES, n_components: int = N_COMPONENTS) -> ParametricModel:
+    """The network as a function of ``α`` (for the IMC derivation)."""
+
+    def builder(params: Mapping[str, float]) -> DTMC:
+        return embedded_chain(params["alpha"], n_types, n_components)
+
+    return ParametricModel(("alpha",), builder)
+
+
+def failure_formula() -> Formula:
+    """``P=? [ "init" & (X !"init" U "failure") ]``."""
+    return parse_property(PROPERTY)
+
+
+def exact_probability(
+    alpha: float = ALPHA_TRUE,
+    n_types: int = N_TYPES,
+    n_components: int = N_COMPONENTS,
+) -> float:
+    """Exact γ at *alpha* from the numerical engine."""
+    return probability(embedded_chain(alpha, n_types, n_components), failure_formula())
+
+
+def tandem_repair_imc(
+    alpha_hat: float = ALPHA_HAT,
+    alpha_interval: tuple[float, float] = ALPHA_INTERVAL,
+    n_types: int = N_TYPES,
+    n_components: int = N_COMPONENTS,
+    grid_points: int = 5,
+) -> IMC:
+    """The IMC ``[A(α̂)]`` of entrywise transition ranges over the α interval."""
+    return parametric_model(n_types, n_components).imc_over_box(
+        {"alpha": alpha_interval}, center={"alpha": alpha_hat}, grid_points=grid_points
+    )
+
+
+def is_proposal(
+    alpha_hat: float = ALPHA_HAT,
+    n_types: int = N_TYPES,
+    n_components: int = N_COMPONENTS,
+    mixing: float = 0.0,
+) -> DTMC:
+    """Zero-variance IS proposal w.r.t. the learnt chain (see repair_group)."""
+    chain = embedded_chain(alpha_hat, n_types, n_components)
+    return zero_variance_proposal(chain, failure_formula(), mixing=mixing)
+
+
+def make_study(
+    alpha_true: float = ALPHA_TRUE,
+    alpha_hat: float = ALPHA_HAT,
+    alpha_interval: tuple[float, float] = ALPHA_INTERVAL,
+    n_types: int = N_TYPES,
+    n_components: int = N_COMPONENTS,
+    n_samples: int = 10_000,
+    confidence: float = 0.95,
+    proposal_mixing: float = 0.2,
+    grid_points: int = 5,
+) -> CaseStudy:
+    """Prepare the tandem-repair study (see ``repair_group.make_study`` for
+    the role of ``proposal_mixing``)."""
+    true_chain = embedded_chain(alpha_true, n_types, n_components)
+    formula = failure_formula()
+    imc = tandem_repair_imc(alpha_hat, alpha_interval, n_types, n_components, grid_points)
+    return CaseStudy(
+        name="tandem-repair",
+        imc=imc,
+        formula=formula,
+        proposal=is_proposal(alpha_hat, n_types, n_components, mixing=proposal_mixing),
+        true_chain=true_chain,
+        gamma_true=probability(true_chain, formula),
+        gamma_center=probability(imc.center, formula),
+        n_samples=n_samples,
+        confidence=confidence,
+    )

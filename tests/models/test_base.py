@@ -1,5 +1,12 @@
 """Tests for the CaseStudy bundle."""
 
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.dtmc import DTMC
+from repro.errors import ModelError
 from repro.models import CaseStudy, illustrative
 
 
@@ -13,6 +20,31 @@ class TestCaseStudy:
         assert study.n_samples == 123
         assert study.confidence == 0.9
         assert isinstance(study, CaseStudy)
+
+    def test_gamma_true_out_of_range_rejected(self):
+        study = illustrative.make_study()
+        with pytest.raises(ModelError, match="gamma_true"):
+            dataclasses.replace(study, gamma_true=1.5)
+        with pytest.raises(ModelError, match="gamma_true"):
+            dataclasses.replace(study, gamma_true=-1e-9)
+
+    def test_gamma_center_out_of_range_rejected(self):
+        study = illustrative.make_study()
+        with pytest.raises(ModelError, match="gamma_center"):
+            dataclasses.replace(study, gamma_center=2.0)
+
+    def test_gamma_true_none_allowed(self):
+        study = illustrative.make_study()
+        assert dataclasses.replace(study, gamma_true=None).gamma_true is None
+
+    def test_non_stochastic_proposal_rejected(self):
+        study = illustrative.make_study()
+        # Reach the constructor through the validation-skipping path the
+        # check exists for (with_labels-style construction).
+        broken = np.array([[0.5, 0.3], [0.0, 1.0]])
+        proposal = DTMC(broken, 0, {"goal": [1]}, _validate=False)
+        with pytest.raises(ModelError, match="proposal row 0"):
+            dataclasses.replace(study, proposal=proposal)
 
     def test_imcis_summary_renders(self, rng):
         from repro.imcis import IMCISConfig, RandomSearchConfig, imcis_estimate

@@ -1,0 +1,126 @@
+"""Tests of the case-study registry and its default catalogue."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import CaseStudy, birth_death, illustrative
+from repro.models.registry import (
+    REGISTRY,
+    SLOW_TAG,
+    PreparedStudy,
+    StudyRegistry,
+    register_default_studies,
+)
+
+#: The paper's studies plus the parametric families, in registration order.
+EXPECTED_NAMES = [
+    "illustrative",
+    "group-repair",
+    "large-repair",
+    "swat",
+    "birth-death",
+    "gamblers-ruin",
+    "knuth-yao",
+    "tandem-repair",
+]
+
+
+class TestStudyRegistry:
+    def test_register_and_get(self):
+        registry = StudyRegistry()
+        spec = registry.register("demo", illustrative.make_study, description="d")
+        assert registry.get("demo") is spec
+        assert "demo" in registry
+        assert registry.list_studies() == ["demo"]
+
+    def test_duplicate_name_rejected(self):
+        registry = StudyRegistry()
+        registry.register("demo", illustrative.make_study)
+        with pytest.raises(ModelError, match="already registered"):
+            registry.register("demo", birth_death.make_study)
+
+    def test_unknown_name_lists_known(self):
+        registry = StudyRegistry()
+        registry.register("demo", illustrative.make_study)
+        with pytest.raises(ModelError, match="demo"):
+            registry.get("nope")
+
+    def test_make_study_returns_prepared_study(self):
+        registry = StudyRegistry()
+        registry.register("demo", illustrative.make_study)
+        prepared = registry.make_study("demo")
+        assert isinstance(prepared, PreparedStudy)
+        assert isinstance(prepared.study, CaseStudy)
+        assert prepared.unrolled_proposal is None
+        assert prepared.as_pair() == (prepared.study, None)
+
+    def test_parametric_factory_forwards_params(self):
+        registry = StudyRegistry()
+        registry.register("bd", birth_death.make_study)
+        prepared = registry.make_study("bd", capacity=6, n_samples=77)
+        assert prepared.study.true_chain.n_states == 7
+        assert prepared.study.n_samples == 77
+
+    def test_quick_params_apply_under_explicit_override(self):
+        registry = StudyRegistry()
+        registry.register(
+            "bd", birth_death.make_study, quick_params={"capacity": 4, "n_samples": 5}
+        )
+        quick = registry.make_study("bd", quick=True, n_samples=9)
+        assert quick.study.true_chain.n_states == 5  # quick parameter applied
+        assert quick.study.n_samples == 9  # explicit override wins
+        full = registry.make_study("bd")
+        assert full.study.true_chain.n_states == birth_death.CAPACITY + 1
+
+    def test_bad_factory_return_rejected(self):
+        registry = StudyRegistry()
+        registry.register("broken", lambda: "not a study")
+        with pytest.raises(ModelError, match="expected a CaseStudy"):
+            registry.make_study("broken")
+
+    def test_tag_filtering(self):
+        registry = StudyRegistry()
+        registry.register("fast", illustrative.make_study)
+        registry.register("heavy", birth_death.make_study, tags=(SLOW_TAG,))
+        assert registry.list_studies() == ["fast", "heavy"]
+        assert registry.list_studies(tag=SLOW_TAG) == ["heavy"]
+        assert registry.quick_studies() == ["fast"]
+
+
+class TestDefaultCatalogue:
+    def test_expected_names_in_order(self):
+        assert REGISTRY.list_studies() == EXPECTED_NAMES
+        assert len(REGISTRY) == len(EXPECTED_NAMES)
+
+    def test_quick_set_excludes_slow(self):
+        quick = REGISTRY.quick_studies()
+        assert "large-repair" not in quick
+        assert len(quick) == len(EXPECTED_NAMES) - 1
+
+    def test_register_default_studies_is_reproducible(self):
+        fresh = register_default_studies(StudyRegistry())
+        assert fresh.list_studies() == REGISTRY.list_studies()
+
+    @pytest.mark.parametrize("name", [n for n in EXPECTED_NAMES if n != "large-repair"])
+    def test_every_study_yields_valid_case_study(self, name):
+        """Each registered family builds a coherent CaseStudy.
+
+        The CaseStudy ``__post_init__`` already enforces probability
+        ranges and proposal row-stochasticity, so a successful build is
+        itself the validity check; the assertions below pin the registry
+        contract on top. ``large-repair`` (40 320 states, tagged slow) is
+        exercised by its own benchmark instead.
+        """
+        spec = REGISTRY.get(name)
+        prepared = REGISTRY.make_study(name, rng=7, quick=True, n_samples=64)
+        study = prepared.study
+        assert study.name == name
+        assert isinstance(study, CaseStudy)
+        assert 0.0 < study.gamma_center <= 1.0
+        assert study.gamma_true is not None and 0.0 < study.gamma_true <= 1.0
+        assert study.proposal.n_states == study.imc.center.n_states
+        if name == "swat":
+            assert spec.seeded
+            assert prepared.unrolled_proposal is not None
+        else:
+            assert prepared.unrolled_proposal is None

@@ -11,7 +11,7 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_known_commands(self):
-        for command in ("info", "table1", "table2", "fig2", "fig3", "fig4", "fig5"):
+        for command in ("info", "table1", "table2", "fig2", "fig3", "fig4", "fig5", "matrix"):
             args = build_parser().parse_args(
                 [command] if command in ("info",) else [command]
             )
@@ -69,6 +69,26 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "IMCIS" in out or "=" in out
+
+    def test_table2_study_choices_include_registry_names(self):
+        args = build_parser().parse_args(["table2", "--study", "knuth-yao"])
+        assert args.study == "knuth-yao"
+
+    def test_matrix_explicit_r_undefeated_survives_quick(self):
+        args = build_parser().parse_args(["matrix", "--quick", "--r-undefeated", "1000"])
+        assert args.r_undefeated == 1000
+        assert build_parser().parse_args(["matrix", "--quick"]).r_undefeated is None
+
+    def test_matrix_small(self, capsys, tmp_path):
+        code = main(
+            ["matrix", "--quick", "--studies", "illustrative,knuth-yao", "--reps", "2",
+             "--samples", "400", "--workers", "1", "--check", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cross-study experiment matrix" in out
+        for name in ("matrix.csv", "matrix.json", "matrix.md", "matrix_timing.csv"):
+            assert (tmp_path / name).exists()
 
     def test_table2_illustrative(self, capsys):
         code = main(
