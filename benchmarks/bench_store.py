@@ -1,0 +1,142 @@
+"""Benchmark: warm-cache speedup and parity of the artifact store.
+
+Runs the quick cross-study matrix twice against a fresh artifact store —
+a cold run that simulates every repetition and a warm run that serves all
+of them from disk — and gates on two properties:
+
+1. the warm run is at least ``--min-speedup`` times faster (default 5x:
+   the store exists to make nightly reruns incremental, so a warm rerun
+   must be dominated by study construction and IO, not simulation);
+2. the cold, warm and store-less artifacts are bitwise identical, at
+   ``workers=1`` and ``workers=4`` — caching can never change a byte of
+   any deterministic artifact.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_store.py            # full
+    PYTHONPATH=src python benchmarks/bench_store.py --quick    # CI gate
+
+Results are printed and written to ``BENCH_store.json`` (override with
+``--out``). The JSON is written before exiting so CI can upload the
+trajectory even (especially) on failure. Unlike the scaling gates, this
+gate has no hardware prerequisites: a warm cache is pure IO on any
+machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.experiments.matrix import DEFAULT_ESTIMATORS, MatrixConfig, run_matrix
+from repro.store import ArtifactStore
+
+
+def _timed_matrix(config: MatrixConfig, store: "ArtifactStore | None"):
+    started = time.perf_counter()
+    result = run_matrix(config, store=store)
+    return result, time.perf_counter() - started
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI configuration: fewer repetitions and traces per cell",
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="root RNG seed")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="required cold/warm wall-time ratio (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_store.json"),
+        help="output JSON path (default: ./BENCH_store.json)",
+    )
+    args = parser.parse_args(argv)
+
+    # Mirrors the matrix benchmark's workloads so the two trajectories
+    # are comparable cell for cell.
+    config = MatrixConfig(
+        estimators=DEFAULT_ESTIMATORS,
+        repetitions=4 if args.quick else 10,
+        n_samples=1_000 if args.quick else 4_000,
+        search_rounds=100 if args.quick else 1000,
+        quick=args.quick,
+        seed=args.seed,
+        workers=None,
+    )
+    print(f"== store benchmark (quick={args.quick}, {os.cpu_count()} CPUs) ==")
+
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as root:
+        cold_store = ArtifactStore(root)
+        cold, cold_time = _timed_matrix(config, cold_store)
+        print(f"cold run: {cold_time:.2f}s ({cold_store.stats.misses} repetitions simulated)")
+        warm_store = ArtifactStore(root)
+        warm, warm_time = _timed_matrix(config, warm_store)
+        print(f"warm run: {warm_time:.2f}s ({warm_store.stats.hits} served from store)")
+        plain, _ = _timed_matrix(config, None)
+        warm4, _ = _timed_matrix(replace(config, workers=4), ArtifactStore(root))
+
+    speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+    parity = {
+        "warm_vs_cold": (
+            warm.to_csv_text() == cold.to_csv_text()
+            and warm.to_json_text() == cold.to_json_text()
+        ),
+        "warm_vs_plain": warm.to_csv_text() == plain.to_csv_text(),
+        "warm_workers4_vs_plain": (
+            warm4.to_csv_text() == plain.to_csv_text()
+            and warm4.to_json_text() == plain.to_json_text()
+        ),
+    }
+    parity_ok = all(parity.values())
+    speedup_ok = speedup >= args.min_speedup
+
+    results = {
+        "benchmark": "store",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "quick": args.quick,
+        "cells": len(cold.cells),
+        "repetitions_per_cell": config.repetitions,
+        "cold_seconds": round(cold_time, 3),
+        "warm_seconds": round(warm_time, 3),
+        "speedup": round(speedup, 1),
+        "parity": parity,
+        "gate": {
+            "criterion": (
+                f"warm-cache speedup >= {args.min_speedup}x and bitwise parity "
+                "of cold/warm/plain artifacts at workers 1 and 4"
+            ),
+            "min_speedup": args.min_speedup,
+            "status": "passed" if (parity_ok and speedup_ok) else "failed",
+        },
+    }
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not parity_ok:
+        broken = [name for name, ok in parity.items() if not ok]
+        print(f"FAIL: cached artifacts are not bitwise identical: {', '.join(broken)}")
+        return 1
+    if not speedup_ok:
+        print(f"FAIL: warm-cache speedup {speedup:.1f}x < required {args.min_speedup}x")
+        return 1
+    print(f"gate: passed — {speedup:.1f}x warm-cache speedup, bitwise parity")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,10 @@ from repro.errors import (
 from repro.imcis import IMCISConfig, IMCISResult, imcis_estimate, imcis_from_sample
 from repro.properties import parse_property
 
-__version__ = "1.0.0"
+# Kept in sync with pyproject.toml (tests/store/test_keys.py enforces it):
+# the artifact store embeds this in every cache key, so a release that
+# changes numerics must bump both to invalidate cached repetitions.
+__version__ = "0.4.0"
 
 __all__ = [
     "CTMC",

@@ -24,7 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import EstimationError, ModelError
+from repro.errors import EstimationError, ModelError, StoreError
 from repro.experiments.figures import (
     BoundEvolution,
     IntervalSeries,
@@ -44,6 +44,7 @@ from repro.imcis.random_search import RandomSearchConfig
 from repro.importance.bounded import run_bounded_importance_sampling
 from repro.models import illustrative, repair_group
 from repro.models.registry import REGISTRY
+from repro.store import ArtifactStore, RunManifest
 
 
 def _workers_arg(value: str) -> "int | str":
@@ -87,6 +88,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "bitwise identical for every value, on every machine. To shard "
         "the sampling of a single run instead, use --backend parallel",
     )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="artifact store directory: per-repetition results are cached "
+        "content-addressed by (study, estimator config, seed, versions), "
+        "so reruns only simulate cache misses; cached and fresh results "
+        "are bitwise identical",
+    )
 
 
 def _study_for(name: str, seed: int):
@@ -128,7 +138,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     started = time.time()
     result = run_table1(
         reps, samples, args.r_undefeated, rng=args.seed, backend=args.backend,
-        workers=args.workers,
+        workers=args.workers, store=args.store,
     )
     print(result.render())
     print(f"[{reps} repetitions x {samples} traces in {time.time() - started:.1f}s]")
@@ -154,6 +164,7 @@ def _run_study_coverage(args: argparse.Namespace, study_name: str):
         n_samples=args.samples or study.n_samples,
         backend=args.backend,
         workers=args.workers,
+        store=args.store,
     )[0]
     return study, report
 
@@ -171,6 +182,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
         n_samples=args.samples,
         backend=args.backend,
         workers=args.workers,
+        store=args.store,
     )
     print(render_table2(reports))
     print(f"[{time.time() - started:.1f}s]")
@@ -201,6 +213,8 @@ def cmd_fig3(args: argparse.Namespace) -> int:
         confidence=study.confidence,
         search=RandomSearchConfig(r_undefeated=args.r_undefeated, record_history=True),
     )
+    if args.store:
+        print("note: --store caches repetition experiments; fig3 is a single run and ignores it")
     # No workers= here: fig3 is a single run, and sharded sampling would
     # move it off the reference RNG stream (changing published numbers).
     # Sharding stays available explicitly through --backend parallel.
@@ -242,8 +256,8 @@ def cmd_fig4(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_matrix(args: argparse.Namespace) -> int:
-    """Run the cross-study experiment matrix over the registry."""
+def _matrix_config(args: argparse.Namespace) -> MatrixConfig:
+    """Build the matrix configuration from parsed CLI arguments."""
     studies = tuple(args.studies.split(",")) if args.studies else None
     estimators = tuple(args.estimators.split(","))
     repetitions = args.reps or (4 if args.quick else 20)
@@ -254,7 +268,7 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         search_rounds = args.r_undefeated
     else:
         search_rounds = 100 if args.quick else 1000
-    config = MatrixConfig(
+    return MatrixConfig(
         studies=studies,
         estimators=estimators,
         backend=args.backend,
@@ -265,14 +279,58 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
     )
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    """Run the cross-study experiment matrix over the registry."""
+    store = ArtifactStore(args.store) if args.store else None
+    manifest: RunManifest | None = None
+    if args.resume:
+        if store is None:
+            raise SystemExit("--resume needs --store DIR (the store holding the run)")
+        try:
+            manifest = store.load_manifest(args.resume)
+            if manifest.command != "matrix":
+                raise SystemExit(
+                    f"run {args.resume!r} is a {manifest.command!r} run, not a matrix"
+                )
+            config = MatrixConfig.from_payload(manifest.config)
+        except StoreError as error:
+            raise SystemExit(str(error)) from None
+        print(f"resuming run {manifest.run_id} ({manifest.status})")
+    else:
+        config = _matrix_config(args)
+        if store is not None:
+            manifest = RunManifest(
+                run_id=store.new_run_id("matrix"),
+                command="matrix",
+                config=config.to_payload(),
+                status="running",
+                created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            )
+            store.save_manifest(manifest)
+            print(f"run {manifest.run_id} (resume with: repro matrix "
+                  f"--resume {manifest.run_id} --store {args.store})")
     started = time.time()
     try:
-        result = run_matrix(config)
-    except (ModelError, EstimationError) as error:
+        result = run_matrix(config, store=store)
+    except (ModelError, EstimationError, StoreError) as error:
         raise SystemExit(str(error)) from None
+    if store is not None and manifest is not None:
+        store.save_manifest(
+            RunManifest(
+                run_id=manifest.run_id,
+                command=manifest.command,
+                config=manifest.config,
+                status="complete",
+                keys=tuple(sorted(store.touched_keys)),
+                created=manifest.created,
+            )
+        )
+        print(f"store: {store.stats.summary()}")
     print(result.render())
     elapsed = time.time() - started
-    print(f"[{len(result.cells)} cells x {repetitions} repetitions in {elapsed:.1f}s]")
+    print(f"[{len(result.cells)} cells x {config.repetitions} repetitions in {elapsed:.1f}s]")
     failing = result.failing_cells()
     for cell in failing:
         print(
@@ -286,6 +344,79 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         print(f"FAIL: {len(failing)} cell(s) miss gamma_true")
         return 1
     return 0
+
+
+def _store_ls(store: ArtifactStore) -> int:
+    """List the store's runs and record files."""
+    manifests = store.list_manifests()
+    print(f"artifact store at {store.root}")
+    print(f"runs: {len(manifests)}")
+    for manifest in manifests:
+        created = f"  {manifest.created}" if manifest.created else ""
+        print(
+            f"  {manifest.run_id:<18} {manifest.command:<8} {manifest.status:<9}"
+            f" {len(manifest.keys)} key(s){created}"
+        )
+    keys = store.keys()
+    total_bytes = sum(store.record_path(key).stat().st_size for key in keys)
+    print(f"record files: {len(keys)} ({total_bytes:,} bytes)")
+    for key in keys:
+        records = store.load(key)
+        print(f"  {key}  {len(records)} record(s)")
+    return 0
+
+
+def _store_inspect(store: ArtifactStore, run_id: str | None, key: str | None) -> int:
+    """Validate record files; show one run's manifest or one key's records."""
+    if run_id is not None:
+        manifest = store.load_manifest(run_id)
+        print(manifest.to_json())
+        keys = list(manifest.keys)
+        if not keys:
+            print("(run lists no keys yet — it has not completed)")
+    else:
+        keys = [key] if key is not None else store.keys()
+    status = 0
+    for k in keys:
+        valid, problems = store.verify(k)
+        line = f"{k}  {valid} valid record(s)"
+        if problems:
+            status = 1
+            line += f", {len(problems)} problem(s)"
+        print(line)
+        for problem in problems:
+            print(f"    {problem}")
+    return status
+
+
+def _store_gc(store: ArtifactStore, drop_unreferenced: bool) -> int:
+    """Compact record files, dropping corrupt lines and optional orphans."""
+    counters = store.gc(drop_unreferenced=drop_unreferenced)
+    print(
+        f"kept {counters['records_kept']} record(s), "
+        f"dropped {counters['lines_dropped']} corrupt/duplicate line(s), "
+        f"deleted {counters['files_deleted']} file(s)"
+    )
+    if drop_unreferenced and counters["in_flight_runs"]:
+        print(
+            f"note: {counters['in_flight_runs']} run(s) still 'running' — "
+            "unreferenced files kept (an interrupted run records its keys "
+            "only on completion, so its resumable records look like orphans)"
+        )
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Artifact-store maintenance: ls, inspect, gc."""
+    store = ArtifactStore(args.store)
+    try:
+        if args.store_command == "ls":
+            return _store_ls(store)
+        if args.store_command == "inspect":
+            return _store_inspect(store, args.run, args.key)
+        return _store_gc(store, args.drop_unreferenced)
+    except StoreError as error:
+        raise SystemExit(str(error)) from None
 
 
 def cmd_fig5(args: argparse.Namespace) -> int:
@@ -354,8 +485,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero when any cell's mean interval misses gamma_true",
     )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="resume an interrupted store-backed run: replay its recorded "
+        "configuration, serving already-completed repetitions from the "
+        "store (requires --store; run ids are printed at run start and "
+        "by `repro store ls`)",
+    )
     # None (not 1000) so cmd_matrix can tell an explicit R from the default.
     p.set_defaults(r_undefeated=None)
+
+    p = sub.add_parser("store", help="artifact-store maintenance")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    q = store_sub.add_parser("ls", help="list runs and record files")
+    q.add_argument("--store", type=Path, required=True, help="store directory")
+    q = store_sub.add_parser(
+        "inspect", help="validate record integrity; show a run or a key"
+    )
+    q.add_argument("--store", type=Path, required=True, help="store directory")
+    q.add_argument("--run", default=None, metavar="RUN_ID", help="show one run's manifest")
+    q.add_argument("--key", default=None, help="restrict to one config key")
+    q = store_sub.add_parser(
+        "gc", help="compact record files: drop corrupt lines and duplicates"
+    )
+    q.add_argument("--store", type=Path, required=True, help="store directory")
+    q.add_argument(
+        "--drop-unreferenced",
+        action="store_true",
+        help="also delete record files no run manifest references",
+    )
 
     p = sub.add_parser("fig5", help="Figure 5 probability curve")
     p.add_argument("--points", type=int, default=21)
@@ -376,6 +536,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig4": cmd_fig4,
         "fig5": cmd_fig5,
         "matrix": cmd_matrix,
+        "store": cmd_store,
     }
     return handlers[args.command](args)
 

@@ -60,3 +60,7 @@ class OptimizationError(ReproError):
 
 class LearningError(ReproError):
     """A model-learning routine received unusable observations."""
+
+
+class StoreError(ReproError):
+    """The experiment artifact store is unusable or holds corrupt data."""

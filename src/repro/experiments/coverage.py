@@ -10,16 +10,26 @@ fresh sample under the proposal, runs both estimators on the *same* traces
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-from repro.experiments.runner import map_repetitions
 from repro.imcis.algorithm import IMCISConfig, IMCISResult, imcis_from_sample
 from repro.importance.bounded import UnrolledProposal, run_bounded_importance_sampling
 from repro.importance.estimator import estimate_from_sample, run_importance_sampling
 from repro.models.base import CaseStudy
 from repro.smc.results import ConfidenceInterval, EstimationResult
+from repro.store.cache import map_repetitions_cached
+from repro.store.codecs import (
+    decode_estimation_result,
+    decode_imcis_result,
+    encode_estimation_result,
+    encode_imcis_result,
+)
+from repro.store.keys import code_versions, config_key, describe_study, seed_entropy
+from repro.store.store import ArtifactStore
 from repro.util.rng import spawn_seeds
 
 
@@ -119,6 +129,53 @@ class _CoverageContext:
     backend: str | None
 
 
+def _encode_outcome(outcome: RepetitionOutcome) -> dict:
+    """JSON payload of one repetition (exact float round-trip).
+
+    The IMCIS random-search trace is not cached (see
+    :mod:`repro.store.codecs`): it is a diagnostic no coverage, Table II
+    or figure artifact aggregates, so a cached repetition decodes with
+    ``imcis_result.search = None`` while every reported number stays
+    bitwise identical.
+    """
+    return {
+        "is_result": encode_estimation_result(outcome.is_result),
+        "imcis_result": encode_imcis_result(outcome.imcis_result),
+    }
+
+
+def _decode_outcome(payload: dict) -> RepetitionOutcome:
+    """Invert :func:`_encode_outcome`."""
+    return RepetitionOutcome(
+        is_result=decode_estimation_result(payload["is_result"]),
+        imcis_result=decode_imcis_result(payload["imcis_result"]),
+    )
+
+
+def _coverage_key(
+    context: _CoverageContext,
+    rng: "np.random.Generator | int | None",
+) -> str:
+    """Content address of one coverage experiment's repetition stream.
+
+    Covers the study's numeric content, the full IMCIS configuration
+    (confidence and every random-search/Dirichlet knob), the sampling
+    backend and the root seed entropy — everything a repetition depends
+    on besides its index.
+    """
+    return config_key(
+        {
+            "kind": "coverage-repetition",
+            "study": describe_study(context.study, context.unrolled_proposal),
+            "imcis_config": dataclasses.asdict(context.imcis_config),
+            "n_samples": context.n_samples,
+            "backend": context.backend or "auto",
+            "seed_entropy": seed_entropy(rng),
+            "versions": code_versions(),
+        }
+    )
+
+
 def _coverage_repetition(
     context: _CoverageContext, seed: np.random.SeedSequence
 ) -> RepetitionOutcome:
@@ -156,6 +213,7 @@ def run_coverage_experiment(
     unrolled_proposal: UnrolledProposal | None = None,
     backend: str | None = "auto",
     workers: "int | str | None" = None,
+    store: "ArtifactStore | Path | str | None" = None,
 ) -> CoverageReport:
     """Run the Section VI protocol on *study*.
 
@@ -169,6 +227,12 @@ def run_coverage_experiment(
     pool (``"auto"`` = CPU count) — because each repetition depends only on
     its own child seed, the report is bitwise-identical for every worker
     count, including the serial ``workers=None``/``1`` path.
+
+    *store* caches per-repetition results content-addressed by the study,
+    the configuration and the root seed: repetitions already on disk are
+    decoded instead of simulated, with every reported number bitwise
+    identical (a cached repetition only lacks the random-search trace
+    diagnostic). Requires an explicit, non-``None`` *rng* seed.
     """
     if imcis_config is None:
         imcis_config = IMCISConfig(confidence=study.confidence)
@@ -191,12 +255,21 @@ def run_coverage_experiment(
         unrolled_proposal=unrolled_proposal,
         backend="auto" if backend == "parallel" else backend,
     )
+    artifact_store = ArtifactStore.coerce(store)
+    # The key must snapshot the seed state *before* spawn_seeds advances
+    # a shared Generator's spawn counter — the pre-spawn state is what
+    # identifies this run's repetition streams.
+    key = _coverage_key(context, rng) if artifact_store is not None else None
     report.outcomes.extend(
-        map_repetitions(
+        map_repetitions_cached(
             _coverage_repetition,
             context,
             spawn_seeds(rng, repetitions),
             workers=workers,
+            store=artifact_store,
+            key=key,
+            encode=_encode_outcome,
+            decode=_decode_outcome,
         )
     )
     return report

@@ -32,6 +32,7 @@ to a separate timing table.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 import time
@@ -40,8 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import EstimationError
-from repro.experiments.runner import map_repetitions
+from repro.errors import EstimationError, StoreError
 from repro.imcis.algorithm import IMCISConfig, imcis_from_sample
 from repro.imcis.random_search import RandomSearchConfig
 from repro.importance.bounded import run_bounded_importance_sampling
@@ -50,6 +50,10 @@ from repro.models.registry import REGISTRY, PreparedStudy, StudyRegistry
 from repro.smc.bayes import bayesian_estimate
 from repro.smc.estimators import monte_carlo_estimate
 from repro.smc.results import ConfidenceInterval
+from repro.store.cache import map_repetitions_cached
+from repro.store.codecs import decode_interval, encode_interval
+from repro.store.keys import code_versions, config_key, describe_study, seed_entropy
+from repro.store.store import ArtifactStore
 from repro.util.rng import spawn_seeds
 from repro.util.tables import format_number, format_table
 
@@ -81,11 +85,32 @@ RECORD_FIELDS = (
 class MatrixConfig:
     """Configuration of one matrix run.
 
-    ``studies=None`` resolves to the registry's quick set under
-    ``quick=True`` and to every registered study otherwise.
-    ``n_samples``/``confidence`` of ``None`` defer to each study's own
-    values. ``search_rounds`` is the IMCIS random-search stopping
-    parameter ``R``.
+    Parameters
+    ----------
+    studies : tuple of str, optional
+        Registry names to cover. ``None`` resolves to the registry's
+        quick set under ``quick=True`` and to every registered study
+        otherwise.
+    estimators : tuple of str
+        Estimators per study, out of :data:`ESTIMATOR_NAMES`.
+    backend : str, optional
+        Simulation engine for every cell (``"parallel"`` downgrades to
+        ``"auto"`` — the repetition axis owns the process parallelism).
+    repetitions : int
+        Repetitions per cell.
+    n_samples : int, optional
+        Traces per repetition; ``None`` defers to each study's own value.
+    confidence : float, optional
+        Interval confidence level; ``None`` defers to each study.
+    search_rounds : int
+        The IMCIS random-search stopping parameter ``R``.
+    quick : bool
+        Apply each study's quick factory parameters.
+    seed : int
+        Root RNG seed every cell derives its repetition seeds from.
+    workers : int or str, optional
+        Worker processes for the repetition fan-out (``"auto"`` = CPU
+        count, ``None`` = inline). Never affects results.
     """
 
     studies: "tuple[str, ...] | None" = None
@@ -98,6 +123,45 @@ class MatrixConfig:
     quick: bool = False
     seed: int = 2018
     workers: "int | str | None" = None
+
+    def to_payload(self) -> "dict[str, object]":
+        """JSON-serialisable form, stored in resumable run manifests."""
+        return {
+            "studies": None if self.studies is None else list(self.studies),
+            "estimators": list(self.estimators),
+            "backend": self.backend,
+            "repetitions": self.repetitions,
+            "n_samples": self.n_samples,
+            "confidence": self.confidence,
+            "search_rounds": self.search_rounds,
+            "quick": self.quick,
+            "seed": self.seed,
+            "workers": self.workers,
+        }
+
+    @staticmethod
+    def from_payload(payload: "dict[str, object]") -> "MatrixConfig":
+        """Invert :meth:`to_payload` (used by ``repro matrix --resume``).
+
+        Raises
+        ------
+        StoreError
+            When the payload carries fields this version does not know —
+            e.g. a manifest written by a newer version, or a hand-edited
+            one — instead of a raw ``TypeError`` deep in the CLI.
+        """
+        fields = dict(payload)
+        known = {f.name for f in dataclasses.fields(MatrixConfig)}
+        unknown = sorted(set(fields) - known)
+        if unknown:
+            raise StoreError(
+                f"run manifest carries unknown matrix-config field(s) {unknown}; "
+                "it was probably written by a different version"
+            )
+        studies = fields.get("studies")
+        fields["studies"] = None if studies is None else tuple(studies)
+        fields["estimators"] = tuple(fields.get("estimators", DEFAULT_ESTIMATORS))
+        return MatrixConfig(**fields)
 
 
 @dataclass(frozen=True)
@@ -119,6 +183,47 @@ class _CellContext:
     confidence: float
     search_rounds: int
     backend: str | None
+
+
+def _encode_cell_outcome(outcome: _CellOutcome) -> dict:
+    """JSON payload of one cell repetition (exact float round-trip)."""
+    return {
+        "estimate": outcome.estimate,
+        "interval": encode_interval(outcome.interval),
+        "ess": outcome.ess,
+    }
+
+
+def _decode_cell_outcome(payload: dict) -> _CellOutcome:
+    """Invert :func:`_encode_cell_outcome`."""
+    return _CellOutcome(
+        estimate=payload["estimate"],
+        interval=decode_interval(payload["interval"]),
+        ess=payload["ess"],
+    )
+
+
+def _cell_key(context: _CellContext, seed: int) -> str:
+    """Content address of one cell's repetition stream.
+
+    Deliberately excludes the repetition and worker counts (repetition
+    seeds are prefix-stable spawns of *seed*) and includes the search
+    rounds only for the estimator that uses them, so tuning ``R`` does
+    not evict the ``mc``/``bayes``/``is`` cells.
+    """
+    return config_key(
+        {
+            "kind": "matrix-cell",
+            "study": describe_study(context.prepared.study, context.prepared.unrolled_proposal),
+            "estimator": context.estimator,
+            "n_samples": context.n_samples,
+            "confidence": context.confidence,
+            "search_rounds": context.search_rounds if context.estimator == "imcis" else None,
+            "backend": context.backend or "auto",
+            "seed_entropy": seed_entropy(seed),
+            "versions": code_versions(),
+        }
+    )
 
 
 def _draw_sample(context: _CellContext, rng: np.random.Generator):
@@ -357,18 +462,40 @@ def resolve_studies(config: MatrixConfig, registry: StudyRegistry = REGISTRY) ->
     return registry.list_studies()
 
 
-def run_matrix(config: MatrixConfig, registry: StudyRegistry = REGISTRY) -> MatrixResult:
+def run_matrix(
+    config: MatrixConfig,
+    registry: StudyRegistry = REGISTRY,
+    store: "ArtifactStore | Path | str | None" = None,
+) -> MatrixResult:
     """Run the full (study × estimator) matrix described by *config*.
 
-    Studies are built once each (quick factories under ``quick=True``) and
-    shipped to the repetition workers per cell; the repetition axis owns
-    the process parallelism, exactly as in the coverage harness.
+    Parameters
+    ----------
+    config : MatrixConfig
+        The run description. Studies are built once each (quick
+        factories under ``quick=True``) and shipped to the repetition
+        workers per cell; the repetition axis owns the process
+        parallelism, exactly as in the coverage harness.
+    registry : StudyRegistry, optional
+        The catalogue study names resolve through.
+    store : ArtifactStore or path-like, optional
+        Artifact store to consult before dispatching repetitions: cells
+        whose ``(study, estimator, config, seed)`` records already exist
+        are served from disk and only cache misses simulate. Cached and
+        fresh repetitions produce bitwise-identical artifacts.
+
+    Returns
+    -------
+    MatrixResult
+        One aggregated :class:`MatrixCell` per ``(study, estimator)``
+        pair, in registry × estimator order.
     """
     for estimator in config.estimators:
         if estimator not in ESTIMATOR_NAMES:
             raise EstimationError(f"unknown estimator {estimator!r}; known: {ESTIMATOR_NAMES}")
     if config.repetitions < 1:
         raise EstimationError("repetitions must be positive")
+    artifact_store = ArtifactStore.coerce(store)
     backend = "auto" if config.backend == "parallel" else config.backend
     cells: "list[MatrixCell]" = []
     for name in resolve_studies(config, registry):
@@ -387,7 +514,16 @@ def run_matrix(config: MatrixConfig, registry: StudyRegistry = REGISTRY) -> Matr
             )
             seeds = spawn_seeds(config.seed, config.repetitions)
             started = time.perf_counter()
-            outcomes = map_repetitions(_matrix_repetition, context, seeds, workers=config.workers)
+            outcomes = map_repetitions_cached(
+                _matrix_repetition,
+                context,
+                seeds,
+                workers=config.workers,
+                store=artifact_store,
+                key=_cell_key(context, config.seed) if artifact_store is not None else None,
+                encode=_encode_cell_outcome,
+                decode=_decode_cell_outcome,
+            )
             wall_time = time.perf_counter() - started
             cells.append(_aggregate_cell(context, outcomes, wall_time))
     return MatrixResult(config=config, cells=cells)

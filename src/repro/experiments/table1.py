@@ -13,15 +13,19 @@ against the exact bound 5e-5).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-from repro.experiments.runner import map_repetitions
 from repro.imcis.algorithm import IMCISConfig, imcis_estimate
 from repro.imcis.random_search import RandomSearchConfig
 from repro.models import illustrative
 from repro.models.base import CaseStudy
+from repro.store.cache import map_repetitions_cached
+from repro.store.keys import code_versions, config_key, describe_study, seed_entropy
+from repro.store.store import ArtifactStore
 from repro.util.rng import spawn_seeds
 from repro.util.stats import DescriptiveStats, describe
 from repro.util.tables import format_table
@@ -126,6 +130,31 @@ class _Table1Context:
     backend: str | None
 
 
+def _encode_record(record: "dict[str, float] | None") -> dict:
+    """JSON payload of one Table I repetition (``None`` when no trace)."""
+    return {"values": record}
+
+
+def _decode_record(payload: dict) -> "dict[str, float] | None":
+    """Invert :func:`_encode_record`."""
+    return payload["values"]
+
+
+def _table1_key(context: _Table1Context, rng: "np.random.Generator | int | None") -> str:
+    """Content address of one Table I run's repetition stream."""
+    return config_key(
+        {
+            "kind": "table1-repetition",
+            "study": describe_study(context.study),
+            "imcis_config": dataclasses.asdict(context.config),
+            "n_samples": context.n_samples,
+            "backend": context.backend or "auto",
+            "seed_entropy": seed_entropy(rng),
+            "versions": code_versions(),
+        }
+    )
+
+
 def _table1_repetition(
     context: _Table1Context, seed: np.random.SeedSequence
 ) -> "dict[str, float] | None":
@@ -167,12 +196,37 @@ def run_table1(
     params: illustrative.IllustrativeParameters = illustrative.IllustrativeParameters(),
     backend: str | None = "auto",
     workers: "int | str | None" = None,
+    store: "ArtifactStore | Path | str | None" = None,
 ) -> Table1Result:
     """Run the Table I experiment.
 
-    The paper's protocol: 100 repetitions, N = 10 000 traces, R = 1000.
-    *workers* fans the repetitions out across a process pool (``"auto"`` =
-    CPU count); the statistics are identical for every worker count.
+    Parameters
+    ----------
+    repetitions : int
+        Number of Algorithm 1 runs (the paper uses 100).
+    n_samples : int
+        Traces per repetition (the paper uses 10 000).
+    r_undefeated : int
+        Random-search stopping parameter ``R`` (the paper uses 1000).
+    rng : numpy.random.Generator or int, optional
+        Root seed every repetition stream derives from.
+    params : IllustrativeParameters, optional
+        Parameters of the illustrative IMC.
+    backend : str, optional
+        Simulation engine (``"parallel"`` downgrades to ``"auto"`` — the
+        repetition axis owns the process parallelism).
+    workers : int or str, optional
+        Worker processes for the repetition fan-out (``"auto"`` = CPU
+        count); the statistics are identical for every worker count.
+    store : ArtifactStore or path-like, optional
+        Artifact store: repetitions already recorded under this exact
+        configuration and seed are loaded instead of recomputed.
+        Requires an explicit, non-``None`` *rng* seed.
+
+    Returns
+    -------
+    Table1Result
+        Per-repetition records plus the paper's summary statistics.
     """
     study = illustrative.make_study(params, n_samples=n_samples)
     config = IMCISConfig(
@@ -191,7 +245,17 @@ def run_table1(
         n_samples=n_samples,
         backend="auto" if backend == "parallel" else backend,
     )
-    outcomes = map_repetitions(
-        _table1_repetition, context, spawn_seeds(rng, repetitions), workers=workers
+    artifact_store = ArtifactStore.coerce(store)
+    # Key before spawn_seeds: snapshot a shared Generator's pre-spawn state.
+    key = _table1_key(context, rng) if artifact_store is not None else None
+    outcomes = map_repetitions_cached(
+        _table1_repetition,
+        context,
+        spawn_seeds(rng, repetitions),
+        workers=workers,
+        store=artifact_store,
+        key=key,
+        encode=_encode_record,
+        decode=_decode_record,
     )
     return Table1Result(records=[values for values in outcomes if values is not None])

@@ -9,6 +9,7 @@ against the exact ``γ(Â)`` and (when a ground truth exists) the exact
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -17,6 +18,7 @@ from repro.imcis.algorithm import IMCISConfig
 from repro.imcis.random_search import RandomSearchConfig
 from repro.importance.bounded import UnrolledProposal
 from repro.models.base import CaseStudy
+from repro.store.store import ArtifactStore
 from repro.util.tables import format_number, format_table
 
 
@@ -83,6 +85,7 @@ def run_table2(
     n_samples: int | None = None,
     backend: str | None = "auto",
     workers: "int | str | None" = None,
+    store: "ArtifactStore | Path | str | None" = None,
 ) -> list[CoverageReport]:
     """Run the Table II protocol over several case studies.
 
@@ -95,6 +98,11 @@ def run_table2(
     every study is seeded identically, so a single-study run reproduces
     its rows from the full sweep; a shared ``Generator`` hands each study
     the next spawned stream instead.
+
+    *store* forwards to every study's coverage experiment: repetitions
+    already recorded under the same study content, configuration and
+    seed are decoded from disk instead of simulated. Requires an
+    explicit, non-``None`` *rng* seed.
     """
     reports = []
     for study, unrolled in studies:
@@ -111,6 +119,7 @@ def run_table2(
                 unrolled_proposal=unrolled,
                 backend=backend,
                 workers=workers,
+                store=store,
             )
         )
     return reports

@@ -99,9 +99,24 @@ class StudySpec:
     ) -> PreparedStudy:
         """Instantiate the study.
 
-        *rng* is forwarded to seeded factories (and ignored otherwise);
-        *quick* applies :attr:`quick_params` underneath any explicit
-        *params*.
+        Parameters
+        ----------
+        rng : Generator, int or None, optional
+            Forwarded to seeded factories; ignored otherwise.
+        quick : bool, optional
+            Apply :attr:`quick_params` underneath any explicit *params*.
+        **params
+            Factory keyword overrides (each family is parametric).
+
+        Returns
+        -------
+        PreparedStudy
+            The built study plus its optional unrolled proposal.
+
+        Raises
+        ------
+        ModelError
+            When the factory does not produce a :class:`CaseStudy`.
         """
         merged: dict[str, object] = dict(self.quick_params) if quick else {}
         merged.update(params)
@@ -138,7 +153,36 @@ class StudyRegistry:
         quick_params: Mapping[str, object] | None = None,
         seeded: bool = False,
     ) -> StudySpec:
-        """Add a study family under *name*; duplicate names are rejected."""
+        """Add a study family under *name*.
+
+        Parameters
+        ----------
+        name : str
+            Registry key (and the expected ``CaseStudy.name``).
+        factory : callable
+            Parametric ``make_study(**params)`` returning a
+            :class:`CaseStudy`, a ``(CaseStudy, UnrolledProposal)`` pair
+            or a :class:`PreparedStudy`.
+        description : str, optional
+            One-line summary shown in listings.
+        tags : tuple or frozenset of str, optional
+            Free-form markers; :data:`SLOW_TAG` excludes a study from
+            quick runs.
+        quick_params : Mapping, optional
+            Factory overrides applied by quick/smoke runs.
+        seeded : bool, optional
+            True when the factory accepts an ``rng`` keyword.
+
+        Returns
+        -------
+        StudySpec
+            The spec as registered.
+
+        Raises
+        ------
+        ModelError
+            When *name* is already registered.
+        """
         if name in self._specs:
             raise ModelError(f"study {name!r} is already registered")
         spec = StudySpec(
@@ -153,7 +197,23 @@ class StudyRegistry:
         return spec
 
     def get(self, name: str) -> StudySpec:
-        """The spec registered under *name*."""
+        """The spec registered under *name*.
+
+        Parameters
+        ----------
+        name : str
+            Registry key to resolve.
+
+        Returns
+        -------
+        StudySpec
+            The registered spec.
+
+        Raises
+        ------
+        ModelError
+            When *name* is unknown (the message lists known names).
+        """
         try:
             return self._specs[name]
         except KeyError:
@@ -162,7 +222,20 @@ class StudyRegistry:
             ) from None
 
     def list_studies(self, tag: str | None = None, exclude_tag: str | None = None) -> list[str]:
-        """Registered names, in registration order, optionally filtered by tag."""
+        """Registered names, in registration order, optionally filtered.
+
+        Parameters
+        ----------
+        tag : str, optional
+            Keep only studies carrying this tag.
+        exclude_tag : str, optional
+            Drop studies carrying this tag.
+
+        Returns
+        -------
+        list of str
+            Matching registry keys, in registration order.
+        """
         names = []
         for name, spec in self._specs.items():
             if tag is not None and tag not in spec.tags:
@@ -179,7 +252,24 @@ class StudyRegistry:
     def make_study(
         self, name: str, rng: object | None = None, quick: bool = False, **params: object
     ) -> PreparedStudy:
-        """Build the study registered under *name* (see :meth:`StudySpec.build`)."""
+        """Build the study registered under *name*.
+
+        Parameters
+        ----------
+        name : str
+            Registry key to resolve.
+        rng : Generator, int or None, optional
+            Forwarded to seeded factories; ignored otherwise.
+        quick : bool, optional
+            Apply the spec's quick parameters underneath *params*.
+        **params
+            Factory keyword overrides.
+
+        Returns
+        -------
+        PreparedStudy
+            The built study (see :meth:`StudySpec.build`).
+        """
         return self.get(name).build(rng=rng, quick=quick, **params)
 
     def __contains__(self, name: object) -> bool:

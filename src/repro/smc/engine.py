@@ -286,7 +286,39 @@ def make_plan(
     initial_state: int | None = None,
     futility: "FutilityMask | str | None" = "auto",
 ) -> SimulationPlan:
-    """Validate the arguments and precompile a :class:`SimulationPlan`."""
+    """Validate the arguments and precompile a :class:`SimulationPlan`.
+
+    Parameters
+    ----------
+    chain : DTMC
+        The chain to simulate.
+    formula : Formula
+        The property each trace is decided against.
+    max_steps : int, optional
+        Trace-length cap; defaults to the formula's own horizon when it
+        has one, else :data:`DEFAULT_MAX_STEPS`.
+    count_mode : {"satisfied", "all", "none"}, optional
+        Which traces keep per-trace transition-count tables.
+    record_log_prob : bool, optional
+        Accumulate each trace's log probability under the sampled chain
+        (the IS likelihood-ratio denominator).
+    initial_state : int, optional
+        Start state override; defaults to the chain's own.
+    futility : FutilityMask, "auto" or None, optional
+        Early-abort mask for hopeless traces; ``"auto"`` derives one
+        from the formula.
+
+    Returns
+    -------
+    SimulationPlan
+        The immutable plan every backend executes.
+
+    Raises
+    ------
+    EstimationError
+        On an unknown *count_mode*, a negative *max_steps* or an
+        out-of-range *initial_state*.
+    """
     if count_mode not in COUNT_MODES:
         raise EstimationError(f"count_mode must be one of {COUNT_MODES}")
     if futility == "auto":
@@ -687,14 +719,29 @@ def resolve_backend(
 ) -> SimulationBackend:
     """Turn a backend selector into a backend instance for *plan*.
 
-    ``"auto"`` (and ``None``) and ``"vectorized"`` pick
-    :class:`VectorizedBackend` whenever the plan's formula compiled to a
-    vector monitor and fall back to :class:`SequentialBackend` otherwise;
-    ``"sequential"`` always picks the reference backend; ``"parallel"``
-    shards batches across a process pool
-    (:class:`~repro.smc.parallel.ParallelBackend` with default settings —
-    construct it directly to tune workers or shard size). An already
-    constructed backend instance passes through untouched.
+    Parameters
+    ----------
+    backend : str, SimulationBackend or None
+        ``"auto"`` (and ``None``) and ``"vectorized"`` pick
+        :class:`VectorizedBackend` whenever the plan's formula compiled
+        to a vector monitor and fall back to :class:`SequentialBackend`
+        otherwise; ``"sequential"`` always picks the reference backend;
+        ``"parallel"`` shards batches across a process pool
+        (:class:`~repro.smc.parallel.ParallelBackend` with default
+        settings — construct it directly to tune workers or shard
+        size). An already constructed backend passes through untouched.
+    plan : SimulationPlan
+        The plan the backend will execute.
+
+    Returns
+    -------
+    SimulationBackend
+        A backend ready to run batches of *plan*.
+
+    Raises
+    ------
+    EstimationError
+        When *backend* names no known selector.
     """
     if isinstance(backend, SimulationBackend):
         return backend

@@ -1,0 +1,54 @@
+"""Content-addressed experiment artifact store.
+
+The Section VI experiments are repetition-heavy Monte Carlo fan-outs in
+which every repetition is a pure function of ``(configuration, seed)``.
+This package caches those repetitions on disk so reruns only simulate
+what actually changed:
+
+* :mod:`repro.store.keys` — stable :func:`config_key` hashing of study
+  content, estimator configuration, root seed entropy and code versions;
+* :mod:`repro.store.store` — the :class:`ArtifactStore` itself
+  (JSON-lines record files, integrity checksums, run manifests,
+  hit/miss accounting, gc);
+* :mod:`repro.store.cache` — :func:`map_repetitions_cached`, the drop-in
+  cache-aware variant of the parallel repetition fan-out;
+* :mod:`repro.store.codecs` — exact-round-trip JSON codecs for the
+  result records the experiments aggregate.
+
+The experiments (:mod:`repro.experiments`) accept ``store=`` and consult
+the cache before dispatching repetitions; the CLI exposes ``--store``,
+``--resume`` and the ``repro store ls|inspect|gc`` maintenance commands.
+Cached and freshly computed repetitions produce bitwise-identical
+artifacts at every worker count.
+"""
+
+from repro.store.cache import map_repetitions_cached
+from repro.store.keys import (
+    STORE_SCHEMA,
+    canonical_json,
+    code_versions,
+    config_key,
+    describe_study,
+    fingerprint_array,
+    fingerprint_chain,
+    fingerprint_matrix,
+    seed_entropy,
+)
+from repro.store.store import ArtifactStore, RunManifest, RunRecord, StoreStats
+
+__all__ = [
+    "ArtifactStore",
+    "RunManifest",
+    "RunRecord",
+    "STORE_SCHEMA",
+    "StoreStats",
+    "canonical_json",
+    "code_versions",
+    "config_key",
+    "describe_study",
+    "fingerprint_array",
+    "fingerprint_chain",
+    "fingerprint_matrix",
+    "map_repetitions_cached",
+    "seed_entropy",
+]

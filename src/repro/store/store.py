@@ -1,0 +1,416 @@
+"""The on-disk experiment artifact store.
+
+Layout under the store root::
+
+    <root>/
+        records/<key[:2]>/<key>.jsonl    one line per cached repetition
+        runs/<run-id>.json               one manifest per resumable run
+
+Record files are JSON-lines: append-only, human-inspectable, and safe to
+extend — a crashed run leaves at worst one truncated trailing line, which
+the integrity checksum detects and the next run recomputes. Every line
+carries the config key it belongs to and a checksum of its payload, so a
+file that was moved, concatenated or bit-rotted is caught on load instead
+of silently corrupting an experiment.
+
+Run manifests make interrupted runs resumable: ``repro matrix --store DIR``
+writes a manifest up front (run id, full configuration, touched keys) and
+``repro matrix --resume RUN-ID --store DIR`` replays the same configuration
+— every repetition that made it to disk is a cache hit, only the remainder
+simulates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StoreError
+from repro.store.keys import payload_checksum
+
+__all__ = [
+    "ArtifactStore",
+    "RunManifest",
+    "RunRecord",
+    "StoreStats",
+]
+
+#: Record-line format version (see also ``keys.STORE_SCHEMA``, which is
+#: part of the key itself).
+RECORD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One cached repetition result.
+
+    Attributes
+    ----------
+    key:
+        The :func:`~repro.store.keys.config_key` the record belongs to.
+    index:
+        Repetition index — the position of the repetition's seed in the
+        root ``SeedSequence.spawn`` order.
+    payload:
+        The codec-encoded repetition result (JSON-serialisable).
+    """
+
+    key: str
+    index: int
+    payload: "dict[str, object]"
+
+    def to_line(self) -> str:
+        """Serialise to one JSON line with an integrity checksum."""
+        document = {
+            "v": RECORD_VERSION,
+            "key": self.key,
+            "index": self.index,
+            "check": payload_checksum(self.payload),
+            "payload": self.payload,
+        }
+        return json.dumps(document, sort_keys=True)
+
+    @staticmethod
+    def from_line(line: str, expected_key: str) -> "RunRecord":
+        """Parse and verify one record line.
+
+        Raises
+        ------
+        StoreError
+            On malformed JSON, a missing field, a record filed under the
+            wrong key, or a payload that fails its checksum.
+        """
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise StoreError(f"unreadable record line: {error}") from None
+        if not isinstance(document, dict):
+            raise StoreError(f"record line is not an object: {line[:60]!r}")
+        try:
+            version = document["v"]
+            key = document["key"]
+            index = document["index"]
+            check = document["check"]
+            payload = document["payload"]
+        except KeyError as error:
+            raise StoreError(f"record line misses field {error}") from None
+        if version != RECORD_VERSION:
+            raise StoreError(f"unsupported record version {version!r}")
+        if key != expected_key:
+            raise StoreError(f"record carries key {key!r}, expected {expected_key!r}")
+        if not isinstance(index, int) or index < 0:
+            raise StoreError(f"record index {index!r} is not a non-negative integer")
+        if payload_checksum(payload) != check:
+            raise StoreError(f"record {key}:{index} fails its payload checksum")
+        return RunRecord(key=key, index=index, payload=payload)
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting of one process's store usage."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable account."""
+        text = f"{self.hits} cached, {self.misses} computed"
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt record(s) ignored"
+        return text
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The resumable description of one store-backed run.
+
+    Attributes
+    ----------
+    run_id:
+        Identifier handed to ``--resume``.
+    command:
+        The producing entry point (e.g. ``"matrix"``).
+    config:
+        JSON round-trip of the run's full configuration — enough to
+        reconstruct it exactly.
+    status:
+        ``"running"`` until the run completes, then ``"complete"``.
+    keys:
+        Config keys the run touched (filled in on completion; used by
+        ``repro store gc`` to tell live records from orphans).
+    created:
+        ISO-8601 creation timestamp (metadata only — never hashed).
+    """
+
+    run_id: str
+    command: str
+    config: "dict[str, object]"
+    status: str = "running"
+    keys: "tuple[str, ...]" = ()
+    created: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "run_id": self.run_id,
+                "command": self.command,
+                "config": self.config,
+                "status": self.status,
+                "keys": list(self.keys),
+                "created": self.created,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "RunManifest":
+        try:
+            document = json.loads(text)
+            return RunManifest(
+                run_id=document["run_id"],
+                command=document["command"],
+                config=dict(document["config"]),
+                status=document["status"],
+                keys=tuple(document.get("keys", ())),
+                created=document.get("created", ""),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise StoreError(f"unreadable run manifest: {error}") from None
+
+
+class ArtifactStore:
+    """Content-addressed JSON-lines store of per-repetition results.
+
+    Parameters
+    ----------
+    root : path-like
+        Directory holding the store (created lazily on first write).
+    strict : bool, optional
+        When True, a corrupt record line raises
+        :class:`~repro.errors.StoreError`; the default treats it as a
+        cache miss (the repetition is recomputed and re-appended), which
+        is always safe because records are pure functions of their key
+        and index.
+
+    Notes
+    -----
+    The store is *append-only* per record file. Duplicate indices can
+    therefore exist (e.g. after a corrupt line is recomputed); the last
+    valid occurrence wins on load, and ``gc`` compacts files down to one
+    line per index.
+    """
+
+    def __init__(self, root: "Path | str", strict: bool = False):
+        self.root = Path(root)
+        self.strict = strict
+        self.stats = StoreStats()
+        self.touched_keys: "set[str]" = set()
+
+    # -- coercion ---------------------------------------------------------
+
+    @staticmethod
+    def coerce(store: "ArtifactStore | Path | str | None") -> "ArtifactStore | None":
+        """Accept a store, a path to one, or ``None`` (no caching)."""
+        if store is None or isinstance(store, ArtifactStore):
+            return store
+        return ArtifactStore(store)
+
+    # -- record files -----------------------------------------------------
+
+    def record_path(self, key: str) -> Path:
+        """The JSON-lines file of *key* (two-level fan-out by key prefix)."""
+        return self.root / "records" / key[:2] / f"{key}.jsonl"
+
+    def load(self, key: str) -> "dict[int, dict[str, object]]":
+        """All valid cached payloads of *key*, indexed by repetition.
+
+        Corrupt lines are counted in :attr:`stats` and skipped (or raised
+        under ``strict=True``).
+        """
+        path = self.record_path(key)
+        if not path.exists():
+            return {}
+        payloads: "dict[int, dict[str, object]]" = {}
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = RunRecord.from_line(line, expected_key=key)
+            except StoreError as error:
+                if self.strict:
+                    raise StoreError(f"{path}:{lineno}: {error}") from None
+                self.stats.corrupt += 1
+                continue
+            payloads[record.index] = record.payload
+        return payloads
+
+    def append(self, key: str, payloads: "Mapping[int, dict[str, object]]") -> None:
+        """Append one record line per ``(index, payload)`` entry."""
+        if not payloads:
+            return
+        path = self.record_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [
+            RunRecord(key=key, index=index, payload=dict(payload)).to_line()
+            for index, payload in sorted(payloads.items())
+        ]
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        self.stats.writes += len(lines)
+
+    def keys(self) -> "list[str]":
+        """Every key with a record file, sorted."""
+        records = self.root / "records"
+        if not records.is_dir():
+            return []
+        return sorted(path.stem for path in records.glob("*/*.jsonl"))
+
+    def verify(self, key: str) -> "tuple[int, list[str]]":
+        """Validate one record file.
+
+        Returns
+        -------
+        tuple
+            ``(valid_record_count, problems)`` where *problems* is one
+            human-readable line per corrupt record.
+        """
+        path = self.record_path(key)
+        if not path.exists():
+            return 0, [f"no record file for key {key}"]
+        valid: "set[int]" = set()
+        problems: "list[str]" = []
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                valid.add(RunRecord.from_line(line, expected_key=key).index)
+            except StoreError as error:
+                problems.append(f"line {lineno}: {error}")
+        return len(valid), problems
+
+    # -- run manifests ----------------------------------------------------
+
+    def _runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    def manifest_path(self, run_id: str) -> Path:
+        """The manifest file of *run_id*."""
+        return self._runs_dir() / f"{run_id}.json"
+
+    def new_run_id(self, command: str) -> str:
+        """A fresh collision-free run identifier (e.g. ``matrix-1a2b3c4d``)."""
+        while True:
+            run_id = f"{command}-{os.urandom(4).hex()}"
+            if not self.manifest_path(run_id).exists():
+                return run_id
+
+    def save_manifest(self, manifest: RunManifest) -> Path:
+        """Write (or overwrite) *manifest* under ``runs/``."""
+        path = self.manifest_path(manifest.run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(manifest.to_json() + "\n")
+        return path
+
+    def load_manifest(self, run_id: str) -> RunManifest:
+        """Load the manifest of *run_id* (StoreError when absent)."""
+        path = self.manifest_path(run_id)
+        if not path.exists():
+            known = ", ".join(m.run_id for m in self.list_manifests()) or "none"
+            raise StoreError(f"no run {run_id!r} under {self.root} (known: {known})")
+        return RunManifest.from_json(path.read_text())
+
+    def list_manifests(self) -> "list[RunManifest]":
+        """Every stored manifest, sorted by run id."""
+        runs = self._runs_dir()
+        if not runs.is_dir():
+            return []
+        return [RunManifest.from_json(p.read_text()) for p in sorted(runs.glob("*.json"))]
+
+    # -- maintenance ------------------------------------------------------
+
+    def referenced_keys(self) -> "set[str]":
+        """Keys referenced by any run manifest."""
+        return {key for manifest in self.list_manifests() for key in manifest.keys}
+
+    def compact(self, key: str) -> "tuple[int, int]":
+        """Rewrite one record file: drop corrupt lines and duplicates.
+
+        Returns
+        -------
+        tuple
+            ``(records_kept, lines_dropped)``.
+        """
+        path = self.record_path(key)
+        if not path.exists():
+            return 0, 0
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        kept: "dict[int, RunRecord]" = {}
+        dropped = 0
+        for line in lines:
+            try:
+                record = RunRecord.from_line(line, expected_key=key)
+            except StoreError:
+                dropped += 1
+                continue
+            kept[record.index] = record
+        if dropped == 0 and len(kept) == len(lines):
+            return len(kept), 0
+        if kept:
+            body = "\n".join(kept[i].to_line() for i in sorted(kept)) + "\n"
+            path.write_text(body)
+        else:
+            path.unlink()
+        return len(kept), dropped + (len(lines) - dropped - len(kept))
+
+    def gc(self, drop_unreferenced: bool = False) -> "dict[str, int]":
+        """Compact every record file; optionally delete orphaned keys.
+
+        Parameters
+        ----------
+        drop_unreferenced : bool, optional
+            Also delete record files whose key no run manifest references
+            (records written by ad-hoc library calls rather than CLI runs
+            count as unreferenced — hence opt-in). Skipped whenever any
+            manifest is still ``"running"``: an interrupted or in-flight
+            run records its touched keys only on completion, so its
+            resumable records would be indistinguishable from orphans.
+
+        Returns
+        -------
+        dict
+            Counters: ``records_kept``, ``lines_dropped``,
+            ``files_deleted``, ``in_flight_runs``.
+        """
+        in_flight = sum(1 for m in self.list_manifests() if m.status == "running")
+        referenced = None
+        if drop_unreferenced and in_flight == 0:
+            referenced = self.referenced_keys()
+        kept_total = dropped_total = deleted = 0
+        for key in self.keys():
+            if referenced is not None and key not in referenced:
+                self.record_path(key).unlink()
+                deleted += 1
+                continue
+            kept, dropped = self.compact(key)
+            kept_total += kept
+            dropped_total += dropped
+            if kept == 0 and not self.record_path(key).exists():
+                deleted += 1
+        # Remove now-empty fan-out directories so ls stays tidy.
+        records = self.root / "records"
+        if records.is_dir():
+            for bucket in records.iterdir():
+                if bucket.is_dir() and not any(bucket.iterdir()):
+                    bucket.rmdir()
+        return {
+            "records_kept": kept_total,
+            "lines_dropped": dropped_total,
+            "files_deleted": deleted,
+            "in_flight_runs": in_flight,
+        }

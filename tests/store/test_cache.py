@@ -1,0 +1,134 @@
+"""Tests of the cache-aware repetition fan-out and the result codecs."""
+
+import numpy as np
+import pytest
+
+from repro.imcis.algorithm import IMCISResult
+from repro.smc.results import ConfidenceInterval, EstimationResult
+from repro.store.cache import map_repetitions_cached
+from repro.store.codecs import (
+    decode_estimation_result,
+    decode_imcis_result,
+    decode_interval,
+    encode_estimation_result,
+    encode_imcis_result,
+    encode_interval,
+)
+from repro.store.store import ArtifactStore
+
+KEY = "ab" + "1" * 30
+
+
+def _toy_repetition(context, seed):
+    """Module-level repetition fn (pure function of context and seed)."""
+    return {"draw": float(np.random.default_rng(seed).random()), "scale": context}
+
+
+def _encode(value):
+    return value
+
+
+def _decode(payload):
+    return payload
+
+
+class TestMapRepetitionsCached:
+    def test_without_store_is_passthrough(self):
+        seeds = np.random.SeedSequence(3).spawn(4)
+        plain = map_repetitions_cached(_toy_repetition, 1.0, seeds)
+        assert len(plain) == 4
+
+    def test_store_requires_codec_and_key(self, tmp_path):
+        seeds = np.random.SeedSequence(3).spawn(2)
+        with pytest.raises(ValueError, match="key"):
+            map_repetitions_cached(_toy_repetition, 1.0, seeds, store=ArtifactStore(tmp_path))
+
+    def test_hit_miss_accounting(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        seeds = np.random.SeedSequence(3).spawn(4)
+        kwargs = dict(store=store, key=KEY, encode=_encode, decode=_decode)
+        first = map_repetitions_cached(_toy_repetition, 1.0, seeds, **kwargs)
+        assert (store.stats.hits, store.stats.misses) == (0, 4)
+        second = map_repetitions_cached(_toy_repetition, 1.0, seeds, **kwargs)
+        assert (store.stats.hits, store.stats.misses) == (4, 4)
+        assert second == first
+        assert store.touched_keys == {KEY}
+
+    def test_extending_repetitions_reuses_prefix(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        kwargs = dict(store=store, key=KEY, encode=_encode, decode=_decode)
+        short = map_repetitions_cached(
+            _toy_repetition, 1.0, np.random.SeedSequence(3).spawn(3), **kwargs
+        )
+        longer = map_repetitions_cached(
+            _toy_repetition, 1.0, np.random.SeedSequence(3).spawn(6), **kwargs
+        )
+        assert longer[:3] == short
+        assert (store.stats.hits, store.stats.misses) == (3, 6)
+
+    def test_corrupt_record_is_recomputed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        seeds = np.random.SeedSequence(3).spawn(2)
+        kwargs = dict(key=KEY, encode=_encode, decode=_decode)
+        first = map_repetitions_cached(_toy_repetition, 1.0, seeds, store=store, **kwargs)
+        path = store.record_path(KEY)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0][:-8], lines[1]]) + "\n")
+        fresh_store = ArtifactStore(tmp_path)
+        second = map_repetitions_cached(_toy_repetition, 1.0, seeds, store=fresh_store, **kwargs)
+        assert second == first
+        assert fresh_store.stats.corrupt == 1
+        assert (fresh_store.stats.hits, fresh_store.stats.misses) == (1, 1)
+
+
+class TestCodecs:
+    def test_interval_round_trip_is_exact(self):
+        interval = ConfidenceInterval(low=0.1 + 0.2, high=0.7000000000000001, confidence=0.95)
+        decoded = decode_interval(encode_interval(interval))
+        assert decoded == interval
+
+    def test_estimation_result_round_trip(self):
+        result = EstimationResult(
+            estimate=3.3e-5,
+            std_dev=1.2e-3,
+            n_samples=1000,
+            interval=ConfidenceInterval(1e-5, 5e-5, 0.95),
+            n_satisfied=12,
+            n_undecided=1,
+            method="importance-sampling",
+            ess=float("nan"),
+        )
+        decoded = decode_estimation_result(encode_estimation_result(result))
+        assert decoded.estimate == result.estimate
+        assert decoded.interval == result.interval
+        assert np.isnan(decoded.ess)
+        assert decoded.method == result.method
+
+    def test_imcis_result_round_trip_drops_search_only(self):
+        center = EstimationResult(
+            estimate=1e-4,
+            std_dev=1e-3,
+            n_samples=500,
+            interval=ConfidenceInterval(5e-5, 2e-4, 0.99),
+            n_satisfied=7,
+            ess=41.5,
+        )
+        result = IMCISResult(
+            interval=ConfidenceInterval(4e-5, 3e-4, 0.99),
+            gamma_min=4.5e-5,
+            sigma_min=1.1e-3,
+            gamma_max=2.9e-4,
+            sigma_max=1.3e-3,
+            center_estimate=center,
+            search=None,
+            n_total=500,
+            n_satisfied=7,
+            n_undecided=0,
+        )
+        decoded = decode_imcis_result(encode_imcis_result(result))
+        assert decoded.interval == result.interval
+        assert decoded.gamma_min == result.gamma_min
+        assert decoded.sigma_max == result.sigma_max
+        assert decoded.center_estimate.ess == center.ess
+        assert decoded.search is None
+        assert decoded.mid_value == result.mid_value

@@ -1,0 +1,188 @@
+"""Tests of the on-disk store: record round-trips, corruption detection,
+run manifests and garbage collection."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.store import ArtifactStore, RunManifest, RunRecord
+
+KEY = "ab" + "0" * 30
+OTHER_KEY = "cd" + "0" * 30
+
+
+class TestRunRecord:
+    def test_round_trip(self):
+        record = RunRecord(key=KEY, index=3, payload={"x": 0.1 + 0.2, "s": "text"})
+        assert RunRecord.from_line(record.to_line(), expected_key=KEY) == record
+
+    def test_checksum_detects_payload_tampering(self):
+        line = RunRecord(key=KEY, index=0, payload={"x": 1.0}).to_line()
+        tampered = line.replace("1.0", "2.0")
+        with pytest.raises(StoreError, match="checksum"):
+            RunRecord.from_line(tampered, expected_key=KEY)
+
+    def test_wrong_key_rejected(self):
+        line = RunRecord(key=KEY, index=0, payload={}).to_line()
+        with pytest.raises(StoreError, match="expected"):
+            RunRecord.from_line(line, expected_key=OTHER_KEY)
+
+    def test_truncated_line_rejected(self):
+        line = RunRecord(key=KEY, index=0, payload={"x": 1.0}).to_line()
+        with pytest.raises(StoreError, match="unreadable"):
+            RunRecord.from_line(line[: len(line) // 2], expected_key=KEY)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(StoreError, match="misses field"):
+            RunRecord.from_line(json.dumps({"v": 1, "key": KEY}), expected_key=KEY)
+
+    def test_bad_index_rejected(self):
+        document = json.loads(RunRecord(key=KEY, index=0, payload={}).to_line())
+        document["index"] = -1
+        with pytest.raises(StoreError, match="index"):
+            RunRecord.from_line(json.dumps(document), expected_key=KEY)
+
+
+class TestArtifactStore:
+    def test_load_of_absent_key_is_empty(self, tmp_path):
+        assert ArtifactStore(tmp_path).load(KEY) == {}
+
+    def test_append_load_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        payloads = {0: {"x": 1.5}, 2: {"x": float("nan")}, 1: {"x": -0.0}}
+        store.append(KEY, payloads)
+        loaded = store.load(KEY)
+        assert set(loaded) == {0, 1, 2}
+        assert loaded[0] == {"x": 1.5}
+        assert str(loaded[2]["x"]) == "nan"
+        assert store.stats.writes == 3
+
+    def test_incremental_append_merges(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append(KEY, {0: {"x": 1}})
+        store.append(KEY, {1: {"x": 2}})
+        assert set(store.load(KEY)) == {0, 1}
+
+    def test_corrupt_line_skipped_and_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append(KEY, {0: {"x": 1}, 1: {"x": 2}})
+        path = store.record_path(KEY)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0], lines[1][:-10]]) + "\n")
+        loaded = store.load(KEY)
+        assert set(loaded) == {0}
+        assert store.stats.corrupt == 1
+
+    def test_strict_store_raises_on_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append(KEY, {0: {"x": 1}})
+        path = store.record_path(KEY)
+        path.write_text(path.read_text().replace('"x": 1', '"x": 9'))
+        with pytest.raises(StoreError, match="checksum"):
+            ArtifactStore(tmp_path, strict=True).load(KEY)
+
+    def test_verify_reports_problems(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append(KEY, {0: {"x": 1}})
+        path = store.record_path(KEY)
+        path.write_text(path.read_text() + "not json\n")
+        valid, problems = store.verify(KEY)
+        assert valid == 1
+        assert len(problems) == 1 and "line 2" in problems[0]
+
+    def test_keys_lists_record_files(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append(KEY, {0: {}})
+        store.append(OTHER_KEY, {0: {}})
+        assert store.keys() == sorted([KEY, OTHER_KEY])
+
+    def test_coerce(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert ArtifactStore.coerce(None) is None
+        assert ArtifactStore.coerce(store) is store
+        assert ArtifactStore.coerce(tmp_path).root == tmp_path
+
+
+class TestManifests:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        manifest = RunManifest(
+            run_id="matrix-cafe0123",
+            command="matrix",
+            config={"seed": 11, "studies": ["illustrative"]},
+            status="running",
+            created="2026-07-28T00:00:00+0000",
+        )
+        store.save_manifest(manifest)
+        assert store.load_manifest("matrix-cafe0123") == manifest
+        assert store.list_manifests() == [manifest]
+
+    def test_unknown_run_rejected_with_known_runs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save_manifest(RunManifest(run_id="matrix-aa", command="matrix", config={}))
+        with pytest.raises(StoreError, match="matrix-aa"):
+            store.load_manifest("matrix-bb")
+
+    def test_new_run_id_avoids_collisions(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        run_id = store.new_run_id("matrix")
+        assert run_id.startswith("matrix-")
+        assert not store.manifest_path(run_id).exists()
+
+    def test_unreadable_manifest_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.manifest_path("matrix-bad")
+        path.parent.mkdir(parents=True)
+        path.write_text("{}")
+        with pytest.raises(StoreError, match="unreadable"):
+            store.load_manifest("matrix-bad")
+
+
+class TestGc:
+    def test_compact_drops_duplicates_and_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append(KEY, {0: {"x": 1}})
+        store.append(KEY, {0: {"x": 1}, 1: {"x": 2}})
+        path = store.record_path(KEY)
+        path.write_text(path.read_text() + "garbage\n")
+        kept, dropped = store.compact(KEY)
+        assert (kept, dropped) == (2, 2)
+        assert set(store.load(KEY)) == {0, 1}
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_gc_keeps_referenced_drops_orphans(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append(KEY, {0: {"x": 1}})
+        store.append(OTHER_KEY, {0: {"x": 1}})
+        store.save_manifest(
+            RunManifest(
+                run_id="matrix-aa",
+                command="matrix",
+                config={},
+                status="complete",
+                keys=(KEY,),
+            )
+        )
+        counters = store.gc(drop_unreferenced=True)
+        assert counters["files_deleted"] == 1
+        assert store.keys() == [KEY]
+
+    def test_gc_without_flag_keeps_unreferenced(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append(KEY, {0: {"x": 1}})
+        assert store.gc()["files_deleted"] == 0
+        assert store.keys() == [KEY]
+
+    def test_gc_spares_orphans_while_a_run_is_in_flight(self, tmp_path):
+        """An interrupted run records its keys only on completion — its
+        resumable records must not be collected as orphans."""
+        store = ArtifactStore(tmp_path)
+        store.append(KEY, {0: {"x": 1}})
+        store.save_manifest(
+            RunManifest(run_id="matrix-aa", command="matrix", config={}, status="running")
+        )
+        counters = store.gc(drop_unreferenced=True)
+        assert counters["files_deleted"] == 0
+        assert counters["in_flight_runs"] == 1
+        assert store.keys() == [KEY]

@@ -97,3 +97,65 @@ class TestCommands:
         )
         assert code == 0
         assert "Table II" in capsys.readouterr().out
+
+
+class TestStoreCommands:
+    MATRIX_ARGS = [
+        "matrix", "--quick", "--studies", "illustrative", "--estimators", "is",
+        "--reps", "2", "--samples", "200", "--workers", "1",
+    ]
+
+    def _run_with_store(self, tmp_path, extra=()):
+        store = tmp_path / "store"
+        out = tmp_path / "out"
+        args = [*self.MATRIX_ARGS, "--store", str(store), "--out", str(out), *extra]
+        return main(args), store, out
+
+    def test_matrix_store_and_resume_round_trip(self, capsys, tmp_path):
+        code, store, out = self._run_with_store(tmp_path)
+        assert code == 0
+        first_csv = (out / "matrix.csv").read_bytes()
+        text = capsys.readouterr().out
+        assert "resume with: repro matrix --resume" in text
+        run_id = text.split("--resume ")[1].split()[0]
+        code = main(
+            ["matrix", "--resume", run_id, "--store", str(store), "--out",
+             str(tmp_path / "out2")]
+        )
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert "2 cached, 0 computed" in resumed
+        assert (tmp_path / "out2" / "matrix.csv").read_bytes() == first_csv
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit, match="--store"):
+            main(["matrix", "--resume", "matrix-aa"])
+
+    def test_resume_of_unknown_run_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="no run"):
+            main(["matrix", "--resume", "matrix-aa", "--store", str(tmp_path)])
+
+    def test_store_ls_inspect_gc(self, capsys, tmp_path):
+        code, store, _ = self._run_with_store(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", str(store)]) == 0
+        listing = capsys.readouterr().out
+        assert "runs: 1" in listing and "complete" in listing
+        assert main(["store", "inspect", "--store", str(store)]) == 0
+        assert "valid record(s)" in capsys.readouterr().out
+        assert main(["store", "gc", "--store", str(store)]) == 0
+        assert "kept 2 record(s)" in capsys.readouterr().out
+
+    def test_store_inspect_flags_corruption(self, capsys, tmp_path):
+        from repro.store import ArtifactStore
+
+        code, store_dir, _ = self._run_with_store(tmp_path)
+        assert code == 0
+        store = ArtifactStore(store_dir)
+        key = store.keys()[0]
+        path = store.record_path(key)
+        path.write_text(path.read_text() + "garbage\n")
+        capsys.readouterr()
+        assert main(["store", "inspect", "--store", str(store_dir)]) == 1
+        assert "problem" in capsys.readouterr().out
