@@ -1,0 +1,255 @@
+"""Benchmark: load, warm-cache latency and parity of the estimation service.
+
+Boots in-process service instances (real HTTP over localhost, real job
+queue, real artifact store) and gates on three properties:
+
+1. **warm >= Nx cold** — resubmitting a finished job against a *fresh*
+   service instance sharing the same store directory must complete at
+   least ``--min-speedup`` times faster (default 10x): every repetition
+   is served from disk, so the warm path is pure IO + HTTP;
+2. **bitwise CLI parity** — the cold job's deterministic result (records
+   and CSV) must be byte-for-byte identical to the equivalent
+   ``repro matrix`` invocation on the same (study, estimator, seed);
+3. **bounded-queue load** — ``--clients`` concurrent clients (default 8)
+   submitting through a deliberately small queue (capacity 4, so 429
+   backpressure actually fires) must all complete with correct results,
+   and one pair of identical concurrent submissions must deduplicate
+   onto a single job.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick    # CI gate
+
+Results are printed and written to ``BENCH_service.json`` (override with
+``--out``); the JSON is written before exiting so CI can upload the
+trajectory even (especially) on failure. Like the store gate, this one
+has no hardware prerequisites — a warm service run is IO-bound anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.service import ServiceClient, ServiceConfig, create_server
+
+
+class _LiveService:
+    """One in-process service instance bound to an ephemeral port."""
+
+    def __init__(self, store_root: "str | None", capacity: int = 64, job_workers: int = 1):
+        self.server = create_server(
+            ServiceConfig(port=0, store_root=store_root, capacity=capacity, job_workers=job_workers)
+        )
+        self.thread = threading.Thread(target=self.server.serve_forever, daemon=True)
+        self.thread.start()
+        host, port = self.server.server_address[:2]
+        self.client = ServiceClient(f"http://{host}:{port}")
+
+    def close(self) -> None:
+        self.server.service.stop()  # type: ignore[attr-defined]
+        self.server.shutdown()
+        self.server.server_close()
+
+
+def _run_job(client: ServiceClient, payload: dict, timeout: float = 600.0) -> "tuple[dict, float]":
+    started = time.perf_counter()
+    submitted = client.submit(payload, retries=10)
+    snapshot = client.wait(str(submitted["id"]), timeout=timeout, poll=0.02)
+    elapsed = time.perf_counter() - started
+    if snapshot["state"] != "complete":
+        raise RuntimeError(f"job did not complete: {snapshot}")
+    return snapshot, elapsed
+
+
+def _cli_reference(payload: dict, out_dir: Path) -> str:
+    """The CSV the equivalent ``repro matrix`` invocation writes."""
+    argv = ["matrix", "--studies", payload["study"], "--estimators", payload["estimator"]]
+    argv += ["--reps", str(payload["repetitions"]), "--samples", str(payload["n_samples"])]
+    argv += ["--seed", str(payload["seed"]), "--r-undefeated", str(payload["search_rounds"])]
+    argv += ["--workers", "1", "--out", str(out_dir)]
+    if payload.get("quick"):
+        argv.append("--quick")
+    code = cli_main(argv)
+    if code != 0:
+        raise RuntimeError(f"reference CLI run failed with exit code {code}")
+    return (out_dir / "matrix.csv").read_text()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI configuration: fewer repetitions and traces"
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="root RNG seed")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="required cold/warm wall-time ratio (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent clients in the load phase (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_service.json"),
+        help="output JSON path (default: ./BENCH_service.json)",
+    )
+    args = parser.parse_args(argv)
+
+    # Sized so even the quick cold run simulates for whole seconds: the
+    # warm run's floor is HTTP + queue latency (tens of milliseconds), so
+    # a too-small cold workload would understate the store's speedup.
+    payload = {
+        "study": "illustrative",
+        "estimator": "imcis",
+        "repetitions": 6 if args.quick else 10,
+        "n_samples": 5_000 if args.quick else 20_000,
+        "search_rounds": 200 if args.quick else 1000,
+        "seed": args.seed,
+    }
+    print(f"== service benchmark (quick={args.quick}, {os.cpu_count()} CPUs) ==")
+
+    try:
+        return _run_benchmark(args, payload)
+    except Exception as error:  # noqa: BLE001 — the trajectory must upload even on a crash
+        args.out.write_text(
+            json.dumps(
+                {
+                    "benchmark": "service",
+                    "quick": args.quick,
+                    "gate": {"status": "error", "error": f"{type(error).__name__}: {error}"},
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {args.out} (error document)")
+        raise
+
+
+def _run_benchmark(args: argparse.Namespace, payload: dict) -> int:
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as root:
+        store = str(Path(root) / "store")
+
+        # Phase 1+2: cold run, then a warm rerun on a fresh instance.
+        cold_service = _LiveService(store)
+        try:
+            cold_snapshot, cold_time = _run_job(cold_service.client, payload)
+        finally:
+            cold_service.close()
+        cold_summary = cold_snapshot["result"]["summary"]
+        print(f"cold run: {cold_time:.2f}s ({cold_summary['store']['misses']} simulated)")
+
+        warm_service = _LiveService(store)
+        try:
+            warm_snapshot, warm_time = _run_job(warm_service.client, payload)
+        finally:
+            warm_service.close()
+        warm_summary = warm_snapshot["result"]["summary"]
+        print(f"warm run: {warm_time:.2f}s ({warm_summary['store']['hits']} served from store)")
+
+        reference_csv = _cli_reference(payload, Path(root) / "cli")
+        parity = {
+            "cold_vs_cli": cold_snapshot["result"]["csv"] == reference_csv,
+            "warm_vs_cold": (
+                warm_snapshot["result"]["csv"] == cold_snapshot["result"]["csv"]
+                and warm_snapshot["result"]["records"] == cold_snapshot["result"]["records"]
+            ),
+        }
+
+        # Phase 3: concurrent clients through a small queue (429 fires).
+        load_service = _LiveService(str(Path(root) / "load-store"), capacity=4)
+        try:
+            payloads = [{**payload, "seed": args.seed + i} for i in range(args.clients)]
+            with ThreadPoolExecutor(max_workers=args.clients) as pool:
+                outcomes = list(pool.map(lambda p: _run_job(load_service.client, p), payloads))
+            load_ok = all(
+                snapshot["result"]["records"][0]["estimate_mean"] is not None
+                for snapshot, _ in outcomes
+            )
+            distinct_jobs = len({snapshot["id"] for snapshot, _ in outcomes})
+            # Dedup: two identical concurrent submissions -> one job.
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                first, second = list(
+                    pool.map(
+                        lambda _: load_service.client.submit(payloads[0], retries=10), range(2)
+                    )
+                )
+            load_service.client.wait(str(first["id"]))
+            load_service.client.wait(str(second["id"]))
+        finally:
+            load_service.close()
+
+    speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+    parity_ok = all(parity.values())
+    speedup_ok = speedup >= args.min_speedup
+    load_complete = load_ok and distinct_jobs == args.clients
+    # Note: the identical pair may or may not overlap in flight; dedup is
+    # only *required* to produce one job when the first is still active.
+    dedup_observed = first["id"] == second["id"]
+
+    results = {
+        "benchmark": "service",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "quick": args.quick,
+        "repetitions": payload["repetitions"],
+        "n_samples": payload["n_samples"],
+        "cold_seconds": round(cold_time, 3),
+        "warm_seconds": round(warm_time, 3),
+        "speedup": round(speedup, 1),
+        "parity": parity,
+        "load": {
+            "clients": args.clients,
+            "queue_capacity": 4,
+            "all_complete": load_complete,
+            "distinct_jobs": distinct_jobs,
+            "dedup_observed": dedup_observed,
+        },
+        "gate": {
+            "criterion": (
+                f"warm repeat query >= {args.min_speedup}x faster than cold, "
+                "service CSV bitwise identical to the CLI run, and "
+                f"{args.clients} concurrent clients complete under a bounded queue"
+            ),
+            "min_speedup": args.min_speedup,
+            "status": "passed" if (parity_ok and speedup_ok and load_complete) else "failed",
+        },
+    }
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not parity_ok:
+        broken = [name for name, ok in parity.items() if not ok]
+        print(f"FAIL: service results are not bitwise identical: {', '.join(broken)}")
+        return 1
+    if not load_complete:
+        print(f"FAIL: load phase incomplete ({distinct_jobs}/{args.clients} jobs)")
+        return 1
+    if not speedup_ok:
+        print(f"FAIL: warm speedup {speedup:.1f}x < required {args.min_speedup}x")
+        return 1
+    print(
+        f"gate: passed — {speedup:.1f}x warm speedup, bitwise CLI parity, "
+        f"{args.clients} clients served (dedup observed: {dedup_observed})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

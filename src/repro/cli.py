@@ -10,6 +10,9 @@ Examples
     repro fig3 --samples 5000 --out results/
     repro fig5 --points 21
     repro matrix --quick --workers 4 --out results/
+    repro serve --store runs/store --port 8000
+    repro submit --study illustrative --estimator is --wait
+    repro jobs
 
 Every command prints an ASCII rendering; ``--out DIR`` additionally writes
 the underlying CSV series.
@@ -18,13 +21,17 @@ the underlying CSV series.
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import EstimationError, ModelError, StoreError
+import repro
+from repro.errors import EstimationError, ModelError, ServiceError, StoreError
 from repro.experiments.figures import (
     BoundEvolution,
     IntervalSeries,
@@ -44,6 +51,7 @@ from repro.imcis.random_search import RandomSearchConfig
 from repro.importance.bounded import run_bounded_importance_sampling
 from repro.models import illustrative, repair_group
 from repro.models.registry import REGISTRY
+from repro.service import ServiceClient, ServiceConfig, create_server
 from repro.store import ArtifactStore, RunManifest
 
 
@@ -137,8 +145,13 @@ def cmd_table1(args: argparse.Namespace) -> int:
     samples = args.samples or 10_000
     started = time.time()
     result = run_table1(
-        reps, samples, args.r_undefeated, rng=args.seed, backend=args.backend,
-        workers=args.workers, store=args.store,
+        reps,
+        samples,
+        args.r_undefeated,
+        rng=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+        store=args.store,
     )
     print(result.render())
     print(f"[{reps} repetitions x {samples} traces in {time.time() - started:.1f}s]")
@@ -220,21 +233,22 @@ def cmd_fig3(args: argparse.Namespace) -> int:
     # Sharding stays available explicitly through --backend parallel.
     rng = np.random.default_rng(args.seed)
     if unrolled is not None:
-        sample = run_bounded_importance_sampling(
-            unrolled, samples, rng, backend=args.backend
-        )
+        sample = run_bounded_importance_sampling(unrolled, samples, rng, backend=args.backend)
         result = imcis_from_sample(study.imc, sample, rng, config)
     else:
         result = imcis_estimate(
-            study.imc, study.proposal, study.formula, samples, rng, config,
+            study.imc,
+            study.proposal,
+            study.formula,
+            samples,
+            rng,
+            config,
             backend=args.backend,
         )
     evolution = BoundEvolution.from_result(result)
     print(evolution.render())
     if args.out:
-        path = write_csv(
-            args.out / "fig3.csv", ["round", "lower", "upper"], evolution.rows()
-        )
+        path = write_csv(args.out / "fig3.csv", ["round", "lower", "upper"], evolution.rows())
         print("wrote", path)
     return 0
 
@@ -291,9 +305,7 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         try:
             manifest = store.load_manifest(args.resume)
             if manifest.command != "matrix":
-                raise SystemExit(
-                    f"run {args.resume!r} is a {manifest.command!r} run, not a matrix"
-                )
+                raise SystemExit(f"run {args.resume!r} is a {manifest.command!r} run, not a matrix")
             config = MatrixConfig.from_payload(manifest.config)
         except StoreError as error:
             raise SystemExit(str(error)) from None
@@ -309,8 +321,10 @@ def cmd_matrix(args: argparse.Namespace) -> int:
                 created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             )
             store.save_manifest(manifest)
-            print(f"run {manifest.run_id} (resume with: repro matrix "
-                  f"--resume {manifest.run_id} --store {args.store})")
+            print(
+                f"run {manifest.run_id} (resume with: repro matrix "
+                f"--resume {manifest.run_id} --store {args.store})"
+            )
     started = time.time()
     try:
         result = run_matrix(config, store=store)
@@ -346,9 +360,34 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
-def _store_ls(store: ArtifactStore) -> int:
-    """List the store's runs and record files."""
+def _store_ls(store: ArtifactStore, as_json: bool = False) -> int:
+    """List the store's runs and record files (optionally as JSON)."""
     manifests = store.list_manifests()
+    keys = store.keys()
+    if as_json:
+        document = {
+            "root": str(store.root),
+            "runs": [
+                {
+                    "run_id": m.run_id,
+                    "command": m.command,
+                    "status": m.status,
+                    "keys": len(m.keys),
+                    "created": m.created,
+                }
+                for m in manifests
+            ],
+            "records": [
+                {
+                    "key": key,
+                    "records": store.record_count(key),
+                    "bytes": store.record_path(key).stat().st_size,
+                }
+                for key in keys
+            ],
+        }
+        print(json.dumps(document, indent=2))
+        return 0
     print(f"artifact store at {store.root}")
     print(f"runs: {len(manifests)}")
     for manifest in manifests:
@@ -357,12 +396,10 @@ def _store_ls(store: ArtifactStore) -> int:
             f"  {manifest.run_id:<18} {manifest.command:<8} {manifest.status:<9}"
             f" {len(manifest.keys)} key(s){created}"
         )
-    keys = store.keys()
     total_bytes = sum(store.record_path(key).stat().st_size for key in keys)
     print(f"record files: {len(keys)} ({total_bytes:,} bytes)")
     for key in keys:
-        records = store.load(key)
-        print(f"  {key}  {len(records)} record(s)")
+        print(f"  {key}  {store.record_count(key)} record(s)")
     return 0
 
 
@@ -411,11 +448,106 @@ def cmd_store(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.store)
     try:
         if args.store_command == "ls":
-            return _store_ls(store)
+            return _store_ls(store, as_json=args.json)
         if args.store_command == "inspect":
             return _store_inspect(store, args.run, args.key)
         return _store_gc(store, args.drop_unreferenced)
     except StoreError as error:
+        raise SystemExit(str(error)) from None
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the estimation service until SIGINT/SIGTERM, then drain."""
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store_root=args.store,
+        capacity=args.queue_size,
+        job_workers=args.job_workers,
+        workers=None if args.workers == 1 else args.workers,
+    )
+    try:
+        server = create_server(config)
+    except OSError as error:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {error}") from None
+    host, port = server.server_address[:2]
+    print(f"estimation service on http://{host}:{port}")
+    print(f"  store: {args.store or '(none — every job simulates)'}")
+    print(f"  queue: {args.queue_size} waiting jobs max, {args.job_workers} job worker(s)")
+    print("  stop:  SIGINT/SIGTERM drains the queue and exits")
+    stop_requested = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop_requested.set()
+        # shutdown() must not run on the signal handler's (main) thread
+        # while serve_forever blocks it — hand it off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {sig: signal.signal(sig, _request_stop) for sig in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        print("draining: waiting for in-flight jobs, cancelling queued ones")
+        server.service.stop()  # type: ignore[attr-defined]
+        server.server_close()
+        print("stopped")
+    return 0
+
+
+def _submit_payload(args: argparse.Namespace) -> "dict[str, object]":
+    payload: "dict[str, object]" = {
+        "study": args.study,
+        "estimator": args.estimator,
+        "repetitions": args.reps,
+        "seed": args.seed,
+        "search_rounds": args.r_undefeated,
+        "quick": args.quick,
+    }
+    if args.samples is not None:
+        payload["n_samples"] = args.samples
+    return payload
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one estimation job to a running service."""
+    client = ServiceClient(args.url)
+    try:
+        submitted = client.submit(_submit_payload(args), retries=args.retries)
+        job_id = str(submitted["id"])
+        note = " (deduplicated onto an in-flight job)" if submitted.get("deduplicated") else ""
+        print(f"job {job_id}{note}")
+        if not args.wait:
+            print(f"poll with: repro jobs --url {args.url} --job {job_id}")
+            return 0
+        snapshot = client.wait(job_id, timeout=args.timeout)
+        print(json.dumps(snapshot, indent=2))
+        return 0 if snapshot["state"] == "complete" else 1
+    except ServiceError as error:
+        raise SystemExit(str(error)) from None
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List a running service's jobs, or show one job."""
+    client = ServiceClient(args.url)
+    try:
+        if args.job:
+            print(json.dumps(client.job(args.job), indent=2))
+            return 0
+        jobs = client.jobs()
+        if args.json:
+            print(json.dumps(jobs, indent=2))
+            return 0
+        print(f"{len(jobs)} job(s) at {args.url}")
+        for job in jobs:
+            request = job["request"]
+            print(
+                f"  {job['id']}  {job['state']:<9} {request['study']}/{request['estimator']}"
+                f"  reps={request['repetitions']} seed={request['seed']}"
+            )
+        return 0
+    except ServiceError as error:
         raise SystemExit(str(error)) from None
 
 
@@ -436,6 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce 'Importance Sampling of Interval Markov Chains' (DSN 2018)",
     )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="model inventory and exact probabilities")
@@ -501,15 +634,14 @@ def build_parser() -> argparse.ArgumentParser:
     store_sub = p.add_subparsers(dest="store_command", required=True)
     q = store_sub.add_parser("ls", help="list runs and record files")
     q.add_argument("--store", type=Path, required=True, help="store directory")
-    q = store_sub.add_parser(
-        "inspect", help="validate record integrity; show a run or a key"
+    q.add_argument(
+        "--json", action="store_true", help="machine-readable output (one JSON document)"
     )
+    q = store_sub.add_parser("inspect", help="validate record integrity; show a run or a key")
     q.add_argument("--store", type=Path, required=True, help="store directory")
     q.add_argument("--run", default=None, metavar="RUN_ID", help="show one run's manifest")
     q.add_argument("--key", default=None, help="restrict to one config key")
-    q = store_sub.add_parser(
-        "gc", help="compact record files: drop corrupt lines and duplicates"
-    )
+    q = store_sub.add_parser("gc", help="compact record files: drop corrupt lines and duplicates")
     q.add_argument("--store", type=Path, required=True, help="store directory")
     q.add_argument(
         "--drop-unreferenced",
@@ -520,6 +652,61 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig5", help="Figure 5 probability curve")
     p.add_argument("--points", type=int, default=21)
     p.add_argument("--out", type=Path, default=None)
+
+    p = sub.add_parser("serve", help="run the HTTP estimation service")
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    p.add_argument("--port", type=int, default=8000, help="port (0 = ephemeral)")
+    p.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="artifact store jobs consult and extend: repeat queries are "
+        "served warm from disk, bitwise identical to fresh runs",
+    )
+    p.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bound on waiting jobs; beyond it submissions get HTTP 429 "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        help="threads executing jobs concurrently (default: %(default)s)",
+    )
+    p.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="default per-job repetition fan-out processes ('auto' = CPU "
+        "count; default 1 — the job axis usually owns concurrency)",
+    )
+
+    p = sub.add_parser("submit", help="submit one estimation job to a running service")
+    p.add_argument("--url", default="http://127.0.0.1:8000", help="service root URL")
+    p.add_argument("--study", required=True, choices=study_names)
+    p.add_argument(
+        "--estimator", default="is", choices=list(ESTIMATOR_NAMES), help="estimator to run"
+    )
+    p.add_argument("--reps", type=int, default=4, help="repetitions of the cell")
+    p.add_argument("--samples", type=int, default=None, help="traces per repetition")
+    p.add_argument("--seed", type=int, default=2018, help="root RNG seed")
+    p.add_argument(
+        "--r-undefeated", type=int, default=100, help="random-search stopping parameter R"
+    )
+    p.add_argument("--quick", action="store_true", help="apply the study's quick parameters")
+    p.add_argument("--wait", action="store_true", help="block until the job finishes")
+    p.add_argument("--timeout", type=float, default=600.0, help="--wait timeout in seconds")
+    p.add_argument(
+        "--retries", type=int, default=0, help="retries (with backoff) while the queue is full"
+    )
+
+    p = sub.add_parser("jobs", help="list a running service's jobs")
+    p.add_argument("--url", default="http://127.0.0.1:8000", help="service root URL")
+    p.add_argument("--job", default=None, metavar="JOB_ID", help="show one job in full")
+    p.add_argument("--json", action="store_true", help="machine-readable job list")
 
     return parser
 
@@ -537,6 +724,9 @@ def main(argv: list[str] | None = None) -> int:
         "fig5": cmd_fig5,
         "matrix": cmd_matrix,
         "store": cmd_store,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
     }
     return handlers[args.command](args)
 

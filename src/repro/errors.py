@@ -64,3 +64,28 @@ class LearningError(ReproError):
 
 class StoreError(ReproError):
     """The experiment artifact store is unusable or holds corrupt data."""
+
+
+class ServiceError(ReproError):
+    """The estimation service rejected a request or reported a failure.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code the condition maps to (also set by the
+        client when the server returned an error document).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded job queue cannot accept another submission.
+
+    Maps to HTTP 429; clients are expected to back off and retry.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, status=429)

@@ -36,6 +36,7 @@ import dataclasses
 import io
 import json
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -466,6 +467,7 @@ def run_matrix(
     config: MatrixConfig,
     registry: StudyRegistry = REGISTRY,
     store: "ArtifactStore | Path | str | None" = None,
+    progress: "Callable[[dict], None] | None" = None,
 ) -> MatrixResult:
     """Run the full (study × estimator) matrix described by *config*.
 
@@ -483,6 +485,14 @@ def run_matrix(
         whose ``(study, estimator, config, seed)`` records already exist
         are served from disk and only cache misses simulate. Cached and
         fresh repetitions produce bitwise-identical artifacts.
+    progress : callable, optional
+        Observational progress hook, called with one dict per event:
+        ``{"event": "cell-start", "study", "estimator", "cell", "cells"}``
+        when a cell begins, ``{"event": "repetition", ..., "done",
+        "total"}`` as its repetitions complete (cached repetitions report
+        immediately), and ``{"event": "cell-done", ...}`` with the cell's
+        deterministic record when it finishes. Never affects results; the
+        estimation service streams these as job events.
 
     Returns
     -------
@@ -497,8 +507,10 @@ def run_matrix(
         raise EstimationError("repetitions must be positive")
     artifact_store = ArtifactStore.coerce(store)
     backend = "auto" if config.backend == "parallel" else config.backend
+    study_names = resolve_studies(config, registry)
+    n_cells = len(study_names) * len(config.estimators)
     cells: "list[MatrixCell]" = []
-    for name in resolve_studies(config, registry):
+    for name in study_names:
         prepared = registry.make_study(name, rng=config.seed, quick=config.quick)
         study = prepared.study
         n_samples = config.n_samples if config.n_samples is not None else study.n_samples
@@ -512,6 +524,18 @@ def run_matrix(
                 search_rounds=config.search_rounds,
                 backend=backend,
             )
+            cell_event = {
+                "study": study.name,
+                "estimator": estimator,
+                "cell": len(cells) + 1,
+                "cells": n_cells,
+            }
+            rep_progress = None
+            if progress is not None:
+                progress({"event": "cell-start", **cell_event})
+                rep_progress = lambda done, total: progress(  # noqa: E731
+                    {"event": "repetition", **cell_event, "done": done, "total": total}
+                )
             seeds = spawn_seeds(config.seed, config.repetitions)
             started = time.perf_counter()
             outcomes = map_repetitions_cached(
@@ -523,7 +547,10 @@ def run_matrix(
                 key=_cell_key(context, config.seed) if artifact_store is not None else None,
                 encode=_encode_cell_outcome,
                 decode=_decode_cell_outcome,
+                progress=rep_progress,
             )
             wall_time = time.perf_counter() - started
             cells.append(_aggregate_cell(context, outcomes, wall_time))
+            if progress is not None:
+                progress({"event": "cell-done", **cell_event, "record": cells[-1].record()})
     return MatrixResult(config=config, cells=cells)

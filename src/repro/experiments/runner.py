@@ -18,6 +18,13 @@ tasks carry only a seed.
 Small jobs skip the pool entirely: below
 :data:`MIN_PARALLEL_REPETITIONS` repetitions (or with one worker) the
 repetitions run inline, so tests and smoke runs never pay fork latency.
+
+Interruption contract: when the fan-out is aborted — ``KeyboardInterrupt``
+from SIGINT, or a repetition raising — every repetition that has not
+started yet is cancelled and the pool is shut down before the exception
+propagates, so an interrupted run leaves no orphaned worker processes and
+returns control as soon as the in-flight repetitions finish. The
+estimation service drains through the same path on shutdown.
 """
 
 from __future__ import annotations
@@ -35,6 +42,9 @@ __all__ = [
     "map_repetitions",
     "resolve_workers",
 ]
+
+#: Called after each completed repetition with ``(done, total)``.
+ProgressCallback = "Callable[[int, int], None] | None"
 
 T = TypeVar("T")
 
@@ -65,6 +75,7 @@ def map_repetitions(
     seeds: Sequence[np.random.SeedSequence],
     workers: "int | str | None" = None,
     min_parallel: int = MIN_PARALLEL_REPETITIONS,
+    progress: ProgressCallback = None,
 ) -> list[T]:
     """Evaluate ``fn(context, seed)`` for every seed, possibly in parallel.
 
@@ -87,21 +98,55 @@ def map_repetitions(
         loop. Results are identical for every value.
     min_parallel:
         Fewer repetitions than this run inline regardless of *workers*.
+    progress:
+        Optional callback invoked with ``(done, total)`` after each
+        repetition completes, in seed order. Purely observational — it
+        never affects results — and it runs in the calling process, so
+        the estimation service streams it out as job events.
 
     Returns
     -------
     list
         Results in seed order — identical for every worker count.
+
+    Notes
+    -----
+    When a repetition raises — including ``KeyboardInterrupt`` delivered
+    by SIGINT — the repetitions that have not started yet are cancelled
+    and the pool is shut down (waiting only for in-flight work) before
+    the exception propagates: no orphaned workers, no long drain on the
+    queued backlog.
     """
     if workers is None:
         n_workers = 1
     else:
         n_workers = min(resolve_workers(workers), len(seeds)) if seeds else 1
-    if n_workers <= 1 or len(seeds) < min_parallel:
-        return [fn(context, seed) for seed in seeds]
-    with ProcessPoolExecutor(
+    total = len(seeds)
+    if n_workers <= 1 or total < min_parallel:
+        results: "list[T]" = []
+        for seed in seeds:
+            results.append(fn(context, seed))
+            if progress is not None:
+                progress(len(results), total)
+        return results
+    pool = ProcessPoolExecutor(
         max_workers=n_workers,
         initializer=_init_worker,
         initargs=(fn, context),
-    ) as pool:
-        return list(pool.map(_run_repetition, seeds))
+    )
+    try:
+        futures = [pool.submit(_run_repetition, seed) for seed in seeds]
+        results = []
+        for future in futures:
+            results.append(future.result())
+            if progress is not None:
+                progress(len(results), total)
+        return results
+    except BaseException:
+        # Abort: drop everything not yet started, keep nothing running
+        # behind the caller's back. `cancel_futures` needs the pool still
+        # open, hence shutdown here rather than a `with` block.
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise
+    finally:
+        pool.shutdown(wait=True)

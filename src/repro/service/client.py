@@ -1,0 +1,171 @@
+"""A stdlib HTTP client for the estimation service.
+
+Used by ``repro submit`` / ``repro jobs``, the service benchmark and the
+tests; anything that speaks JSON over HTTP (``curl`` included) works just
+as well. Built on :mod:`urllib.request` — no dependencies, matching the
+server's stdlib-only constraint.
+
+Server-side errors surface as :class:`~repro.errors.ServiceError` with
+the HTTP status attached, so callers can tell a full queue (429, retry
+later) from a bad request (400) without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Iterator
+
+from repro.errors import QueueFullError, ServiceError
+
+__all__ = [
+    "ServiceClient",
+]
+
+
+class ServiceClient:
+    """Talk to a running estimation service.
+
+    Parameters
+    ----------
+    base_url : str
+        The service root, e.g. ``http://127.0.0.1:8000``.
+    timeout : float, optional
+        Per-request socket timeout in seconds (SSE streams override it
+        per read).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _request(
+        self, path: str, payload: "dict[str, object] | None" = None
+    ) -> "dict[str, object]":
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=None if payload is None else json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="GET" if payload is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except json.JSONDecodeError:
+                message = body or str(error)
+            if error.code == 429:
+                raise QueueFullError(str(message)) from None
+            raise ServiceError(str(message), status=error.code) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}", status=503
+            ) from None
+
+    # -- endpoints --------------------------------------------------------
+
+    def health(self) -> "dict[str, object]":
+        """``GET /healthz``."""
+        return self._request("/healthz")
+
+    def studies(self) -> "dict[str, object]":
+        """``GET /v1/studies``."""
+        return self._request("/v1/studies")
+
+    def submit(
+        self,
+        payload: "dict[str, object]",
+        retries: int = 0,
+        backoff: float = 0.2,
+    ) -> "dict[str, object]":
+        """``POST /v1/jobs``; optionally retry while the queue is full.
+
+        Parameters
+        ----------
+        payload : dict
+            The submission body (study, estimator, repetitions, …).
+        retries : int, optional
+            Extra attempts after a 429 before giving up.
+        backoff : float, optional
+            Sleep between attempts, doubled each time.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request("/v1/jobs", payload)
+            except QueueFullError:
+                if attempt >= retries:
+                    raise
+                time.sleep(backoff * (2**attempt))
+                attempt += 1
+
+    def job(self, job_id: str) -> "dict[str, object]":
+        """``GET /v1/jobs/{id}``."""
+        return self._request(f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> "list[dict[str, object]]":
+        """``GET /v1/jobs`` (the snapshots list)."""
+        return self._request("/v1/jobs")["jobs"]  # type: ignore[return-value]
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.05) -> "dict[str, object]":
+        """Poll until the job is terminal; return its final snapshot.
+
+        Raises
+        ------
+        ServiceError
+            With status 504 when *timeout* elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("complete", "failed", "cancelled"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServiceError(f"job {job_id} not finished after {timeout}s", status=504)
+            time.sleep(poll)
+
+    def events(self, job_id: str, timeout: float = 300.0) -> "Iterator[dict[str, object]]":
+        """``GET /v1/jobs/{id}/events`` — yield parsed SSE frames.
+
+        Each yielded dict carries ``event`` plus the frame's JSON data;
+        the iterator ends when the server closes the stream (terminal
+        job). Keep-alive comments are skipped.
+        """
+        request = urllib.request.Request(f"{self.base_url}/v1/jobs/{job_id}/events")
+        try:
+            response = urllib.request.urlopen(request, timeout=timeout)
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except json.JSONDecodeError:
+                message = body or str(error)
+            raise ServiceError(str(message), status=error.code) from None
+        with response:
+            event: "dict[str, object]" = {}
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n")
+                if not line:  # frame boundary
+                    if "event" in event:
+                        yield event
+                    event = {}
+                elif line.startswith(":"):  # keep-alive comment
+                    continue
+                elif line.startswith("event: "):
+                    event["event"] = line[len("event: ") :]
+                elif line.startswith("id: "):
+                    event["id"] = int(line[len("id: ") :])
+                elif line.startswith("data: "):
+                    try:
+                        event["data"] = json.loads(line[len("data: ") :])
+                    except json.JSONDecodeError:
+                        event["data"] = line[len("data: ") :]
+            if "event" in event:  # stream closed without trailing blank
+                yield event

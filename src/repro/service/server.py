@@ -1,0 +1,277 @@
+"""The estimation service's HTTP layer: a stdlib JSON API over the queue.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /healthz              liveness + queue/job accounting
+    GET  /v1/studies           the study registry, as the CLI sees it
+    POST /v1/jobs              submit a job (201; 409-free dedup; 429 full)
+    GET  /v1/jobs              list all jobs (snapshots)
+    GET  /v1/jobs/{id}         one job's snapshot (result once complete)
+    GET  /v1/jobs/{id}/events  Server-Sent Events progress stream
+
+Built on :class:`http.server.ThreadingHTTPServer` — one daemon thread per
+connection, which is exactly what a long-lived SSE stream needs, and no
+dependency beyond the standard library. The server never executes
+estimation work on a handler thread: handlers only submit to and read
+from the :class:`~repro.service.jobs.JobQueue`.
+
+Errors are JSON documents ``{"error": ..., "status": ...}`` with the
+matching HTTP status: 400 malformed body or unknown study/estimator, 404
+unknown job or route, 429 queue full, 503 draining.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import repro
+from repro.errors import ServiceError
+from repro.models.registry import REGISTRY, StudyRegistry
+from repro.service.jobs import Job, JobQueue, JobRequest, JobState
+
+__all__ = [
+    "EstimationService",
+    "ServiceConfig",
+    "create_server",
+]
+
+#: Seconds an SSE handler waits for news before emitting a keep-alive.
+SSE_POLL_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of one estimation-service instance.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; port 0 picks an ephemeral port (tests).
+    store_root:
+        Artifact-store directory jobs consult and extend (``None``
+        disables the warm-cache path).
+    capacity:
+        Bound on queued jobs — beyond it, submissions get 429.
+    job_workers:
+        Worker threads executing jobs.
+    workers:
+        Default per-job repetition fan-out (request field overrides).
+    history:
+        Terminal jobs retained in memory for status queries (oldest
+        evicted beyond this bound).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    store_root: "os.PathLike | str | None" = None
+    capacity: int = 64
+    job_workers: int = 1
+    workers: "int | str | None" = None
+    history: int = 256
+
+
+class EstimationService:
+    """The service facade the HTTP handler dispatches into.
+
+    Owns the :class:`~repro.service.jobs.JobQueue` and the registry;
+    every public method returns a JSON-serialisable document (or raises
+    :class:`~repro.errors.ServiceError` carrying an HTTP status).
+    """
+
+    def __init__(self, config: ServiceConfig, registry: StudyRegistry = REGISTRY):
+        self.config = config
+        self.registry = registry
+        self.queue = JobQueue(
+            capacity=config.capacity,
+            job_workers=config.job_workers,
+            registry=registry,
+            store_root=config.store_root,
+            history=config.history,
+        )
+
+    # -- documents --------------------------------------------------------
+
+    def health(self) -> "dict[str, object]":
+        """The ``/healthz`` document."""
+        return {
+            "status": "ok",
+            "version": repro.__version__,
+            "store": None if self.config.store_root is None else str(self.config.store_root),
+            "queue": {"capacity": self.queue.capacity, "queued": self.queue.queued},
+            "jobs": self.queue.counts(),
+        }
+
+    def studies(self) -> "dict[str, object]":
+        """The ``/v1/studies`` document (the registry catalogue)."""
+        return {
+            "studies": [
+                {
+                    "name": spec.name,
+                    "description": spec.description,
+                    "tags": sorted(spec.tags),
+                    "seeded": spec.seeded,
+                }
+                for spec in self.registry
+            ]
+        }
+
+    def submit(self, payload: "dict[str, object]") -> "tuple[dict[str, object], int]":
+        """Validate and enqueue a submission body.
+
+        Returns the response document and its HTTP status: 201 for a new
+        job, 200 for a submission coalesced onto an in-flight job.
+        """
+        body = dict(payload)
+        body.setdefault("workers", self.config.workers)
+        request = JobRequest.from_payload(body, registry=self.registry)
+        job, deduplicated = self.queue.submit(request)
+        document = {"id": job.id, "state": job.state, "deduplicated": deduplicated}
+        return document, 200 if deduplicated else 201
+
+    def job(self, job_id: str) -> "dict[str, object]":
+        """One job's snapshot (404 via ServiceError when unknown)."""
+        return self.queue.get(job_id).snapshot()
+
+    def jobs(self) -> "dict[str, object]":
+        """Snapshots of every job, oldest first."""
+        return {"jobs": [job.snapshot() for job in self.queue.jobs()]}
+
+    def get_job(self, job_id: str) -> Job:
+        """The underlying :class:`Job` (used by the SSE stream)."""
+        return self.queue.get(job_id)
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Drain the queue (see :meth:`JobQueue.stop`)."""
+        self.queue.stop(timeout=timeout)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the :class:`EstimationService`."""
+
+    #: Quiet by default — the service is driven programmatically and from
+    #: CI; per-request stderr lines would drown real diagnostics.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> EstimationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _send_json(self, document: object, status: int = 200) -> None:
+        body = (json.dumps(document, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"error": message, "status": status}, status=status)
+
+    def _read_json_body(self) -> "dict[str, object]":
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            document = json.loads(raw.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ServiceError(f"malformed JSON body: {error}") from None
+        if not isinstance(document, dict):
+            raise ServiceError("request body must be a JSON object")
+        return document
+
+    # -- routes -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                self._send_json(self.service.health())
+            elif path == "/v1/studies":
+                self._send_json(self.service.studies())
+            elif path == "/v1/jobs":
+                self._send_json(self.service.jobs())
+            elif path.startswith("/v1/jobs/") and path.endswith("/events"):
+                job_id = path[len("/v1/jobs/") : -len("/events")]
+                self._stream_events(self.service.get_job(job_id))
+            elif path.startswith("/v1/jobs/"):
+                self._send_json(self.service.job(path[len("/v1/jobs/") :]))
+            else:
+                self._send_error_json(f"no route {path!r}", 404)
+        except ServiceError as error:
+            self._send_error_json(str(error), error.status)
+        except BrokenPipeError:  # client went away mid-stream
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path != "/v1/jobs":
+                self._send_error_json(f"no route POST {path!r}", 404)
+                return
+            document, status = self.service.submit(self._read_json_body())
+            self._send_json(document, status=status)
+        except ServiceError as error:
+            self._send_error_json(str(error), error.status)
+        except BrokenPipeError:
+            pass
+
+    # -- SSE --------------------------------------------------------------
+
+    def _stream_events(self, job: Job) -> None:
+        """Stream a job's event log as Server-Sent Events.
+
+        Replays everything recorded so far (so a stream opened on an
+        already-completed job yields its full history), then follows the
+        log live, and closes once the job is terminal and fully flushed.
+        Keep-alive comments go out while nothing happens so proxies do
+        not drop the connection.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        seq = 0
+        while True:
+            events = job.events_since(seq, timeout=SSE_POLL_SECONDS)
+            for event in events:
+                seq = event.seq + 1
+                payload = json.dumps({"job": job.id, **event.data}, sort_keys=True)
+                frame = f"id: {event.seq}\nevent: {event.event}\ndata: {payload}\n\n"
+                self.wfile.write(frame.encode("utf-8"))
+            self.wfile.flush()
+            if not events:
+                if job.state in JobState.TERMINAL:
+                    return
+                self.wfile.write(b": keep-alive\n\n")
+                self.wfile.flush()
+            elif job.state in JobState.TERMINAL and events[-1].event in JobState.TERMINAL:
+                return
+
+
+def create_server(config: ServiceConfig, registry: StudyRegistry = REGISTRY) -> ThreadingHTTPServer:
+    """Build a ready-to-serve HTTP server around an :class:`EstimationService`.
+
+    Parameters
+    ----------
+    config : ServiceConfig
+        Bind address, queue bounds and store location.
+    registry : StudyRegistry, optional
+        The study catalogue the service exposes.
+
+    Returns
+    -------
+    ThreadingHTTPServer
+        With ``.service`` set; call ``serve_forever()`` to run,
+        ``shutdown()`` + ``service.stop()`` to drain. The caller owns the
+        lifecycle (the CLI's ``repro serve`` installs SIGINT/SIGTERM
+        handlers around exactly that pair).
+    """
+    server = ThreadingHTTPServer((config.host, config.port), _Handler)
+    server.daemon_threads = True
+    server.service = EstimationService(config, registry=registry)  # type: ignore[attr-defined]
+    return server

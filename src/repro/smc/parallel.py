@@ -253,14 +253,30 @@ class ParallelBackend(SimulationBackend):
         else:
             pool = self._ensure_pool()
             futures = [pool.submit(_run_shard, n, seed) for n, seed in zip(sizes, seeds)]
-            chunks = [f.result() for f in futures]
+            try:
+                chunks = [f.result() for f in futures]
+            except BaseException:
+                # Aborted (a shard failed, or SIGINT raised
+                # KeyboardInterrupt in the caller): cancel every shard not
+                # yet started and shut the pool down so no worker outlives
+                # the interrupted batch.
+                self.close(cancel_futures=True)
+                raise
         return EnsembleResult.concatenate(chunks)
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+    def close(self, cancel_futures: bool = False) -> None:
+        """Shut the worker pool down (idempotent).
+
+        Parameters
+        ----------
+        cancel_futures : bool, optional
+            Also cancel shards that have not started yet (the graceful
+            SIGINT/SIGTERM path); in-flight shards still run to
+            completion before the workers exit.
+        """
         pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=True, cancel_futures=cancel_futures)
 
     def __enter__(self) -> "ParallelBackend":
         return self

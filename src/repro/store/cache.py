@@ -38,6 +38,7 @@ def map_repetitions_cached(
     key: str | None = None,
     encode: "Callable[[T], dict] | None" = None,
     decode: "Callable[[dict], T] | None" = None,
+    progress: "Callable[[int, int], None] | None" = None,
 ) -> "list[T]":
     """Evaluate ``fn(context, seed)`` per seed, serving cached repetitions.
 
@@ -54,6 +55,9 @@ def map_repetitions_cached(
         besides the seed.
     encode, decode : callable, optional
         The experiment's repetition codec. Required with a store.
+    progress : callable, optional
+        Invoked with ``(done, total)`` as repetitions complete; cached
+        repetitions are reported immediately, before any miss simulates.
 
     Returns
     -------
@@ -67,7 +71,7 @@ def map_repetitions_cached(
     from repro.experiments.runner import map_repetitions
 
     if store is None:
-        return map_repetitions(fn, context, seeds, workers=workers)
+        return map_repetitions(fn, context, seeds, workers=workers, progress=progress)
     if key is None or encode is None or decode is None:
         raise ValueError("a store-backed run needs key=, encode= and decode=")
     store.touched_keys.add(key)
@@ -80,11 +84,20 @@ def map_repetitions_cached(
             miss_indices.append(index)
         else:
             results[index] = decode(payload)
-    store.stats.hits += len(seeds) - len(miss_indices)
+    hits = len(seeds) - len(miss_indices)
+    store.stats.hits += hits
     store.stats.misses += len(miss_indices)
+    if progress is not None and hits:
+        progress(hits, len(seeds))
     if miss_indices:
         missing_seeds = [seeds[i] for i in miss_indices]
-        computed = map_repetitions(fn, context, missing_seeds, workers=workers)
+        sub_progress = None
+        if progress is not None:
+            total = len(seeds)
+            sub_progress = lambda done, _t: progress(hits + done, total)  # noqa: E731
+        computed = map_repetitions(
+            fn, context, missing_seeds, workers=workers, progress=sub_progress
+        )
         fresh: "dict[int, dict]" = {}
         for index, value in zip(miss_indices, computed):
             results[index] = value

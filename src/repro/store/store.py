@@ -271,6 +271,19 @@ class ArtifactStore:
             return []
         return sorted(path.stem for path in records.glob("*/*.jsonl"))
 
+    def record_count(self, key: str) -> int:
+        """Stored record lines of *key*, without decoding any payload.
+
+        A cheap newline count for listings: duplicates and corrupt lines
+        are included (``verify``/``gc`` are the integrity-aware tools),
+        so on a store that has never needed recovery it equals the
+        number of cached repetitions.
+        """
+        path = self.record_path(key)
+        if not path.exists():
+            return 0
+        return path.read_bytes().count(b"\n")
+
     def verify(self, key: str) -> "tuple[int, list[str]]":
         """Validate one record file.
 

@@ -116,7 +116,9 @@ class TestApiReference:
         for dotted in self.api_directives():
             importlib.import_module(dotted)
 
-    @pytest.mark.parametrize("package_name", ["repro.experiments", "repro.store"])
+    @pytest.mark.parametrize(
+        "package_name", ["repro.experiments", "repro.store", "repro.service"]
+    )
     def test_every_exported_symbol_is_covered(self, package_name):
         """Each ``__all__`` symbol is rendered (its defining module has a
         directive) and carries a docstring for mkdocstrings to show."""

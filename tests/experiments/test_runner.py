@@ -2,8 +2,17 @@
 
 The acceptance bar: ``run_coverage_experiment(..., workers=4)`` produces
 bitwise-identical coverage numbers to ``workers=1`` under the same seed,
-and ``run_table1`` statistics are likewise invariant to the worker count.
+and ``run_table1`` statistics are likewise invariant to the worker count —
+plus the interruption contract: an aborted fan-out cancels the queued
+backlog and leaves no orphaned workers.
 """
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -62,6 +71,98 @@ class TestMapRepetitions:
         seeds = spawn_seeds(0, 2)
         resolved = map_repetitions(_auto_workers_inside, None, seeds, workers=2, min_parallel=1)
         assert resolved == [1, 1]
+
+
+def _fail_first_or_mark(context, seed):
+    """Repetition 0 fails immediately; the others sleep, then leave a marker."""
+    index = seed.spawn_key[-1]
+    if index == 0:
+        raise RuntimeError("repetition zero exploded")
+    time.sleep(1.0)
+    Path(context, f"done-{index}").touch()
+    return index
+
+
+class TestProgressCallback:
+    def test_inline_progress_in_seed_order(self):
+        seeds = spawn_seeds(7, 5)
+        calls = []
+        map_repetitions(_entropy_of, "ctx", seeds, progress=lambda d, t: calls.append((d, t)))
+        assert calls == [(i, 5) for i in range(1, 6)]
+
+    def test_pooled_progress_reaches_total(self):
+        seeds = spawn_seeds(7, 4)
+        calls = []
+        map_repetitions(
+            _entropy_of,
+            "ctx",
+            seeds,
+            workers=2,
+            min_parallel=1,
+            progress=lambda d, t: calls.append((d, t)),
+        )
+        assert calls == [(i, 4) for i in range(1, 5)]
+
+
+class TestInterruption:
+    def test_failure_cancels_queued_repetitions(self, tmp_path):
+        # 8 repetitions on 2 workers: repetition 0 raises immediately, so
+        # by the time its failure surfaces at most the in-flight sleepers
+        # finish — the queued backlog must be cancelled, not drained.
+        seeds = spawn_seeds(11, 8)
+        with pytest.raises(RuntimeError, match="repetition zero"):
+            map_repetitions(_fail_first_or_mark, str(tmp_path), seeds, workers=2, min_parallel=1)
+        markers = list(tmp_path.glob("done-*"))
+        assert len(markers) < 7, "queued repetitions ran to completion despite the failure"
+
+    def test_sigint_drains_pool_promptly(self, tmp_path):
+        # A SIGINT mid-fan-out must cancel the queued backlog and only
+        # wait for in-flight repetitions: 8 x 2.5s sleeps on 2 workers
+        # would otherwise drain for ~10s after the interrupt.
+        script = """
+import sys, time
+from pathlib import Path
+from repro.experiments.runner import map_repetitions
+from repro.util.rng import spawn_seeds
+
+def _sleeper(context, seed):
+    Path(context, f"started-{seed.spawn_key[-1]}").touch()
+    time.sleep(2.5)
+    return 0
+
+if __name__ == "__main__":
+    try:
+        map_repetitions(_sleeper, sys.argv[1], spawn_seeds(0, 8), workers=2, min_parallel=1)
+    except KeyboardInterrupt:
+        print("INTERRUPTED-CLEAN", flush=True)
+        sys.exit(3)
+"""
+        script_path = tmp_path / "interruptee.py"
+        script_path.write_text(script)
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ, PYTHONPATH=f"{src}{os.pathsep}{os.environ.get('PYTHONPATH', '')}")
+        process = subprocess.Popen(
+            [sys.executable, str(script_path), str(tmp_path)],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not list(tmp_path.glob("started-*")):
+                assert time.monotonic() < deadline, "pool never started"
+                time.sleep(0.05)
+            interrupted_at = time.monotonic()
+            process.send_signal(signal.SIGINT)
+            stdout, _ = process.communicate(timeout=15)
+            drained_in = time.monotonic() - interrupted_at
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert process.returncode == 3
+        assert "INTERRUPTED-CLEAN" in stdout
+        # In-flight sleepers (<= 2.5s) may finish; the ~10s backlog must not.
+        assert drained_in < 8, f"drain took {drained_in:.1f}s — backlog was not cancelled"
 
 
 @pytest.fixture(scope="module")

@@ -225,6 +225,21 @@ class TestLifecycle:
         assert backend._pool is None
         backend.close()
 
+    def test_close_cancels_pending_shards(self, small_chain):
+        # The graceful-interrupt path: cancel_futures drops queued shards
+        # and the pool shuts down cleanly; a later batch respawns it and
+        # produces the same results as an undisturbed backend.
+        plan = make_plan(small_chain, parse_property('F "goal"'))
+        backend = ParallelBackend(plan, workers=2, shard_size=16)
+        backend.run_ensemble(64, np.random.default_rng(0))
+        backend.close(cancel_futures=True)
+        assert backend._pool is None
+        resumed = backend.run_ensemble(64, np.random.default_rng(0))
+        fresh = ParallelBackend(plan, workers=2, shard_size=16)
+        _assert_identical(resumed, fresh.run_ensemble(64, np.random.default_rng(0)))
+        backend.close()
+        fresh.close()
+
     def test_pool_reused_across_batches(self, small_chain):
         plan = make_plan(small_chain, parse_property('F "goal"'))
         with ParallelBackend(plan, workers=2, shard_size=16) as backend:

@@ -1,7 +1,11 @@
 """Smoke tests of the command-line interface (scaled-down runs)."""
 
+import json
+import threading
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 
@@ -29,6 +33,26 @@ class TestParser:
     def test_backend_choices_include_parallel(self):
         args = build_parser().parse_args(["table1", "--backend", "parallel"])
         assert args.backend == "parallel"
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_service_commands_parse(self):
+        assert build_parser().parse_args(["serve", "--port", "0"]).command == "serve"
+        args = build_parser().parse_args(
+            ["submit", "--study", "illustrative", "--estimator", "imcis", "--wait"]
+        )
+        assert args.command == "submit"
+        assert args.estimator == "imcis"
+        assert args.wait is True
+        assert build_parser().parse_args(["jobs", "--json"]).json is True
+
+    def test_submit_rejects_unknown_study(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--study", "no-such-study"])
 
 
 class TestCommands:
@@ -159,3 +183,65 @@ class TestStoreCommands:
         capsys.readouterr()
         assert main(["store", "inspect", "--store", str(store_dir)]) == 1
         assert "problem" in capsys.readouterr().out
+
+    def test_store_ls_json(self, capsys, tmp_path):
+        code, store, _ = self._run_with_store(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", str(store), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["root"] == str(store)
+        assert len(document["runs"]) == 1
+        assert document["runs"][0]["status"] == "complete"
+        assert len(document["records"]) == 1
+        assert document["records"][0]["records"] == 2
+        assert document["records"][0]["bytes"] > 0
+
+    def test_store_ls_json_empty_store(self, capsys, tmp_path):
+        assert main(["store", "ls", "--store", str(tmp_path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document == {"root": str(tmp_path), "runs": [], "records": []}
+
+
+class TestServiceCommands:
+    @pytest.fixture()
+    def live_server(self, tmp_path):
+        from repro.service import ServiceConfig, create_server
+
+        server = create_server(ServiceConfig(port=0, store_root=tmp_path / "store"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.service.stop(timeout=10)
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    SUBMIT = ["--study", "illustrative", "--estimator", "is", "--reps", "2",
+              "--samples", "400"]
+
+    def test_submit_wait_and_jobs(self, capsys, live_server):
+        code = main(["submit", "--url", live_server, *self.SUBMIT, "--wait"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("job job-")
+        assert '"state": "complete"' in out
+        assert main(["jobs", "--url", live_server]) == 0
+        listing = capsys.readouterr().out
+        assert "illustrative/is" in listing and "complete" in listing
+
+    def test_jobs_json_and_single_job(self, capsys, live_server):
+        assert main(["submit", "--url", live_server, *self.SUBMIT, "--wait"]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "--url", live_server, "--json"]) == 0
+        jobs = json.loads(capsys.readouterr().out)
+        assert len(jobs) == 1
+        assert main(["jobs", "--url", live_server, "--job", jobs[0]["id"]]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["state"] == "complete"
+        assert snapshot["result"]["records"][0]["study"] == "illustrative"
+
+    def test_submit_against_dead_service_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot reach service"):
+            main(["submit", "--url", "http://127.0.0.1:1", *self.SUBMIT])
