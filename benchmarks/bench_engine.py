@@ -1,14 +1,20 @@
 """Benchmark: traces/sec of the simulation backends.
 
-Measures the throughput of :class:`~repro.smc.engine.SequentialBackend`
-and :class:`~repro.smc.engine.VectorizedBackend` on the paper's models —
-the 4-state illustrative example and the 40 320-state large repair chain —
+Measures the throughput of :class:`~repro.smc.engine.SequentialBackend`,
+:class:`~repro.smc.engine.VectorizedBackend` and
+:class:`~repro.smc.engine.KernelBackend` on the paper's models — the
+4-state illustrative example and the 40 320-state large repair chain —
 in the two workloads that matter:
 
 * ``simulate``: crude-Monte-Carlo style (no bookkeeping) — pure engine
   throughput;
-* ``is``: importance-sampling style (transition-count tables and
-  log-proposal probabilities kept per successful trace).
+* ``is``: importance-sampling style (transition counts and log-proposal
+  probabilities kept per successful trace).
+
+Each entry also records the ``is_overhead`` ratio per backend — how much
+the IS bookkeeping costs relative to plain simulation. The kernel
+backend's array-native counts keep this near 1×, where the dict-table
+backends pay a multiple.
 
 It also cross-checks that both backends produce statistically consistent
 ``γ̂`` estimates on the same workload.
@@ -53,6 +59,9 @@ def _throughput(sampler: TraceSampler, n_traces: int, seed: int, repeats: int) -
     return best
 
 
+BACKENDS = ("sequential", "vectorized", "kernel")
+
+
 def bench_model(
     name: str,
     chain,
@@ -62,8 +71,9 @@ def bench_model(
     repeats: int,
     seed: int = 2018,
 ) -> dict:
-    """Benchmark both backends on *chain* in both workloads."""
+    """Benchmark every backend on *chain* in both workloads."""
     entry: dict = {"model": name, "n_states": chain.n_states, "n_traces": n_traces}
+    all_rates: dict = {}
     for workload, (target, mode, logp) in {
         "simulate": (chain, "none", False),
         "is": (proposal, "satisfied", True),
@@ -71,16 +81,27 @@ def bench_model(
         if target is None:
             continue
         rates = {}
-        for backend in ("sequential", "vectorized"):
+        for backend in BACKENDS:
             sampler = TraceSampler(
                 target, formula, count_mode=mode, record_log_prob=logp, backend=backend
             )
             n = min(n_traces, SEQ_CAP) if backend == "sequential" else n_traces
             rates[backend] = _throughput(sampler, n, seed, repeats)
+        all_rates[workload] = rates
         entry[workload] = {
-            "sequential_traces_per_sec": round(rates["sequential"], 1),
-            "vectorized_traces_per_sec": round(rates["vectorized"], 1),
-            "speedup": round(rates["vectorized"] / rates["sequential"], 2),
+            f"{backend}_traces_per_sec": round(rates[backend], 1)
+            for backend in BACKENDS
+        }
+        entry[workload]["speedup"] = round(rates["vectorized"] / rates["sequential"], 2)
+        entry[workload]["kernel_speedup"] = round(
+            rates["kernel"] / rates["sequential"], 2
+        )
+    if len(all_rates) == 2:
+        # How much slower each backend runs when keeping IS bookkeeping;
+        # >1 means the "is" workload pays for its counts/log-probs.
+        entry["is_overhead"] = {
+            backend: round(all_rates["simulate"][backend] / all_rates["is"][backend], 2)
+            for backend in BACKENDS
         }
     return entry
 
@@ -96,15 +117,14 @@ def parity_check(n_traces: int, seed: int = 2018) -> dict:
     formula = illustrative.reach_goal_formula()
     exact = illustrative.exact_probability(0.3, 0.4)
     estimates = {}
-    for backend in ("sequential", "vectorized"):
+    for backend in BACKENDS:
         result = monte_carlo_estimate(chain, formula, n_traces, rng=seed, backend=backend)
         estimates[backend] = result.estimate
     sigma = (exact * (1 - exact) / n_traces) ** 0.5
     consistent = all(abs(g - exact) < 5 * sigma for g in estimates.values())
     return {
         "exact": exact,
-        "sequential_estimate": estimates["sequential"],
-        "vectorized_estimate": estimates["vectorized"],
+        **{f"{backend}_estimate": estimates[backend] for backend in BACKENDS},
         "n_traces": n_traces,
         "consistent": consistent,
     }
@@ -164,6 +184,7 @@ def main(argv: list[str] | None = None) -> int:
         f"parity: exact={results['parity']['exact']:.4f} "
         f"seq={results['parity']['sequential_estimate']:.4f} "
         f"vec={results['parity']['vectorized_estimate']:.4f} "
+        f"ker={results['parity']['kernel_estimate']:.4f} "
         f"consistent={results['parity']['consistent']}"
     )
 
@@ -189,8 +210,14 @@ def _print_entry(entry: dict) -> None:
             f"{entry['model']:>14} [{workload:8}] "
             f"seq {w['sequential_traces_per_sec']:>12,.0f}/s   "
             f"vec {w['vectorized_traces_per_sec']:>12,.0f}/s   "
-            f"speedup {w['speedup']:.1f}x"
+            f"ker {w['kernel_traces_per_sec']:>12,.0f}/s   "
+            f"speedup {w['speedup']:.1f}x / {w['kernel_speedup']:.1f}x"
         )
+    if "is_overhead" in entry:
+        ratios = "   ".join(
+            f"{backend} {ratio:.2f}x" for backend, ratio in entry["is_overhead"].items()
+        )
+        print(f"{'':>14} [overhead] IS bookkeeping cost: {ratios}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,233 @@
+"""Benchmark gate: fused-kernel importance sampling vs the classic path.
+
+The kernel tier's headline optimisation fuses the IS likelihood-ratio
+numerator ``Σ n_ij (log a_ij − log b_ij)`` into the simulation loop,
+replacing the per-trace transition-count dict tables the classic path
+materialises and walks. This benchmark measures the end-to-end IS
+estimation pipeline (sampling + weighting + interval) both ways:
+
+* ``classic``: ``backend="vectorized"``, per-trace dict count tables,
+  ``log_weights`` walks each table against the original chain;
+* ``fused``: ``backend="kernel"``, ``original=`` the target chain and
+  ``keep_counts=False`` — weights come out of the in-loop accumulator.
+
+It asserts three gates and exits non-zero when any fails:
+
+1. **speedup** — the fused path is at least ``--min-speedup`` (default
+   10×) faster than the classic path on the illustrative study;
+2. **parity** — estimates, confidence intervals and ESS agree between
+   the paths within 1e-9 relative (the fused numerator differs from the
+   table walk only in IEEE summation order), and ``n_satisfied`` is
+   bitwise identical (both paths realise the same traces);
+3. **worker invariance** — the fused path under ``workers=1`` and
+   ``workers=4`` is bitwise identical to the in-process run.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_is_kernel.py            # full
+    PYTHONPATH=src python benchmarks/bench_is_kernel.py --quick    # CI smoke
+
+Results are printed and written to ``BENCH_is_kernel.json`` (override
+with ``--out``) so the performance trajectory is recorded across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.importance.estimator import estimate_from_sample, run_importance_sampling
+from repro.models import illustrative
+from repro.smc.kernels import kernel_runtime_info
+
+#: Relative tolerance of the classic-vs-fused parity gate; the two paths
+#: sum the same per-transition log terms in different IEEE orders.
+PARITY_RTOL = 1e-9
+
+
+def _summarize(result) -> dict:
+    return {
+        "estimate": result.estimate,
+        "ci_low": result.interval.low,
+        "ci_high": result.interval.high,
+        "ess": result.ess,
+        "n_satisfied": result.n_satisfied,
+    }
+
+
+def _close(a: float, b: float) -> bool:
+    return bool(np.isclose(a, b, rtol=PARITY_RTOL, atol=1e-12))
+
+
+def _run_path(
+    target, proposal, formula, n: int, seed: int, *, fused: bool, workers=None
+):
+    """One end-to-end IS estimation: sample, weight, interval."""
+    rng = np.random.default_rng(seed)
+    if fused:
+        sample = run_importance_sampling(
+            proposal, formula, n, rng, backend="kernel",
+            workers=workers, original=target, keep_counts=False,
+        )
+    else:
+        sample = run_importance_sampling(
+            proposal, formula, n, rng, backend="vectorized", workers=workers
+        )
+    return estimate_from_sample(target, sample)
+
+
+def _time_path(target, proposal, formula, n, seed, repeats, *, fused):
+    """Best-of-*repeats* wall time of the end-to-end pipeline."""
+    _run_path(target, proposal, formula, min(n, 500), seed, fused=fused)  # warm
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        _run_path(target, proposal, formula, n, seed, fused=fused)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_study(
+    name: str, target, proposal, formula, n: int, repeats: int, seed: int = 2018
+) -> dict:
+    """Benchmark and parity-check one study; returns the JSON entry."""
+    classic_time = _time_path(target, proposal, formula, n, seed, repeats, fused=False)
+    fused_time = _time_path(target, proposal, formula, n, seed, repeats, fused=True)
+
+    classic = _run_path(target, proposal, formula, n, seed, fused=False)
+    fused = _run_path(target, proposal, formula, n, seed, fused=True)
+    one_worker = _run_path(target, proposal, formula, n, seed, fused=True, workers=1)
+    sharded = _run_path(target, proposal, formula, n, seed, fused=True, workers=4)
+
+    parity_ok = (
+        classic.n_satisfied == fused.n_satisfied
+        and _close(classic.estimate, fused.estimate)
+        and _close(classic.interval.low, fused.interval.low)
+        and _close(classic.interval.high, fused.interval.high)
+        and _close(classic.ess or 0.0, fused.ess or 0.0)
+    )
+    # Worker-count invariance is a bitwise contract, not a tolerance.
+    workers_ok = all(
+        fused.n_satisfied == other.n_satisfied
+        and fused.estimate == other.estimate
+        and fused.interval.low == other.interval.low
+        and fused.interval.high == other.interval.high
+        and fused.ess == other.ess
+        for other in (one_worker, sharded)
+    )
+    return {
+        "model": name,
+        "n_states": target.n_states,
+        "n_traces": n,
+        "classic_seconds": round(classic_time, 6),
+        "fused_seconds": round(fused_time, 6),
+        "classic_traces_per_sec": round(n / classic_time, 1),
+        "fused_traces_per_sec": round(n / fused_time, 1),
+        "speedup": round(classic_time / fused_time, 2),
+        "classic": _summarize(classic),
+        "fused": _summarize(fused),
+        "fused_workers1": _summarize(one_worker),
+        "fused_workers4": _summarize(sharded),
+        "parity_ok": parity_ok,
+        "workers_invariant": workers_ok,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke configuration: fewer traces, skip the 40 320-state model",
+    )
+    parser.add_argument("--samples", type=int, default=None, help="traces per measurement")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--min-speedup", type=float, default=10.0,
+        help="gate: required fused/classic speedup on the illustrative study",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_is_kernel.json"),
+        help="output JSON path (default: ./BENCH_is_kernel.json)",
+    )
+    args = parser.parse_args(argv)
+    # Above the parallel backend's sharding threshold so workers=4
+    # exercises real process shards.
+    n_traces = args.samples or (12_000 if args.quick else 20_000)
+
+    results: dict = {
+        "benchmark": "is_kernel",
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "kernel": kernel_runtime_info(),
+        "min_speedup": args.min_speedup,
+        "models": [],
+    }
+
+    tier = results["kernel"]["tier"]
+    print(f"== fused IS kernel benchmark (N = {n_traces}, tier = {tier}) ==")
+    entry = bench_study(
+        "illustrative",
+        illustrative.illustrative_chain(),
+        illustrative.perfect_proposal(),
+        illustrative.reach_goal_formula(),
+        n_traces,
+        args.repeats,
+    )
+    results["models"].append(entry)
+    _print_entry(entry)
+
+    if not args.quick:
+        from repro.models import repair_large
+
+        entry = bench_study(
+            "large-repair",
+            repair_large.embedded_chain(),
+            repair_large.is_proposal(),
+            repair_large.failure_formula(),
+            n_traces,
+            args.repeats,
+        )
+        results["models"].append(entry)
+        _print_entry(entry)
+
+    headline = results["models"][0]["speedup"]
+    gates = {
+        "speedup_ok": headline >= args.min_speedup,
+        "parity_ok": all(m["parity_ok"] for m in results["models"]),
+        "workers_invariant": all(m["workers_invariant"] for m in results["models"]),
+    }
+    results["gates"] = gates
+
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not gates["parity_ok"]:
+        print("FAIL: fused estimates diverge from the classic path")
+        return 1
+    if not gates["workers_invariant"]:
+        print("FAIL: fused path is not worker-count invariant")
+        return 1
+    if not gates["speedup_ok"]:
+        print(f"FAIL: fused speedup {headline}x below the {args.min_speedup}x gate")
+        return 1
+    print(f"PASS: fused IS path {headline}x over classic, parity held")
+    return 0
+
+
+def _print_entry(entry: dict) -> None:
+    print(
+        f"{entry['model']:>14} classic {entry['classic_traces_per_sec']:>12,.0f}/s   "
+        f"fused {entry['fused_traces_per_sec']:>12,.0f}/s   "
+        f"speedup {entry['speedup']:.1f}x   "
+        f"parity={'ok' if entry['parity_ok'] else 'FAIL'}   "
+        f"workers={'ok' if entry['workers_invariant'] else 'FAIL'}"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,7 +52,16 @@ from repro.importance.bounded import run_bounded_importance_sampling
 from repro.models import illustrative, repair_group
 from repro.models.registry import REGISTRY
 from repro.service import ServiceClient, ServiceConfig, create_server
+from repro.smc.kernels import kernel_runtime_info
 from repro.store import ArtifactStore, RunManifest
+
+
+def _kernel_tier_note() -> str:
+    """Kernel-tier availability note appended to ``--version`` output."""
+    info = kernel_runtime_info()
+    if info["numba_available"]:
+        return f"(kernel tier: numba {info['numba_version']})"
+    return "(kernel tier: numpy fallback, numba unavailable)"
 
 
 def _workers_arg(value: str) -> "int | str":
@@ -80,12 +89,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=["sequential", "vectorized", "parallel"],
-        default="vectorized",
-        help="simulation engine: lockstep-ensemble NumPy backend (default), "
-        "the scalar reference loop, or the process-pool sharded engine; "
-        "vectorized/parallel fall back to sequential for properties that "
-        "do not compile to masks",
+        choices=["auto", "sequential", "vectorized", "kernel", "parallel"],
+        default="auto",
+        help="simulation engine: 'auto' (default) picks the compiled "
+        "kernel tier where the property's monitor supports it, the "
+        "lockstep-ensemble NumPy backend otherwise; or force the kernel "
+        "tier, the vectorized engine, the scalar reference loop, or the "
+        "process-pool sharded engine; every tier falls back to "
+        "sequential for properties that do not compile to masks",
     )
     parser.add_argument(
         "--workers",
@@ -568,7 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce 'Importance Sampling of Interval Markov Chains' (DSN 2018)",
     )
-    parser.add_argument("--version", action="version", version=f"%(prog)s {repro.__version__}")
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__} {_kernel_tier_note()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="model inventory and exact probabilities")

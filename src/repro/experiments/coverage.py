@@ -187,9 +187,15 @@ def _coverage_repetition(
     """
     study = context.study
     child = np.random.default_rng(seed)
+    # Both estimators share one sample: fuse the centre-chain numerator
+    # (study.center is study.imc.center) and keep the tables for IMCIS.
     if context.unrolled_proposal is not None:
         sample = run_bounded_importance_sampling(
-            context.unrolled_proposal, context.n_samples, child, backend=context.backend
+            context.unrolled_proposal,
+            context.n_samples,
+            child,
+            backend=context.backend,
+            original=study.center,
         )
     else:
         sample = run_importance_sampling(
@@ -198,6 +204,7 @@ def _coverage_repetition(
             context.n_samples,
             child,
             backend=context.backend,
+            original=study.center,
         )
     is_result = estimate_from_sample(study.center, sample, study.confidence)
     imcis_result = imcis_from_sample(study.imc, sample, child, context.imcis_config)

@@ -116,7 +116,7 @@ class MatrixConfig:
 
     studies: "tuple[str, ...] | None" = None
     estimators: "tuple[str, ...]" = DEFAULT_ESTIMATORS
-    backend: str | None = "vectorized"
+    backend: str | None = "auto"
     repetitions: int = 20
     n_samples: int | None = None
     confidence: float | None = None
@@ -227,8 +227,18 @@ def _cell_key(context: _CellContext, seed: int) -> str:
     )
 
 
-def _draw_sample(context: _CellContext, rng: np.random.Generator):
-    """Draw one IS sample under the study's (possibly unrolled) proposal."""
+def _draw_sample(
+    context: _CellContext,
+    rng: np.random.Generator,
+    original=None,
+    keep_counts: bool = True,
+):
+    """Draw one IS sample under the study's (possibly unrolled) proposal.
+
+    *original* fuses that chain's IS numerator into the simulation loop;
+    ``keep_counts=False`` additionally drops the per-trace tables (enough
+    for a single-chain estimate, not for IMCIS).
+    """
     study = context.prepared.study
     if context.prepared.unrolled_proposal is not None:
         return run_bounded_importance_sampling(
@@ -236,6 +246,8 @@ def _draw_sample(context: _CellContext, rng: np.random.Generator):
             context.n_samples,
             rng,
             backend=context.backend,
+            original=original,
+            keep_counts=keep_counts,
         )
     return run_importance_sampling(
         study.proposal,
@@ -243,6 +255,8 @@ def _draw_sample(context: _CellContext, rng: np.random.Generator):
         context.n_samples,
         rng,
         backend=context.backend,
+        original=original,
+        keep_counts=keep_counts,
     )
 
 
@@ -276,10 +290,12 @@ def _matrix_repetition(context: _CellContext, seed: np.random.SeedSequence) -> _
             backend=context.backend,
         )
         return _CellOutcome(result.estimate, result.interval, None)
-    sample = _draw_sample(context, child)
     if context.estimator == "is":
+        # Single-chain estimate: fuse the target's weights, skip tables.
+        sample = _draw_sample(context, child, original=target, keep_counts=False)
         result = estimate_from_sample(target, sample, context.confidence)
         return _CellOutcome(result.estimate, result.interval, result.ess)
+    sample = _draw_sample(context, child, original=study.imc.center)
     if context.estimator == "imcis":
         config = IMCISConfig(
             confidence=context.confidence,

@@ -195,8 +195,11 @@ def imcis_estimate(
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
     generator = ensure_rng(rng)
+    # Fuse the centre-chain numerator into the loop: the centre estimate
+    # then comes straight off arrays, while the kept tables feed the
+    # polytope search. Count tables stay on (keep_counts default).
     sample = run_importance_sampling(
         proposal, formula, n_samples, generator, max_steps=max_steps,
-        backend=backend, workers=workers,
+        backend=backend, workers=workers, original=imc.center,
     )
     return imcis_from_sample(imc, sample, generator, config)

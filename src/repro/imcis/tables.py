@@ -43,9 +43,21 @@ class ObservationTables:
 
     @classmethod
     def from_sample(cls, sample: ISSample) -> "ObservationTables":
-        """Build the tables from an importance-sampling run."""
+        """Build the tables from an importance-sampling run.
+
+        Samples carrying array-native counts
+        (:class:`~repro.smc.kernels.TraceCounts`, the kernel backend's
+        representation) build the sparse matrix directly from the COO
+        arrays; the column order — first occurrence scanning traces in
+        order — matches the dict path exactly, because the engines
+        aggregate both representations from the same sorted
+        ``(trace, key)`` run-length encoding.
+        """
         if sample.n_total <= 0:
             raise EstimationError("sample contains no traces")
+        arrays = getattr(sample, "count_arrays", None)
+        if arrays is not None:
+            return cls._from_arrays(arrays, sample)
         column_of: dict[tuple[int, int], int] = {}
         transitions: list[tuple[int, int]] = []
         rows: list[int] = []
@@ -68,6 +80,31 @@ class ObservationTables:
         )
         return cls(
             transitions=tuple(transitions),
+            counts=matrix,
+            log_proposal=np.asarray(sample.log_proposal, dtype=float),
+            n_total=sample.n_total,
+        )
+
+    @classmethod
+    def _from_arrays(cls, arrays, sample: ISSample) -> "ObservationTables":
+        """Vectorized table construction from COO per-trace counts."""
+        keys = arrays.sources * np.int64(arrays.n_states) + arrays.targets
+        uniq, first_idx = np.unique(keys, return_index=True)
+        # Column order is first occurrence in (trace, key) scan order —
+        # identical to the dict path's insertion order.
+        order = np.argsort(first_idx, kind="stable")
+        col_of = np.empty(uniq.size, dtype=np.int64)
+        col_of[order] = np.arange(uniq.size, dtype=np.int64)
+        cols = col_of[np.searchsorted(uniq, keys)]
+        matrix = sparse.csr_matrix(
+            (arrays.counts.astype(float), (arrays.trace_ids, cols)),
+            shape=(arrays.n_traces, int(uniq.size)),
+            dtype=float,
+        )
+        col_keys = uniq[order]
+        sources, targets = np.divmod(col_keys, np.int64(arrays.n_states))
+        return cls(
+            transitions=tuple(zip(sources.tolist(), targets.tolist())),
             counts=matrix,
             log_proposal=np.asarray(sample.log_proposal, dtype=float),
             n_total=sample.n_total,

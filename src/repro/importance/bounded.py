@@ -86,6 +86,16 @@ class UnrolledProposal:
             projected.record(u % n, v % n, times)
         return projected
 
+    def state_map(self) -> np.ndarray:
+        """Array form of the unrolling projection: ``t·n + s → s``.
+
+        Used both to project array-native counts and as the
+        ``weight_state_map`` for fused weights (every transition a live
+        trace takes maps to an original-chain transition; the decided
+        states' self-loops are never taken by live traces).
+        """
+        return np.arange(self.chain.n_states, dtype=np.int64) % self.n_original
+
 
 def time_dependent_zero_variance(
     chain: DTMC,
@@ -178,6 +188,8 @@ def run_bounded_importance_sampling(
     rng: np.random.Generator | int | None = None,
     backend: str | None = "auto",
     workers: "int | str | None" = None,
+    original: DTMC | None = None,
+    keep_counts: bool = True,
 ) -> ISSample:
     """Sample under the unrolled proposal; counts come back projected.
 
@@ -185,22 +197,46 @@ def run_bounded_importance_sampling(
     over the *original* chain's transitions and can be fed to
     ``estimate_from_sample`` and ``imcis_from_sample`` unchanged. The
     unrolled chain is an ordinary (sparse) DTMC, so the batch engine's
-    vectorized backend applies to it like any other — and *workers* shards
-    the ensemble across a process pool like any other.
+    kernel and vectorized backends apply to it like any other — and
+    *workers* shards the ensemble across a process pool like any other.
+
+    Passing *original* fuses the IS numerator into the simulation loop
+    through the unrolling projection (``t·n + s → s``); see
+    :func:`~repro.importance.estimator.run_importance_sampling` for the
+    *keep_counts* semantics.
     """
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
     generator = ensure_rng(rng)
+    state_map = proposal.state_map() if original is not None else None
+    count_mode = "none" if (original is not None and not keep_counts) else "satisfied"
     sampler = TraceSampler(
         proposal.chain,
         proposal.formula,
-        count_mode="satisfied",
+        count_mode=count_mode,
         record_log_prob=True,
         futility=proposal.futility,
         backend=backend,
         workers=workers,
+        weight_chain=original,
+        weight_state_map=state_map,
     )
+    if count_mode == "none" and not sampler.fuses_weights:
+        sampler = TraceSampler(
+            proposal.chain,
+            proposal.formula,
+            count_mode="satisfied",
+            record_log_prob=True,
+            futility=proposal.futility,
+            backend=backend,
+            workers=workers,
+            weight_chain=original,
+            weight_state_map=state_map,
+        )
     return ISSample.from_ensemble(
         sampler.sample_ensemble(n_samples, generator),
         project=proposal.project_counts,
+        state_map=proposal.state_map(),
+        n_states=proposal.n_original,
+        weight_chain=original,
     )

@@ -15,7 +15,6 @@ candidate chains ``A ∈ [Â]`` — the sample is drawn once.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.special import logsumexp
@@ -25,53 +24,157 @@ from repro.core.paths import TransitionCounts
 from repro.errors import EstimationError
 from repro.properties.logic import Formula
 from repro.smc.intervals import normal_ci
+from repro.smc.kernels import TraceCounts
 from repro.smc.results import EstimationResult
 from repro.smc.simulator import TraceSampler
 from repro.util.rng import ensure_rng
 
+_ABS_CONTINUITY_ERROR = (
+    "sampled trace impossible under the original chain; "
+    "the proposal is not valid for importance sampling"
+)
 
-@dataclass
+
 class ISSample:
     """A batch of traces drawn under an importance-sampling proposal.
 
     Only successful traces carry data (a failed trace contributes
     ``z·L = 0``); ``n_total`` remembers the full batch size ``N_IS``.
+
+    The per-trace data exists in up to three representations, fastest
+    first:
+
+    * ``log_numerator`` — fused log probabilities under ``weight_chain``
+      (the IS numerator, accumulated inside the simulation loop);
+    * ``count_arrays`` — array-native transition counts
+      (:class:`~repro.smc.kernels.TraceCounts`, one COO block for the
+      whole sample);
+    * :attr:`counts` — classic per-trace dict tables, materialized
+      lazily from ``count_arrays`` when first accessed (the Table I/II
+      output path, and what IMCIS's observation tables historically
+      consumed).
+
+    :func:`log_weights` picks the fastest representation that can serve
+    the requested original chain.
     """
 
-    n_total: int
-    counts: list[TransitionCounts] = field(default_factory=list)
-    log_proposal: list[float] = field(default_factory=list)
-    n_undecided: int = 0
-    mean_length: float = 0.0
+    def __init__(
+        self,
+        n_total: int,
+        counts: "list[TransitionCounts] | None" = None,
+        log_proposal: "list[float] | None" = None,
+        n_undecided: int = 0,
+        mean_length: float = 0.0,
+        *,
+        count_arrays: "TraceCounts | None" = None,
+        log_numerator: "np.ndarray | None" = None,
+        weight_chain: "DTMC | None" = None,
+    ):
+        self.n_total = n_total
+        self.log_proposal: list[float] = list(log_proposal) if log_proposal else []
+        self.n_undecided = n_undecided
+        self.mean_length = mean_length
+        self.count_arrays = count_arrays
+        self.log_numerator = log_numerator
+        self.weight_chain = weight_chain
+        if counts is not None:
+            self._counts: "list[TransitionCounts] | None" = list(counts)
+        elif count_arrays is None and log_numerator is None:
+            self._counts = []
+        else:
+            self._counts = None  # materialized lazily from count_arrays
+
+    @property
+    def counts(self) -> "list[TransitionCounts]":
+        """Per-successful-trace dict count tables (lazily materialized).
+
+        Raises :class:`~repro.errors.EstimationError` when the sample was
+        drawn with fused weights only (``keep_counts=False``) — there is
+        nothing to materialize from.
+        """
+        if self._counts is None:
+            if self.count_arrays is None:
+                raise EstimationError(
+                    "this sample carries fused log weights but no count "
+                    "tables (drawn with keep_counts=False); re-sample with "
+                    "keep_counts=True for per-trace tables"
+                )
+            self._counts = [
+                table
+                for table in self.count_arrays.to_tables()
+                if table is not None
+            ]
+        return self._counts
 
     @property
     def n_satisfied(self) -> int:
         """Number of successful traces."""
-        return len(self.counts)
+        if self._counts is not None:
+            return len(self._counts)
+        return len(self.log_proposal)
 
     @classmethod
-    def from_ensemble(cls, batch, project=None) -> "ISSample":
+    def from_ensemble(
+        cls,
+        batch,
+        project=None,
+        state_map: "np.ndarray | None" = None,
+        n_states: "int | None" = None,
+        weight_chain: "DTMC | None" = None,
+    ) -> "ISSample":
         """Build a sample from an engine :class:`EnsembleResult`.
 
-        *batch* must have been simulated with ``count_mode="satisfied"``
-        and ``record_log_prob=True``; *project* optionally maps each count
-        table (e.g. unrolled-chain counts back onto the original chain).
+        *batch* must have been simulated with ``record_log_prob=True``
+        and carry per-trace data in some form: dict count tables,
+        array-native counts, or fused log-numerators. *project*
+        optionally maps each dict count table (e.g. unrolled-chain counts
+        back onto the original chain); *state_map*/*n_states* are the
+        array-native equivalent, projecting ``count_arrays`` through
+        ``state → state_map[state]``. *weight_chain* records which chain
+        the batch's fused ``log_numerators`` were accumulated against.
         """
-        sample = cls(n_total=batch.n_samples, n_undecided=batch.n_undecided)
-        if batch.count_tables is None or batch.log_proposals is None:
+        if batch.log_proposals is None:
+            raise EstimationError(
+                "the batch was simulated without log-proposal probabilities; "
+                "sample with record_log_prob=True"
+            )
+        has_counts = batch.count_tables is not None or batch.count_arrays is not None
+        if not has_counts and batch.log_numerators is None:
             raise EstimationError(
                 "the batch was simulated without count tables or log-proposal "
                 "probabilities; sample with count_mode='satisfied' and "
                 "record_log_prob=True"
             )
-        log_proposals = batch.log_proposals.tolist()
-        for k in np.flatnonzero(batch.satisfied).tolist():
-            counts = batch.count_tables[k]
-            assert counts is not None
-            sample.counts.append(counts if project is None else project(counts))
-            sample.log_proposal.append(log_proposals[k])
-        sample.mean_length = batch.mean_length
-        return sample
+        sat_idx = np.flatnonzero(batch.satisfied)
+        counts = None
+        arrays = None
+        if batch.count_tables is not None:
+            counts = []
+            for k in sat_idx.tolist():
+                table = batch.count_tables[k]
+                assert table is not None
+                counts.append(table if project is None else project(table))
+        elif batch.count_arrays is not None:
+            arrays = batch.count_arrays.select(sat_idx)
+            if state_map is not None:
+                if n_states is None:
+                    raise EstimationError("state_map requires n_states")
+                arrays = arrays.map_states(state_map, n_states)
+        lognum = (
+            batch.log_numerators[sat_idx]
+            if batch.log_numerators is not None
+            else None
+        )
+        return cls(
+            n_total=batch.n_samples,
+            counts=counts,
+            log_proposal=batch.log_proposals[sat_idx].tolist(),
+            n_undecided=batch.n_undecided,
+            mean_length=batch.mean_length,
+            count_arrays=arrays,
+            log_numerator=lognum,
+            weight_chain=weight_chain,
+        )
 
     def effective_sample_size(self, original: DTMC) -> float:
         """ESS of the sample weighted against *original*.
@@ -94,6 +197,8 @@ def run_importance_sampling(
     initial_state: int | None = None,
     backend: str | None = "auto",
     workers: "int | str | None" = None,
+    original: DTMC | None = None,
+    keep_counts: bool = True,
 ) -> ISSample:
     """Draw *n_samples* traces under *proposal*, keeping success tables.
 
@@ -103,33 +208,80 @@ def run_importance_sampling(
     *workers* shards the ensemble across a process pool (see
     :class:`~repro.smc.parallel.ParallelBackend`); the sample is invariant
     to the worker count.
+
+    Passing *original* fuses the IS numerator into the simulation loop on
+    lockstep backends — :func:`log_weights` against that chain then costs
+    one array subtraction instead of a per-trace table walk. With
+    ``keep_counts=False`` the per-trace tables are dropped entirely (the
+    fastest path, enough for a single-chain estimate); the sample then
+    serves only the fused chain. When fusion is unavailable (the formula
+    falls back to the sequential loop) count tables are kept regardless,
+    so the sample always supports :func:`estimate_from_sample`.
     """
     if n_samples <= 0:
         raise EstimationError("n_samples must be positive")
     generator = ensure_rng(rng)
+    count_mode = "none" if (original is not None and not keep_counts) else "satisfied"
     sampler = TraceSampler(
         proposal,
         formula,
         max_steps=max_steps,
-        count_mode="satisfied",
+        count_mode=count_mode,
         record_log_prob=True,
         initial_state=initial_state,
         backend=backend,
         workers=workers,
+        weight_chain=original,
     )
-    return ISSample.from_ensemble(sampler.sample_ensemble(n_samples, generator))
+    if count_mode == "none" and not sampler.fuses_weights:
+        # No fused numerators coming (sequential fallback): the tables are
+        # the only way to weight the sample, keep them after all.
+        sampler = TraceSampler(
+            proposal,
+            formula,
+            max_steps=max_steps,
+            count_mode="satisfied",
+            record_log_prob=True,
+            initial_state=initial_state,
+            backend=backend,
+            workers=workers,
+            weight_chain=original,
+        )
+    return ISSample.from_ensemble(
+        sampler.sample_ensemble(n_samples, generator), weight_chain=original
+    )
 
 
 def log_weights(original: DTMC, sample: ISSample) -> np.ndarray:
-    """Per-successful-trace ``log L_k`` against *original*."""
+    """Per-successful-trace ``log L_k`` against *original*.
+
+    Served from the fastest representation the sample carries for
+    *original*: fused ``log_numerator`` arrays when the sample was drawn
+    with that exact chain fused in, array-native
+    :meth:`~repro.smc.kernels.TraceCounts.trace_log_probs` next, and the
+    classic per-trace dict walk last. All three compute
+    ``Σ n_ij log a_ij − log P_B(ω)`` — identical up to floating-point
+    summation order (the fused path adds ``log a_ij`` step by step in
+    simulation time; the count paths sum ``n_ij · log a_ij`` over the
+    distinct transitions of each trace), so estimates agree to a few ULPs
+    but not necessarily bitwise across representations.
+    """
+    lognum = getattr(sample, "log_numerator", None)
+    if lognum is not None and original is sample.weight_chain:
+        if np.isneginf(lognum).any():
+            raise EstimationError(_ABS_CONTINUITY_ERROR)
+        return lognum - np.asarray(sample.log_proposal, dtype=np.float64)
+    arrays = getattr(sample, "count_arrays", None)
+    if arrays is not None:
+        log_a = arrays.trace_log_probs(original)
+        if np.isneginf(log_a).any():
+            raise EstimationError(_ABS_CONTINUITY_ERROR)
+        return log_a - np.asarray(sample.log_proposal, dtype=np.float64)
     weights = np.empty(sample.n_satisfied)
     for k, (counts, log_b) in enumerate(zip(sample.counts, sample.log_proposal)):
         log_a = original.counts_log_probability(counts)
         if log_a == float("-inf"):
-            raise EstimationError(
-                "sampled trace impossible under the original chain; "
-                "the proposal is not valid for importance sampling"
-            )
+            raise EstimationError(_ABS_CONTINUITY_ERROR)
         weights[k] = log_a - log_b
     return weights
 
@@ -194,9 +346,14 @@ def importance_sampling_estimate(
     backend: str | None = "auto",
     workers: "int | str | None" = None,
 ) -> EstimationResult:
-    """One-call IS estimation: sample under *proposal*, weight by *original*."""
+    """One-call IS estimation: sample under *proposal*, weight by *original*.
+
+    The single-chain shape needs no per-trace tables, so the weights are
+    fused into the simulation loop (``keep_counts=False``) — the fastest
+    IS path.
+    """
     sample = run_importance_sampling(
         proposal, formula, n_samples, rng, max_steps, initial_state,
-        backend=backend, workers=workers,
+        backend=backend, workers=workers, original=original, keep_counts=False,
     )
     return estimate_from_sample(original, sample, confidence)

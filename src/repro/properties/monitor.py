@@ -22,6 +22,7 @@ sequential backend — see :meth:`repro.properties.logic.Formula.vector_monitor`
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -254,6 +255,27 @@ VECTOR_TRUE = np.int8(1)
 VECTOR_FALSE = np.int8(2)
 
 
+@dataclass(frozen=True)
+class MaskSpec:
+    """Declarative description of a vector monitor's update rule.
+
+    The data a mask-based monitor's :meth:`VectorMonitor.update` consumes
+    — its kind plus the label masks and bounds — exported so compiled
+    backends (:class:`~repro.smc.engine.KernelBackend`) can evaluate the
+    same branch structure inside a kernel without calling back into
+    Python. ``bound`` is ``None`` when unbounded; ``lhs`` and
+    ``initial_check`` are ``None`` when the monitor has no such mask.
+    """
+
+    kind: str  # "state" | "until" | "globally"
+    rhs: np.ndarray
+    lhs: "np.ndarray | None" = None
+    initial_check: "np.ndarray | None" = None
+    bound: "int | None" = None
+    n_next: int = 0
+    lhs_exempt: bool = False
+
+
 class VectorMonitor:
     """Batch monitor for an ensemble of traces advancing in lockstep.
 
@@ -279,6 +301,14 @@ class VectorMonitor:
         """Transitions after which every verdict is decided (``None``: unbounded)."""
         return None
 
+    def mask_spec(self) -> "MaskSpec | None":
+        """The monitor's update rule as data, for compiled backends.
+
+        ``None`` on monitors that cannot express their rule as a
+        :class:`MaskSpec`; the engine then stays on the vectorized path.
+        """
+        return None
+
 
 class VectorStateCheckMonitor(VectorMonitor):
     """Vectorized :class:`StateCheckMonitor`: decided at position 0."""
@@ -292,6 +322,9 @@ class VectorStateCheckMonitor(VectorMonitor):
     @property
     def horizon(self) -> int | None:
         return 0
+
+    def mask_spec(self) -> "MaskSpec | None":
+        return MaskSpec(kind="state", rhs=self._mask)
 
 
 class VectorUntilMonitor(VectorMonitor):
@@ -356,6 +389,17 @@ class VectorUntilMonitor(VectorMonitor):
             return None
         return self._bound + self._n_next
 
+    def mask_spec(self) -> "MaskSpec | None":
+        return MaskSpec(
+            kind="until",
+            rhs=self._rhs,
+            lhs=self._lhs,
+            initial_check=self._initial_check,
+            bound=self._bound,
+            n_next=self._n_next,
+            lhs_exempt=self._lhs_exempt,
+        )
+
 
 class VectorGloballyMonitor(VectorMonitor):
     """Vectorized bounded ``G<=bound φ`` for a state formula φ."""
@@ -376,6 +420,9 @@ class VectorGloballyMonitor(VectorMonitor):
     @property
     def horizon(self) -> int | None:
         return self._bound
+
+    def mask_spec(self) -> "MaskSpec | None":
+        return MaskSpec(kind="globally", rhs=self._mask, bound=self._bound)
 
 
 class GloballyMonitor(Monitor):

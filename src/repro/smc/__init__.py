@@ -28,6 +28,7 @@ from repro.smc.engine import (
     CompiledChain,
     CompiledCSR,
     EnsembleResult,
+    KernelBackend,
     SequentialBackend,
     SimulationBackend,
     SimulationPlan,
@@ -36,6 +37,7 @@ from repro.smc.engine import (
     make_plan,
     resolve_backend,
 )
+from repro.smc.kernels import TraceCounts, kernel_runtime_info
 from repro.smc.parallel import ParallelBackend, resolve_workers
 from repro.smc.simulator import TraceSampler
 from repro.smc.sprt import SPRTResult, sprt
@@ -50,11 +52,13 @@ __all__ = [
     "ConfidenceInterval",
     "EnsembleResult",
     "EstimationResult",
+    "KernelBackend",
     "ParallelBackend",
     "SPRTResult",
     "SequentialBackend",
     "SimulationBackend",
     "SimulationPlan",
+    "TraceCounts",
     "TraceRecord",
     "TraceSampler",
     "VectorizedBackend",
@@ -65,6 +69,7 @@ __all__ = [
     "bernoulli_ci",
     "chernoff_ci",
     "iter_chunks",
+    "kernel_runtime_info",
     "monte_carlo_estimate",
     "normal_ci",
     "normal_quantile",

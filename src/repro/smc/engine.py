@@ -24,6 +24,14 @@ probabilities*. That primitive is expressed here once, as a
     formulas outside that fragment fall back to the sequential backend
     (see :func:`resolve_backend`).
 
+:class:`KernelBackend`
+    The compiled tier: the same lockstep loop with every per-step
+    operation routed through :mod:`repro.smc.kernels` (``@njit`` when
+    numba is installed, bitwise-matching NumPy fallbacks otherwise),
+    array-native count tables, and optional *fused* importance-weight
+    accumulation straight off the step keys. The default under
+    ``"auto"`` whenever the monitor exposes a mask spec.
+
 Consumers go through :class:`repro.smc.simulator.TraceSampler`, which is a
 thin facade building the plan and delegating batches to the chosen
 backend. Both backends produce identical
@@ -44,7 +52,9 @@ from repro.core.paths import TransitionCounts
 from repro.errors import EstimationError, ModelError
 from repro.properties import monitor as mon
 from repro.properties.logic import Formula
+from repro.smc import kernels as _kernels
 from repro.smc.futility import FutilityMask, futility_for_formula
+from repro.smc.kernels import TraceCounts, entry_weight_logs
 from repro.smc.results import BatchSummary, TraceRecord
 
 #: Safety cap on trace length for properties without a step bound.
@@ -54,7 +64,7 @@ DEFAULT_MAX_STEPS = 1_000_000
 COUNT_MODES = ("satisfied", "all", "none")
 
 #: Recognised backend selectors.
-BACKEND_NAMES = ("auto", "sequential", "vectorized", "parallel")
+BACKEND_NAMES = ("auto", "sequential", "vectorized", "kernel", "parallel")
 
 #: Absolute tolerance for row-stochasticity during compilation. A row
 #: whose probabilities sum farther than this from one is genuinely
@@ -264,6 +274,13 @@ class SimulationPlan:
     and shared by backends: the chain, the scalar monitor factory, the
     optional vector monitor, the futility mask, the step cap and the
     bookkeeping switches.
+
+    ``weight_chain`` (with the optional ``weight_state_map`` projection)
+    requests *fused importance weights*: backends that support it
+    accumulate each trace's log probability under that chain — the IS
+    numerator ``Σ n_ij log a_ij`` — inside the simulation loop and return
+    it as :attr:`EnsembleResult.log_numerators`, skipping the per-trace
+    Python table walk entirely.
     """
 
     chain: DTMC
@@ -275,6 +292,8 @@ class SimulationPlan:
     count_mode: str
     record_log_prob: bool
     initial_state: int
+    weight_chain: DTMC | None = None
+    weight_state_map: np.ndarray | None = None
 
 
 def make_plan(
@@ -285,6 +304,8 @@ def make_plan(
     record_log_prob: bool = False,
     initial_state: int | None = None,
     futility: "FutilityMask | str | None" = "auto",
+    weight_chain: DTMC | None = None,
+    weight_state_map: "np.ndarray | None" = None,
 ) -> SimulationPlan:
     """Validate the arguments and precompile a :class:`SimulationPlan`.
 
@@ -307,6 +328,15 @@ def make_plan(
     futility : FutilityMask, "auto" or None, optional
         Early-abort mask for hopeless traces; ``"auto"`` derives one
         from the formula.
+    weight_chain : DTMC, optional
+        Accumulate each trace's log probability under this chain too
+        (the IS numerator), fused into the simulation loop on backends
+        that support it.
+    weight_state_map : ndarray, optional
+        Project simulated states onto *weight_chain* states before the
+        numerator lookup (used by the unrolled time-dependent proposal,
+        which maps ``t·n + s`` back to ``s``). Length must equal the
+        simulated chain's state count.
 
     Returns
     -------
@@ -335,6 +365,16 @@ def make_plan(
     start = chain.initial_state if initial_state is None else int(initial_state)
     if not 0 <= start < chain.n_states:
         raise EstimationError(f"initial state {initial_state} out of range")
+    if weight_state_map is not None:
+        if weight_chain is None:
+            raise EstimationError("weight_state_map requires a weight_chain")
+        weight_state_map = np.asarray(weight_state_map, dtype=np.int64)
+        if weight_state_map.shape != (chain.n_states,):
+            raise EstimationError(
+                "weight_state_map must hold one weight-chain state per "
+                f"simulated state ({chain.n_states}), got shape "
+                f"{weight_state_map.shape}"
+            )
     return SimulationPlan(
         chain=chain,
         formula=formula,
@@ -345,6 +385,8 @@ def make_plan(
         count_mode=count_mode,
         record_log_prob=record_log_prob,
         initial_state=start,
+        weight_chain=weight_chain,
+        weight_state_map=weight_state_map,
     )
 
 
@@ -359,6 +401,13 @@ class EnsembleResult:
     trace axis holding a :class:`TransitionCounts` per kept trace (``None``
     for dropped ones, mirroring ``count_mode="satisfied"``).
 
+    The kernel backend keeps counts array-native instead:
+    ``count_arrays`` holds the same information as flat COO arrays
+    (:class:`~repro.smc.kernels.TraceCounts`); :meth:`tables` materializes
+    classic dict tables from either representation on demand. When the
+    plan carried a ``weight_chain``, ``log_numerators`` holds each trace's
+    fused log probability under it (the IS numerator).
+
     :meth:`to_summary` materializes the classic per-record
     :class:`~repro.smc.results.BatchSummary` for consumers that want
     :class:`~repro.smc.results.TraceRecord` objects.
@@ -369,6 +418,8 @@ class EnsembleResult:
     lengths: np.ndarray
     log_proposals: np.ndarray | None = None
     count_tables: "list[TransitionCounts | None] | None" = None
+    log_numerators: np.ndarray | None = None
+    count_arrays: "TraceCounts | None" = None
 
     @property
     def n_samples(self) -> int:
@@ -396,13 +447,32 @@ class EnsembleResult:
         n = self.n_samples
         return self.total_length / n if n else 0.0
 
+    def tables(self) -> "list[TransitionCounts | None] | None":
+        """Per-trace dict count tables, materializing from arrays if needed.
+
+        Returns ``count_tables`` when present, otherwise converts
+        ``count_arrays`` (kernel batches keep counts array-native), and
+        ``None`` when counting was off entirely.
+        """
+        if self.count_tables is not None:
+            return self.count_tables
+        if self.count_arrays is not None:
+            return self.count_arrays.to_tables()
+        return None
+
     def merge(self, other: "EnsembleResult") -> "EnsembleResult":
         """Concatenate two batches along the trace axis."""
         return EnsembleResult.concatenate([self, other])
 
     @staticmethod
     def concatenate(chunks: "list[EnsembleResult]") -> "EnsembleResult":
-        """Concatenate many batches with one copy per field."""
+        """Concatenate many batches with one copy per field.
+
+        Optional fields survive only when every chunk carries them. Counts
+        stay array-native when every chunk has ``count_arrays``; when
+        chunks mix representations but all have counts in *some* form,
+        the result falls back to materialized dict tables.
+        """
         if not chunks:
             raise EstimationError("no chunks to concatenate")
         if len(chunks) == 1:
@@ -410,15 +480,27 @@ class EnsembleResult:
         logp = None
         if all(c.log_proposals is not None for c in chunks):
             logp = np.concatenate([c.log_proposals for c in chunks])
+        lognum = None
+        if all(c.log_numerators is not None for c in chunks):
+            lognum = np.concatenate([c.log_numerators for c in chunks])
         tables = None
-        if all(c.count_tables is not None for c in chunks):
+        arrays = None
+        if all(c.count_arrays is not None for c in chunks):
+            arrays = TraceCounts.concatenate([c.count_arrays for c in chunks])
+        elif all(c.count_tables is not None for c in chunks):
             tables = [t for c in chunks for t in c.count_tables]
+        elif all(
+            c.count_tables is not None or c.count_arrays is not None for c in chunks
+        ):
+            tables = [t for c in chunks for t in c.tables()]
         return EnsembleResult(
             satisfied=np.concatenate([c.satisfied for c in chunks]),
             decided=np.concatenate([c.decided for c in chunks]),
             lengths=np.concatenate([c.lengths for c in chunks]),
             log_proposals=logp,
             count_tables=tables,
+            log_numerators=lognum,
+            count_arrays=arrays,
         )
 
     def to_summary(self) -> BatchSummary:
@@ -433,12 +515,13 @@ class EnsembleResult:
         decided = self.decided.tolist()
         lengths = self.lengths.tolist()
         logp = self.log_proposals.tolist() if self.log_proposals is not None else None
+        tables = self.tables()
         for k in range(self.n_samples):
             summary.records.append(
                 TraceRecord(
                     satisfied=satisfied[k],
                     length=lengths[k],
-                    counts=self.count_tables[k] if self.count_tables is not None else None,
+                    counts=tables[k] if tables is not None else None,
                     log_proposal=logp[k] if logp is not None else 0.0,
                     decided=decided[k],
                 )
@@ -586,6 +669,19 @@ class VectorizedBackend(SimulationBackend):
         self._plan = plan
         self._max_ensemble = int(max_ensemble)
         self._csr = CompiledCSR.from_chain(plan.chain)
+        # Fused IS numerator: a per-CSR-entry log a_ij table so the loop
+        # accumulates weights with the same gather it uses for log b_ij.
+        self._wlogs = (
+            entry_weight_logs(
+                self._csr.n_states,
+                self._csr.indptr,
+                self._csr.indices,
+                plan.weight_chain,
+                plan.weight_state_map,
+            )
+            if plan.weight_chain is not None
+            else None
+        )
 
     @property
     def plan(self) -> SimulationPlan:
@@ -621,6 +717,8 @@ class VectorizedBackend(SimulationBackend):
             verdicts[cut] = mon.VECTOR_FALSE
         lengths = np.zeros(n, dtype=np.int64)
         logp = np.zeros(n, dtype=np.float64) if plan.record_log_prob else None
+        wlogs = self._wlogs
+        lognum = np.zeros(n, dtype=np.float64) if wlogs is not None else None
         step_traces: list[np.ndarray] = []
         step_keys: list[np.ndarray] = []
 
@@ -631,6 +729,8 @@ class VectorizedBackend(SimulationBackend):
             pos, nxt = csr.gather_step(current, rng)
             if logp is not None:
                 logp[active] += csr.logprobs[pos]
+            if lognum is not None:
+                lognum[active] += wlogs[pos]
             if keep_counts:
                 step_traces.append(active)
                 step_keys.append(current * csr.n_states + nxt)
@@ -639,8 +739,12 @@ class VectorizedBackend(SimulationBackend):
             time += 1
             codes = vm.update(nxt, time)
             if fut is not None and time >= fut.start_position:
-                codes = codes.copy()
-                codes[(codes == mon.VECTOR_UNDECIDED) & fut.mask[nxt]] = mon.VECTOR_FALSE
+                cut = (codes == mon.VECTOR_UNDECIDED) & fut.mask[nxt]
+                # Copy only when a cut actually lands: the monitor owns the
+                # returned array, but most steps cut nothing.
+                if cut.any():
+                    codes = codes.copy()
+                    codes[cut] = mon.VECTOR_FALSE
             verdicts[active] = codes
             active = active[codes == mon.VECTOR_UNDECIDED]
             if (
@@ -672,6 +776,7 @@ class VectorizedBackend(SimulationBackend):
             lengths=lengths,
             log_proposals=logp,
             count_tables=counts_list,
+            log_numerators=lognum,
         )
 
     def _fill_counts(
@@ -714,6 +819,193 @@ class VectorizedBackend(SimulationBackend):
             table.counts.update(dict(zip(pairs[a:b], count_list[a:b])))
 
 
+class KernelBackend(SimulationBackend):
+    """Compiled kernel tier: the lockstep loop through ``smc.kernels``.
+
+    Same skeleton, chunking and RNG consumption as
+    :class:`VectorizedBackend` — one uniform batch draw per step, drawn by
+    this driver and passed into the kernels, so verdicts, lengths and
+    log-proposals are **bitwise identical** to the vectorized backend's —
+    but every per-step operation (CSR gather-step, monitor-mask update,
+    futility cut, log-weight accumulation) runs through the active
+    :mod:`repro.smc.kernels` tier (``@njit`` when numba is installed, the
+    bitwise-matching NumPy fallback otherwise; see
+    :func:`~repro.smc.kernels.kernel_runtime_info`).
+
+    Two structural differences close the IS hot-path gap:
+
+    * transition counts stay array-native — one
+      :class:`~repro.smc.kernels.TraceCounts` COO block per batch instead
+      of a Python dict per trace, convertible back on demand;
+    * when the plan carries a ``weight_chain``, the IS numerator
+      ``Σ n_ij log a_ij`` accumulates inside the loop (fused weights), so
+      the estimator never walks per-trace tables at all.
+
+    Requires the vector monitor to expose a
+    :meth:`~repro.properties.monitor.VectorMonitor.mask_spec`;
+    :func:`resolve_backend` falls back to :class:`VectorizedBackend` (or
+    sequential) otherwise.
+    """
+
+    name = "kernel"
+
+    def __init__(self, plan: SimulationPlan, max_ensemble: int = DEFAULT_MAX_ENSEMBLE):
+        vm = plan.vector_monitor
+        spec = vm.mask_spec() if vm is not None else None
+        if spec is None:
+            raise EstimationError(
+                f"{plan.formula!r} exposes no monitor mask spec; "
+                "use the vectorized or sequential backend"
+            )
+        if max_ensemble <= 0:
+            raise EstimationError("max_ensemble must be positive")
+        self._plan = plan
+        self._max_ensemble = int(max_ensemble)
+        self._csr = CompiledCSR.from_chain(plan.chain)
+        self._wlogs = (
+            entry_weight_logs(
+                self._csr.n_states,
+                self._csr.indptr,
+                self._csr.indices,
+                plan.weight_chain,
+                plan.weight_state_map,
+            )
+            if plan.weight_chain is not None
+            else None
+        )
+        # Unpack the spec into kernel-ready scalars and arrays; optional
+        # masks become one-element dummies so the njit tier sees stable
+        # array types instead of None.
+        kinds = {
+            "state": _kernels.KIND_STATE,
+            "until": _kernels.KIND_UNTIL,
+            "globally": _kernels.KIND_GLOBALLY,
+        }
+        dummy = np.zeros(1, dtype=bool)
+        self._kind = kinds[spec.kind]
+        self._rhs = np.ascontiguousarray(spec.rhs, dtype=bool)
+        self._lhs = (
+            np.ascontiguousarray(spec.lhs, dtype=bool) if spec.lhs is not None else dummy
+        )
+        self._has_init = spec.initial_check is not None
+        self._init = (
+            np.ascontiguousarray(spec.initial_check, dtype=bool)
+            if self._has_init
+            else dummy
+        )
+        self._bound = -1 if spec.bound is None else int(spec.bound)
+        self._n_next = int(spec.n_next)
+        self._lhs_exempt = bool(spec.lhs_exempt)
+
+    @property
+    def plan(self) -> SimulationPlan:
+        return self._plan
+
+    @property
+    def csr(self) -> CompiledCSR:
+        """The upfront-compiled chain arrays."""
+        return self._csr
+
+    def _codes(self, states: np.ndarray, time: int) -> np.ndarray:
+        return _kernels.monitor_codes(
+            states,
+            time,
+            self._kind,
+            self._lhs,
+            self._rhs,
+            self._init,
+            self._has_init,
+            self._bound,
+            self._n_next,
+            self._lhs_exempt,
+        )
+
+    def run_ensemble(self, n_samples: int, rng: np.random.Generator) -> EnsembleResult:
+        if n_samples <= 0:
+            raise EstimationError("n_samples must be positive")
+        chunks: list[EnsembleResult] = []
+        remaining = n_samples
+        while remaining > 0:
+            chunk = self._simulate(min(remaining, self._max_ensemble), rng)
+            chunks.append(chunk)
+            remaining -= chunk.n_samples
+        return EnsembleResult.concatenate(chunks)
+
+    def _simulate(self, n: int, rng: np.random.Generator) -> EnsembleResult:
+        plan, csr = self._plan, self._csr
+        fut = plan.futility
+        keep_counts = plan.count_mode != "none"
+
+        states = np.full(n, plan.initial_state, dtype=np.int64)
+        verdicts = self._codes(states, 0)
+        if fut is not None and 0 >= fut.start_position:
+            _kernels.futility_cut(verdicts, fut.mask, states)
+        lengths = np.zeros(n, dtype=np.int64)
+        logp = np.zeros(n, dtype=np.float64) if plan.record_log_prob else None
+        wlogs = self._wlogs
+        lognum = np.zeros(n, dtype=np.float64) if wlogs is not None else None
+        step_traces: list[np.ndarray] = []
+        step_keys: list[np.ndarray] = []
+
+        active = np.flatnonzero(verdicts == mon.VECTOR_UNDECIDED)
+        time = 0
+        while active.size and time < plan.max_steps:
+            current = states[active]
+            # The driver owns the RNG: one uniform batch per step, exactly
+            # the vectorized backend's consumption order, so both kernel
+            # tiers realise its traces bitwise.
+            u = rng.random(current.shape[0])
+            pos, nxt = _kernels.gather_step(
+                csr.indptr, csr.indices, csr.cumprobs, current, u
+            )
+            if logp is not None:
+                _kernels.gather_add(logp, active, csr.logprobs, pos)
+            if lognum is not None:
+                _kernels.gather_add(lognum, active, wlogs, pos)
+            if keep_counts:
+                step_traces.append(active)
+                step_keys.append(current * csr.n_states + nxt)
+            states[active] = nxt
+            lengths[active] += 1
+            time += 1
+            codes = self._codes(nxt, time)
+            if fut is not None and time >= fut.start_position:
+                _kernels.futility_cut(codes, fut.mask, nxt)
+            verdicts[active] = codes
+            active = active[codes == mon.VECTOR_UNDECIDED]
+            if (
+                keep_counts
+                and plan.count_mode == "satisfied"
+                and time % COMPACT_INTERVAL == 0
+                and len(step_traces) > 1
+            ):
+                useful = verdicts != mon.VECTOR_FALSE  # still live or satisfied
+                traces_cat = np.concatenate(step_traces)
+                keys_cat = np.concatenate(step_keys)
+                sel = useful[traces_cat]
+                step_traces = [traces_cat[sel]]
+                step_keys = [keys_cat[sel]]
+
+        satisfied = verdicts == mon.VECTOR_TRUE
+        decided = verdicts != mon.VECTOR_UNDECIDED
+        count_arrays = None
+        if keep_counts:
+            want = (
+                satisfied if plan.count_mode == "satisfied" else np.ones(n, dtype=bool)
+            )
+            count_arrays = TraceCounts.from_step_keys(
+                n, csr.n_states, want, step_traces, step_keys
+            )
+        return EnsembleResult(
+            satisfied=satisfied,
+            decided=decided,
+            lengths=lengths,
+            log_proposals=logp,
+            log_numerators=lognum,
+            count_arrays=count_arrays,
+        )
+
+
 def resolve_backend(
     backend: "str | SimulationBackend | None", plan: SimulationPlan
 ) -> SimulationBackend:
@@ -722,10 +1014,14 @@ def resolve_backend(
     Parameters
     ----------
     backend : str, SimulationBackend or None
-        ``"auto"`` (and ``None``) and ``"vectorized"`` pick
-        :class:`VectorizedBackend` whenever the plan's formula compiled
-        to a vector monitor and fall back to :class:`SequentialBackend`
-        otherwise; ``"sequential"`` always picks the reference backend;
+        ``"auto"`` (and ``None``) picks the fastest applicable tier:
+        :class:`KernelBackend` when the plan's vector monitor exposes a
+        mask spec, else :class:`VectorizedBackend` when the formula
+        compiled to a vector monitor at all, else
+        :class:`SequentialBackend`. ``"kernel"`` requests the kernel
+        tier explicitly with the same fallbacks; ``"vectorized"`` picks
+        :class:`VectorizedBackend` (sequential fallback);
+        ``"sequential"`` always picks the reference backend;
         ``"parallel"`` shards batches across a process pool
         (:class:`~repro.smc.parallel.ParallelBackend` with default
         settings — construct it directly to tune workers or shard
@@ -753,7 +1049,10 @@ def resolve_backend(
         from repro.smc.parallel import ParallelBackend
 
         return ParallelBackend(plan)
-    if backend in ("auto", "vectorized") and plan.vector_monitor is not None:
+    vm = plan.vector_monitor
+    if backend in ("auto", "kernel") and vm is not None and vm.mask_spec() is not None:
+        return KernelBackend(plan)
+    if backend in ("auto", "kernel", "vectorized") and vm is not None:
         return VectorizedBackend(plan)
     return SequentialBackend(plan)
 
@@ -798,7 +1097,7 @@ def iter_verdicts(
     vectorized, and a scalar backend would waste up to ``chunk_size - 1``
     traces past the consumer's stopping point.
     """
-    if sampler.backend_name != "vectorized":
+    if sampler.backend_name not in ("vectorized", "kernel"):
         chunk_size = 1
     for take in iter_chunks(max_samples, chunk_size):
         yield from sampler.sample_ensemble(take, rng).satisfied.tolist()

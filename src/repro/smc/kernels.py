@@ -1,0 +1,589 @@
+"""Compiled kernel tier: ``@njit`` lockstep kernels with NumPy fallbacks.
+
+This module holds the innermost operations of the lockstep ensemble loop —
+the CSR gather-step, the monitor-mask update, the futility cut and the
+log-weight accumulation — in **two interchangeable implementations**:
+
+* a pure-NumPy implementation (always available, the mandatory default in
+  environments without numba), and
+* a scalar-loop implementation compiled with :func:`numba.njit` when numba
+  is importable.
+
+The active tier is selected once at import time; see
+:func:`kernel_runtime_info` for what was picked and why. The
+``REPRO_KERNEL`` environment variable forces the choice: ``numpy`` pins the
+fallback (CI uses this to prove the fallback cannot drift), ``numba``
+requests the compiled tier (falling back with a recorded reason when numba
+is missing), and ``auto`` (default) uses numba whenever available.
+
+**Parity contract.** Both tiers are bitwise identical: the scalar loops
+perform exactly the float comparisons and per-element additions of the
+vectorized expressions, so verdicts, trace lengths, log-proposal and
+log-numerator accumulators do not depend on the tier (the parity suite runs
+twice in CI, once per tier). Likewise the kernel tier's *fused* importance
+weights match the classic per-trace table walk up to summation order — see
+:func:`repro.importance.estimator.log_weights` for the documented ULP note.
+
+The module also provides :class:`TraceCounts`, the array-native replacement
+for per-trace :class:`~repro.core.paths.TransitionCounts` dicts: transition
+counts of a whole batch as flat COO arrays, aggregated once per ensemble
+with a ``lexsort`` + run-length encoding and convertible back to classic
+dict tables on demand (Table I/II outputs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dtmc import DTMC
+from repro.core.paths import TransitionCounts
+from repro.errors import EstimationError
+
+__all__ = [
+    "KERNEL_TIERS",
+    "KIND_GLOBALLY",
+    "KIND_STATE",
+    "KIND_UNTIL",
+    "TraceCounts",
+    "entry_weight_logs",
+    "flat_pair_log_probs",
+    "futility_cut",
+    "gather_add",
+    "gather_step",
+    "kernel_runtime_info",
+    "monitor_codes",
+]
+
+#: Recognised values of the ``REPRO_KERNEL`` environment variable.
+KERNEL_TIERS = ("auto", "numba", "numpy")
+
+#: Monitor-kind codes consumed by :func:`monitor_codes` (kept as plain ints
+#: so the numba tier specialises on them without boxing).
+KIND_STATE = 0
+KIND_UNTIL = 1
+KIND_GLOBALLY = 2
+
+#: Verdict codes, mirroring :mod:`repro.properties.monitor`'s
+#: ``VECTOR_UNDECIDED`` / ``VECTOR_TRUE`` / ``VECTOR_FALSE``. Duplicated as
+#: plain ints (not imported) so the kernels stay free of monitor imports
+#: and numba sees compile-time constants.
+_UNDECIDED = 0
+_TRUE = 1
+_FALSE = 2
+
+
+# ----------------------------------------------------------------------
+# Tier selection
+# ----------------------------------------------------------------------
+
+_requested = os.environ.get("REPRO_KERNEL", "auto").strip().lower() or "auto"
+if _requested not in KERNEL_TIERS:
+    raise EstimationError(
+        f"REPRO_KERNEL must be one of {KERNEL_TIERS}, got {_requested!r}"
+    )
+
+_numba = None
+_numba_error: str | None = None
+if _requested != "numpy":
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba as _numba  # type: ignore[no-redef]
+    except ImportError as error:
+        _numba = None
+        _numba_error = str(error)
+
+_ACTIVE_TIER = "numba" if _numba is not None else "numpy"
+
+
+def kernel_runtime_info() -> "dict[str, object]":
+    """Describe the kernel tier selected at import time.
+
+    Returns a dict with the active ``tier`` (``"numba"`` or ``"numpy"``),
+    the ``requested`` selector (the ``REPRO_KERNEL`` environment variable,
+    default ``"auto"``), whether numba is importable, its version when it
+    is, and ``fallback_active`` — true when the pure-NumPy implementations
+    are serving (surfaced by ``repro --version``).
+    """
+    return {
+        "tier": _ACTIVE_TIER,
+        "requested": _requested,
+        "numba_available": _numba is not None,
+        "numba_version": getattr(_numba, "__version__", None),
+        "fallback_active": _ACTIVE_TIER == "numpy",
+    }
+
+
+# ----------------------------------------------------------------------
+# Kernel implementations — NumPy (vectorized) and loop (njit) variants
+# ----------------------------------------------------------------------
+
+
+def _gather_step_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    cumprobs: np.ndarray,
+    states: np.ndarray,
+    u: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorized per-row binary search (one transition per live trace).
+
+    Identical to :meth:`repro.smc.engine.CompiledCSR.gather_step` except
+    the uniform draws *u* are supplied by the caller — the driver owns the
+    RNG so both tiers (and the vectorized backend) consume the stream
+    identically.
+    """
+    lo = indptr[states]
+    hi = indptr[states + 1]
+    last = hi - 1
+    searching = lo < last  # single-successor rows resolve immediately
+    while searching.any():
+        mid = (lo + hi) >> 1
+        go_right = searching & (cumprobs[np.minimum(mid, last)] <= u)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(searching & ~go_right, mid, hi)
+        searching = lo < hi
+    pos = np.minimum(lo, last)
+    return pos, indices[pos]
+
+
+def _gather_step_loop(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    cumprobs: np.ndarray,
+    states: np.ndarray,
+    u: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Scalar-loop twin of :func:`_gather_step_numpy` (the njit body).
+
+    Performs the same ``cumprobs[mid] <= u`` float comparisons over the
+    same ``[lo, hi)`` row slice, so the resolved entry is bitwise the
+    NumPy tier's for every trace.
+    """
+    n = states.shape[0]
+    pos = np.empty(n, dtype=np.int64)
+    nxt = np.empty(n, dtype=np.int64)
+    for k in range(n):
+        lo = indptr[states[k]]
+        hi = indptr[states[k] + 1]
+        last = hi - 1
+        while lo < last:
+            mid = (lo + hi) >> 1
+            if cumprobs[mid] <= u[k]:
+                lo = mid + 1
+            else:
+                hi = mid
+            if lo >= hi:
+                break
+        p = lo if lo < last else last
+        pos[k] = p
+        nxt[k] = indices[p]
+    return pos, nxt
+
+
+def _monitor_codes_numpy(
+    states: np.ndarray,
+    time: int,
+    kind: int,
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    init: np.ndarray,
+    has_init: bool,
+    bound: int,
+    n_next: int,
+    lhs_exempt: bool,
+) -> np.ndarray:
+    """Mask-based verdict codes; mirrors the vector monitors branch for
+    branch (``bound < 0`` means unbounded)."""
+    if kind == KIND_STATE:
+        return np.where(rhs[states], np.int8(_TRUE), np.int8(_FALSE))
+    out = np.zeros(states.shape[0], dtype=np.int8)
+    if kind == KIND_GLOBALLY:
+        out[~rhs[states]] = _FALSE
+        if time >= bound:
+            out[out == _UNDECIDED] = _TRUE
+        return out
+    t = time - n_next  # position within the until part
+    if t >= 0:
+        if lhs_exempt and t == 0:
+            out[rhs[states]] = _TRUE
+            if 0 <= bound <= 0:
+                out[out == _UNDECIDED] = _FALSE
+        elif lhs_exempt:
+            lhs_here = lhs[states]
+            out[lhs_here & rhs[states]] = _TRUE
+            out[~lhs_here] = _FALSE
+            if 0 <= bound <= t:
+                out[out == _UNDECIDED] = _FALSE
+        else:
+            rhs_here = rhs[states]
+            out[rhs_here] = _TRUE
+            out[~lhs[states] & ~rhs_here] = _FALSE
+            if 0 <= bound <= t:
+                out[out == _UNDECIDED] = _FALSE
+    if time == 0 and has_init:
+        out[~init[states]] = _FALSE
+    return out
+
+
+def _monitor_codes_loop(
+    states: np.ndarray,
+    time: int,
+    kind: int,
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    init: np.ndarray,
+    has_init: bool,
+    bound: int,
+    n_next: int,
+    lhs_exempt: bool,
+) -> np.ndarray:
+    """Scalar-loop twin of :func:`_monitor_codes_numpy` (the njit body)."""
+    n = states.shape[0]
+    out = np.zeros(n, dtype=np.int8)
+    t = time - n_next
+    for k in range(n):
+        s = states[k]
+        code = _UNDECIDED
+        if kind == KIND_STATE:
+            code = _TRUE if rhs[s] else _FALSE
+        elif kind == KIND_GLOBALLY:
+            if not rhs[s]:
+                code = _FALSE
+            elif time >= bound:
+                code = _TRUE
+        else:  # KIND_UNTIL
+            if t >= 0:
+                if lhs_exempt and t == 0:
+                    if rhs[s]:
+                        code = _TRUE
+                    elif bound == 0:
+                        code = _FALSE
+                elif lhs_exempt:
+                    if not lhs[s]:
+                        code = _FALSE
+                    elif rhs[s]:
+                        code = _TRUE
+                    if code == _UNDECIDED and 0 <= bound <= t:
+                        code = _FALSE
+                else:
+                    if rhs[s]:
+                        code = _TRUE
+                    elif not lhs[s]:
+                        code = _FALSE
+                    if code == _UNDECIDED and 0 <= bound <= t:
+                        code = _FALSE
+            if time == 0 and has_init and not init[s]:
+                code = _FALSE
+        out[k] = code
+    return out
+
+
+def _futility_cut_numpy(
+    codes: np.ndarray, fut_mask: np.ndarray, states: np.ndarray
+) -> None:
+    """Turn undecided traces sitting in futile states to FALSE, in place."""
+    codes[(codes == _UNDECIDED) & fut_mask[states]] = _FALSE
+
+
+def _futility_cut_loop(
+    codes: np.ndarray, fut_mask: np.ndarray, states: np.ndarray
+) -> None:
+    """Scalar-loop twin of :func:`_futility_cut_numpy` (the njit body)."""
+    for k in range(codes.shape[0]):
+        if codes[k] == _UNDECIDED and fut_mask[states[k]]:
+            codes[k] = _FALSE
+
+
+def _gather_add_numpy(
+    acc: np.ndarray, idx: np.ndarray, table: np.ndarray, pos: np.ndarray
+) -> None:
+    """``acc[idx] += table[pos]`` — the per-step log-weight accumulation.
+
+    *idx* holds distinct trace slots (the live set), so the fancy-indexed
+    add has no scatter collisions and performs exactly one IEEE addition
+    per trace — bitwise the loop tier's.
+    """
+    acc[idx] += table[pos]
+
+
+def _gather_add_loop(
+    acc: np.ndarray, idx: np.ndarray, table: np.ndarray, pos: np.ndarray
+) -> None:
+    """Scalar-loop twin of :func:`_gather_add_numpy` (the njit body)."""
+    for k in range(idx.shape[0]):
+        acc[idx[k]] += table[pos[k]]
+
+
+if _numba is not None:  # pragma: no cover - requires the [kernel] extra
+    _jit = _numba.njit(cache=True, fastmath=False)
+    gather_step = _jit(_gather_step_loop)
+    monitor_codes = _jit(_monitor_codes_loop)
+    futility_cut = _jit(_futility_cut_loop)
+    gather_add = _jit(_gather_add_loop)
+else:
+    gather_step = _gather_step_numpy
+    monitor_codes = _monitor_codes_numpy
+    futility_cut = _futility_cut_numpy
+    gather_add = _gather_add_numpy
+
+# Docstrings for the API reference regardless of the tier bound above.
+gather_step.__doc__ = _gather_step_numpy.__doc__
+monitor_codes.__doc__ = _monitor_codes_numpy.__doc__
+futility_cut.__doc__ = _futility_cut_numpy.__doc__
+gather_add.__doc__ = _gather_add_numpy.__doc__
+
+
+# ----------------------------------------------------------------------
+# Weight tables and pair log-probabilities
+# ----------------------------------------------------------------------
+
+
+def flat_pair_log_probs(
+    chain: DTMC, sources: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """``log P(sources[k] → targets[k])`` under *chain*, ``-inf`` when absent.
+
+    One vectorized gather against the (dense or CSR) transition matrix —
+    the array replacement for per-pair
+    :meth:`~repro.core.dtmc.DTMC.probability` lookups.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if sources.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if chain.is_sparse:
+        matrix = chain.transitions.tocsr()
+        probs = np.asarray(matrix[sources, targets], dtype=np.float64).ravel()
+    else:
+        probs = np.asarray(chain.transitions, dtype=np.float64)[sources, targets]
+    with np.errstate(divide="ignore"):
+        return np.log(probs)
+
+
+def entry_weight_logs(
+    n_states: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weight_chain: DTMC,
+    state_map: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Per-CSR-entry ``log a_ij`` table for fused weight accumulation.
+
+    For every entry of the simulated chain's CSR arrays, the log
+    probability of the *same* transition under *weight_chain* (the IS
+    numerator chain ``A``), with *state_map* optionally projecting
+    simulated states onto weight-chain states first (the unrolled
+    time-dependent proposal maps ``t·n + s`` back to ``s``). Entries
+    outside the weight chain's support are ``-inf``; the estimator raises
+    the usual absolute-continuity error only if a *successful* trace
+    gathers one.
+    """
+    row_of = np.repeat(np.arange(n_states, dtype=np.int64), np.diff(indptr))
+    targets = np.asarray(indices, dtype=np.int64)
+    if state_map is not None:
+        return flat_pair_log_probs(weight_chain, state_map[row_of], state_map[targets])
+    return flat_pair_log_probs(weight_chain, row_of, targets)
+
+
+# ----------------------------------------------------------------------
+# Array-native per-trace transition counts
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceCounts:
+    """Per-trace transition counts of a batch, as flat COO arrays.
+
+    The array-native replacement for a ``list[TransitionCounts | None]``:
+    entry ``e`` says trace ``trace_ids[e]`` took transition
+    ``sources[e] → targets[e]`` exactly ``counts[e]`` times. Entries are
+    sorted by ``(trace, source·n_states + target)`` — the aggregation
+    order of the engines' run-length encoding — and ``kept`` marks which
+    traces carry tables at all (mirroring ``count_mode="satisfied"``: a
+    kept trace with no entries is a valid zero-transition table, an
+    unkept trace has no table).
+    """
+
+    n_traces: int
+    n_states: int
+    kept: np.ndarray
+    trace_ids: np.ndarray
+    sources: np.ndarray
+    targets: np.ndarray
+    counts: np.ndarray
+
+    @classmethod
+    def from_step_keys(
+        cls,
+        n_traces: int,
+        n_states: int,
+        kept: np.ndarray,
+        step_traces: "list[np.ndarray]",
+        step_keys: "list[np.ndarray]",
+    ) -> "TraceCounts":
+        """Aggregate per-step flat ``source·n + target`` keys into counts.
+
+        One ``lexsort`` plus a run-length encoding over everything the
+        lockstep loop recorded — the run lengths are exactly the
+        ``n_ij`` of Equation (1). Entries of traces outside *kept* are
+        dropped.
+        """
+        if step_traces:
+            traces = np.concatenate(step_traces)
+            keys = np.concatenate(step_keys)
+            sel = kept[traces]
+            traces, keys = traces[sel], keys[sel]
+        else:
+            traces = np.zeros(0, dtype=np.int64)
+            keys = np.zeros(0, dtype=np.int64)
+        if traces.size:
+            order = np.lexsort((keys, traces))
+            traces, keys = traces[order], keys[order]
+            new_pair = np.empty(traces.size, dtype=bool)
+            new_pair[0] = True
+            new_pair[1:] = (traces[1:] != traces[:-1]) | (keys[1:] != keys[:-1])
+            starts = np.flatnonzero(new_pair)
+            run_lengths = np.diff(np.append(starts, traces.size))
+            traces, keys = traces[starts], keys[starts]
+        else:
+            run_lengths = np.zeros(0, dtype=np.int64)
+        sources, targets = np.divmod(keys, n_states)
+        return cls(
+            n_traces=int(n_traces),
+            n_states=int(n_states),
+            kept=np.asarray(kept, dtype=bool),
+            trace_ids=traces,
+            sources=sources,
+            targets=targets,
+            counts=run_lengths.astype(np.int64),
+        )
+
+    @property
+    def n_entries(self) -> int:
+        """Number of distinct ``(trace, transition)`` pairs."""
+        return int(self.trace_ids.shape[0])
+
+    def select(self, trace_indices: np.ndarray) -> "TraceCounts":
+        """Restrict to *trace_indices* (ascending), renumbering traces.
+
+        Trace ``trace_indices[k]`` becomes trace ``k`` of the result; all
+        selected traces are marked kept (selection is how the estimator
+        extracts the successful traces, which by construction are).
+        """
+        trace_indices = np.asarray(trace_indices, dtype=np.int64)
+        mapping = np.full(self.n_traces, -1, dtype=np.int64)
+        mapping[trace_indices] = np.arange(trace_indices.size, dtype=np.int64)
+        new_ids = mapping[self.trace_ids]
+        sel = new_ids >= 0
+        return TraceCounts(
+            n_traces=int(trace_indices.size),
+            n_states=self.n_states,
+            kept=np.ones(trace_indices.size, dtype=bool),
+            trace_ids=new_ids[sel],
+            sources=self.sources[sel],
+            targets=self.targets[sel],
+            counts=self.counts[sel],
+        )
+
+    def map_states(self, state_map: np.ndarray, n_states: int) -> "TraceCounts":
+        """Project counts through ``state → state_map[state]``.
+
+        Pairs that collide after projection are re-aggregated (their
+        counts summed), keeping the sorted ``(trace, key)`` entry order
+        invariant. This is the array form of
+        :meth:`~repro.importance.bounded.UnrolledProposal.project_counts`.
+        """
+        state_map = np.asarray(state_map, dtype=np.int64)
+        sources = state_map[self.sources]
+        targets = state_map[self.targets]
+        keys = sources * np.int64(n_states) + targets
+        traces = self.trace_ids
+        order = np.lexsort((keys, traces))
+        traces, keys, counts = traces[order], keys[order], self.counts[order]
+        if traces.size:
+            new_pair = np.empty(traces.size, dtype=bool)
+            new_pair[0] = True
+            new_pair[1:] = (traces[1:] != traces[:-1]) | (keys[1:] != keys[:-1])
+            group = np.cumsum(new_pair) - 1
+            starts = np.flatnonzero(new_pair)
+            summed = np.bincount(group, weights=counts.astype(np.float64))
+            traces, keys = traces[starts], keys[starts]
+            counts = summed.astype(np.int64)
+        new_sources, new_targets = np.divmod(keys, np.int64(n_states))
+        return TraceCounts(
+            n_traces=self.n_traces,
+            n_states=int(n_states),
+            kept=self.kept,
+            trace_ids=traces,
+            sources=new_sources,
+            targets=new_targets,
+            counts=counts,
+        )
+
+    @staticmethod
+    def concatenate(chunks: "list[TraceCounts]") -> "TraceCounts":
+        """Concatenate batches along the trace axis (shard merging)."""
+        if not chunks:
+            raise EstimationError("no TraceCounts chunks to concatenate")
+        if len(chunks) == 1:
+            return chunks[0]
+        n_states = chunks[0].n_states
+        for chunk in chunks:
+            if chunk.n_states != n_states:
+                raise EstimationError("cannot concatenate counts over different chains")
+        offsets = np.cumsum([0] + [c.n_traces for c in chunks[:-1]])
+        return TraceCounts(
+            n_traces=sum(c.n_traces for c in chunks),
+            n_states=n_states,
+            kept=np.concatenate([c.kept for c in chunks]),
+            trace_ids=np.concatenate(
+                [c.trace_ids + off for c, off in zip(chunks, offsets)]
+            ),
+            sources=np.concatenate([c.sources for c in chunks]),
+            targets=np.concatenate([c.targets for c in chunks]),
+            counts=np.concatenate([c.counts for c in chunks]),
+        )
+
+    def trace_log_probs(self, chain: DTMC) -> np.ndarray:
+        """Per-trace ``Σ n_ij log P_chain(i → j)`` (length ``n_traces``).
+
+        The IS numerator of every trace in one gather + one ``bincount``;
+        traces using a transition outside *chain*'s support get ``-inf``
+        (the caller decides whether that is an error). Kept traces with
+        no entries contribute an empty product, i.e. ``0.0``.
+        """
+        if self.n_entries == 0:
+            return np.zeros(self.n_traces, dtype=np.float64)
+        logs = flat_pair_log_probs(chain, self.sources, self.targets)
+        terms = self.counts.astype(np.float64) * logs
+        return np.bincount(
+            self.trace_ids, weights=terms, minlength=self.n_traces
+        ).astype(np.float64)
+
+    def to_tables(self) -> "list[TransitionCounts | None]":
+        """Materialize classic per-trace dict tables (Table I/II outputs).
+
+        Kept traces get a :class:`~repro.core.paths.TransitionCounts`
+        (possibly empty), unkept traces ``None`` — and pairs enter each
+        dict in sorted-key order, exactly as the vectorized backend's
+        run-length aggregation fills them, so dict equality *and*
+        iteration order match across backends.
+        """
+        tables: "list[TransitionCounts | None]" = [None] * self.n_traces
+        for k in np.flatnonzero(self.kept).tolist():
+            tables[k] = TransitionCounts()
+        if self.n_entries:
+            trace_ids = self.trace_ids.tolist()
+            pairs = list(zip(self.sources.tolist(), self.targets.tolist()))
+            counts = self.counts.tolist()
+            new_trace = np.empty(self.trace_ids.size, dtype=bool)
+            new_trace[0] = True
+            new_trace[1:] = self.trace_ids[1:] != self.trace_ids[:-1]
+            bounds = np.append(np.flatnonzero(new_trace), self.trace_ids.size).tolist()
+            for a, b in zip(bounds[:-1], bounds[1:]):
+                table = tables[trace_ids[a]]
+                assert table is not None
+                table.counts.update(dict(zip(pairs[a:b], counts[a:b])))
+        return tables

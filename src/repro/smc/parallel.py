@@ -134,12 +134,24 @@ class _PlanSpec:
                 plan.record_log_prob,
                 plan.initial_state,
                 plan.futility,
+                plan.weight_chain,
+                plan.weight_state_map,
             ),
             inner=inner,
         )
 
     def build_backend(self) -> SimulationBackend:
-        chain, formula, max_steps, count_mode, record_log_prob, initial, futility = self.plan_args
+        (
+            chain,
+            formula,
+            max_steps,
+            count_mode,
+            record_log_prob,
+            initial,
+            futility,
+            weight_chain,
+            weight_state_map,
+        ) = self.plan_args
         plan = make_plan(
             chain,
             formula,
@@ -148,6 +160,8 @@ class _PlanSpec:
             record_log_prob=record_log_prob,
             initial_state=initial,
             futility=futility,
+            weight_chain=weight_chain,
+            weight_state_map=weight_state_map,
         )
         return resolve_backend(self.inner, plan)
 
@@ -182,8 +196,9 @@ class ParallelBackend(SimulationBackend):
         one shard run on the inner backend with the caller's generator
         (bitwise the inner backend's results, no pool involved).
     inner:
-        Backend selector executed per shard (``"auto"`` picks the
-        vectorized engine whenever the formula compiles to masks).
+        Backend selector executed per shard (``"auto"`` picks the kernel
+        tier whenever the monitor exposes a mask spec, with the usual
+        vectorized/sequential fallbacks — kernel-inside-shard composes).
     """
 
     name = "parallel"

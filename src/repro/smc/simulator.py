@@ -85,10 +85,12 @@ class TraceSampler:
         ``F "goal"`` trace absorbed in a failure state would run to the
         step cap. Pass ``None`` to disable, or a precomputed mask.
     backend:
-        ``"auto"`` (default) or ``"vectorized"`` batch-simulates through
-        the lockstep ensemble engine when the formula compiles to masks,
-        falling back to the scalar loop otherwise; ``"sequential"`` forces
-        the reference loop; ``"parallel"`` shards batches across a process
+        ``"auto"`` (default) batch-simulates through the compiled kernel
+        tier when the monitor exposes a mask spec, the lockstep vectorized
+        engine when the formula merely compiles to masks, and the scalar
+        loop otherwise; ``"kernel"`` and ``"vectorized"`` request those
+        tiers explicitly (same fallbacks); ``"sequential"`` forces the
+        reference loop; ``"parallel"`` shards batches across a process
         pool. A :class:`SimulationBackend` instance is used as-is.
     workers:
         When not ``None``, shard batches across this many worker processes
@@ -102,6 +104,15 @@ class TraceSampler:
         plain backend's reference stream. Single-shard batches always run
         in-process on *backend* directly, bitwise-identically to
         ``workers=None``.
+    weight_chain:
+        When given, lockstep backends additionally accumulate each
+        trace's log probability under this chain — the fused IS numerator
+        — into :attr:`EnsembleResult.log_numerators` (see
+        :attr:`fuses_weights`).
+    weight_state_map:
+        Optional projection of simulated states onto *weight_chain*
+        states applied before the numerator lookup (the unrolled
+        time-dependent proposal maps ``t·n + s`` back to ``s``).
     """
 
     def __init__(
@@ -115,6 +126,8 @@ class TraceSampler:
         futility: "FutilityMask | str | None" = "auto",
         backend: "str | SimulationBackend | None" = "auto",
         workers: "int | str | None" = None,
+        weight_chain: "DTMC | None" = None,
+        weight_state_map: "np.ndarray | None" = None,
     ):
         self._plan = make_plan(
             chain,
@@ -124,6 +137,8 @@ class TraceSampler:
             record_log_prob=record_log_prob,
             initial_state=initial_state,
             futility=futility,
+            weight_chain=weight_chain,
+            weight_state_map=weight_state_map,
         )
         if workers is not None and not isinstance(backend, SimulationBackend):
             from repro.smc.parallel import ParallelBackend
@@ -158,6 +173,25 @@ class TraceSampler:
     def backend_name(self) -> str:
         """Short identifier of the active batch backend."""
         return self._backend.name
+
+    @property
+    def fuses_weights(self) -> bool:
+        """Whether batches carry fused IS numerators.
+
+        True when the plan holds a ``weight_chain`` and the effective
+        in-process engine is a lockstep backend (kernel or vectorized —
+        also inside parallel shards): those accumulate
+        :attr:`~repro.smc.engine.EnsembleResult.log_numerators` during
+        simulation. The sequential reference loop does not fuse; callers
+        needing weights there must keep count tables instead.
+        """
+        if self._plan.weight_chain is None:
+            return False
+        backend = self._backend
+        inner = getattr(backend, "inner", None)
+        if inner is not None:
+            backend = inner
+        return backend.name in ("kernel", "vectorized")
 
     def sample(self, rng: np.random.Generator) -> TraceRecord:
         """Sample one trace through the sequential reference path."""

@@ -117,7 +117,8 @@ class TestApiReference:
             importlib.import_module(dotted)
 
     @pytest.mark.parametrize(
-        "package_name", ["repro.experiments", "repro.store", "repro.service"]
+        "package_name",
+        ["repro.experiments", "repro.store", "repro.service", "repro.smc"],
     )
     def test_every_exported_symbol_is_covered(self, package_name):
         """Each ``__all__`` symbol is rendered (its defining module has a

@@ -143,8 +143,14 @@ class TestCompiledChainValidation:
 
 
 class TestBackendResolution:
-    def test_auto_picks_vectorized_for_mask_formulas(self, small_chain):
+    def test_auto_picks_kernel_for_mask_formulas(self, small_chain):
         sampler = TraceSampler(small_chain, parse_property('F "goal"'))
+        assert sampler.backend_name == "kernel"
+
+    def test_vectorized_forced(self, small_chain):
+        sampler = TraceSampler(
+            small_chain, parse_property('F "goal"'), backend="vectorized"
+        )
         assert sampler.backend_name == "vectorized"
 
     def test_fallback_for_non_mask_formula(self, small_chain):

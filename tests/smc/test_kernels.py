@@ -1,0 +1,607 @@
+"""Parity and unit tests for the compiled kernel tier.
+
+Three layers of the kernel contract are pinned here:
+
+* **implementation drift** — the NumPy and scalar-loop twins of every
+  kernel are bitwise identical on random inputs (the loop twin is what
+  numba compiles, so this is the tier-parity guarantee checked without
+  numba installed);
+* **backend parity** — ``KernelBackend`` realises bitwise the same
+  ensembles as ``VectorizedBackend`` (and, trace for trace, the
+  sequential engine), including the fused log-numerator accumulator;
+* **estimator parity** — fused importance weights reproduce the classic
+  per-trace table walk on every registry quick study.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import DTMC
+from repro.errors import EstimationError
+from repro.importance import estimate_from_sample, log_weights, run_importance_sampling
+from repro.importance.bounded import run_bounded_importance_sampling
+from repro.models.registry import REGISTRY
+from repro.properties import monitor as mon
+from repro.properties import parse_property
+from repro.smc import (
+    KernelBackend,
+    TraceSampler,
+    VectorizedBackend,
+    make_plan,
+)
+from repro.smc import kernels
+from repro.smc.engine import CompiledCSR
+from repro.smc.kernels import TraceCounts, kernel_runtime_info
+
+from tests.conftest import illustrative_matrix, random_dtmc
+from tests.smc.test_engine import VECTOR_FORMULAS, _labelled_chain
+
+_KIND_CODES = {
+    "state": kernels.KIND_STATE,
+    "until": kernels.KIND_UNTIL,
+    "globally": kernels.KIND_GLOBALLY,
+}
+
+
+def _spec_args(spec, n_states):
+    """Kernel-call arguments of a ``MaskSpec`` (mirrors ``KernelBackend``)."""
+    dummy = np.zeros(1, dtype=bool)
+
+    def mask(m):
+        return dummy if m is None else np.ascontiguousarray(m, dtype=bool)
+
+    return (
+        _KIND_CODES[spec.kind],
+        mask(spec.lhs),
+        mask(spec.rhs),
+        mask(spec.initial_check),
+        spec.initial_check is not None,
+        -1 if spec.bound is None else int(spec.bound),
+        int(spec.n_next),
+        bool(spec.lhs_exempt),
+    )
+
+
+class TestTierSelection:
+    def test_runtime_info_shape(self):
+        info = kernel_runtime_info()
+        assert info["tier"] in ("numba", "numpy")
+        assert info["requested"] in kernels.KERNEL_TIERS
+        assert info["fallback_active"] == (info["tier"] == "numpy")
+        if not info["numba_available"]:
+            assert info["tier"] == "numpy"
+            assert info["numba_version"] is None
+
+    def test_numpy_tier_binds_numpy_impls(self):
+        if kernel_runtime_info()["tier"] != "numpy":
+            pytest.skip("numba tier active")
+        assert kernels.gather_step is kernels._gather_step_numpy
+        assert kernels.monitor_codes is kernels._monitor_codes_numpy
+        assert kernels.futility_cut is kernels._futility_cut_numpy
+        assert kernels.gather_add is kernels._gather_add_numpy
+
+    def _import_with_env(self, value):
+        env = dict(os.environ, REPRO_KERNEL=value)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ["src", env.get("PYTHONPATH", "")] if p
+        )
+        return subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.smc.kernels import kernel_runtime_info;"
+                "import json; print(json.dumps(kernel_runtime_info()))",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+
+    def test_env_forces_numpy(self):
+        proc = self._import_with_env("numpy")
+        assert proc.returncode == 0, proc.stderr
+        import json
+
+        info = json.loads(proc.stdout)
+        assert info == {
+            "tier": "numpy",
+            "requested": "numpy",
+            "numba_available": False,
+            "numba_version": None,
+            "fallback_active": True,
+        }
+
+    def test_env_rejects_unknown_tier(self):
+        proc = self._import_with_env("gpu")
+        assert proc.returncode != 0
+        assert "REPRO_KERNEL" in proc.stderr
+
+
+class TestImplementationParity:
+    """The NumPy and scalar-loop twins must never drift apart."""
+
+    @pytest.mark.parametrize("sparsity", [0.2, 0.6, 1.0])
+    def test_gather_step(self, rng, sparsity):
+        chain = random_dtmc(rng, 12, sparsity=sparsity)
+        csr = CompiledCSR.from_chain(chain)
+        states = rng.integers(0, 12, size=400)
+        u = rng.random(400)
+        # Stress the <= boundary: reuse exact cumulative values as draws.
+        u[:50] = csr.cumprobs[rng.integers(0, csr.cumprobs.size, size=50)]
+        a_pos, a_nxt = kernels._gather_step_numpy(
+            csr.indptr, csr.indices, csr.cumprobs, states, u
+        )
+        b_pos, b_nxt = kernels._gather_step_loop(
+            csr.indptr, csr.indices, csr.cumprobs, states, u
+        )
+        np.testing.assert_array_equal(a_pos, b_pos)
+        np.testing.assert_array_equal(a_nxt, b_nxt)
+
+    @pytest.mark.parametrize("prop", VECTOR_FORMULAS)
+    def test_monitor_codes_match_vector_monitors(self, prop, rng):
+        chain = _labelled_chain(rng)
+        vm = parse_property(prop).vector_monitor(chain)
+        spec = vm.mask_spec()
+        assert spec is not None
+        args = _spec_args(spec, chain.n_states)
+        states = rng.integers(0, chain.n_states, size=64)
+        for time in range(10):
+            expected = vm.update(states, time)
+            got_np = kernels._monitor_codes_numpy(states, time, *args)
+            got_loop = kernels._monitor_codes_loop(states, time, *args)
+            np.testing.assert_array_equal(got_np, expected)
+            np.testing.assert_array_equal(got_loop, expected)
+
+    def test_futility_cut(self, rng):
+        codes = rng.integers(0, 3, size=200).astype(np.int8)
+        fut = rng.random(9) < 0.4
+        states = rng.integers(0, 9, size=200)
+        a, b = codes.copy(), codes.copy()
+        kernels._futility_cut_numpy(a, fut, states)
+        kernels._futility_cut_loop(b, fut, states)
+        np.testing.assert_array_equal(a, b)
+        # undecided traces in futile states flip, everything else survives
+        flipped = (codes == mon.VECTOR_UNDECIDED) & fut[states]
+        np.testing.assert_array_equal(a[flipped], mon.VECTOR_FALSE)
+        np.testing.assert_array_equal(a[~flipped], codes[~flipped])
+
+    def test_gather_add(self, rng):
+        table = rng.standard_normal(30)
+        idx = rng.permutation(100)[:40]  # distinct slots, like the live set
+        pos = rng.integers(0, 30, size=40)
+        a = rng.standard_normal(100)
+        b = a.copy()
+        kernels._gather_add_numpy(a, idx, table, pos)
+        kernels._gather_add_loop(b, idx, table, pos)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestWeightTables:
+    def test_flat_pair_log_probs_dense_sparse_agree(self, rng):
+        from scipy import sparse
+
+        chain = random_dtmc(rng, 8, sparsity=0.5)
+        sparse_chain = DTMC(sparse.csr_matrix(chain.dense()), 0)
+        sources = rng.integers(0, 8, size=60)
+        targets = rng.integers(0, 8, size=60)
+        dense_logs = kernels.flat_pair_log_probs(chain, sources, targets)
+        sparse_logs = kernels.flat_pair_log_probs(sparse_chain, sources, targets)
+        np.testing.assert_array_equal(dense_logs, sparse_logs)
+        for k in range(60):
+            p = chain.dense()[sources[k], targets[k]]
+            if p == 0.0:
+                assert dense_logs[k] == -np.inf
+            else:
+                assert dense_logs[k] == np.log(p)
+
+    def test_flat_pair_log_probs_empty(self, small_chain):
+        logs = kernels.flat_pair_log_probs(
+            small_chain, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        )
+        assert logs.shape == (0,)
+
+    def test_entry_weight_logs_match_per_entry_lookup(self, rng):
+        proposal = random_dtmc(rng, 10, sparsity=0.7)
+        weight = random_dtmc(rng, 10, sparsity=0.7)
+        csr = CompiledCSR.from_chain(proposal)
+        logs = kernels.entry_weight_logs(10, csr.indptr, csr.indices, weight)
+        dense = weight.dense()
+        for s in range(10):
+            for e in range(csr.indptr[s], csr.indptr[s + 1]):
+                p = dense[s, csr.indices[e]]
+                expected = np.log(p) if p > 0 else -np.inf
+                assert logs[e] == expected
+
+    def test_entry_weight_logs_state_map(self, rng):
+        # An unrolled-style chain: 2 copies of a 4-state original.
+        original = random_dtmc(rng, 4, sparsity=1.0)
+        unrolled = random_dtmc(rng, 8, sparsity=1.0)
+        state_map = np.arange(8, dtype=np.int64) % 4
+        csr = CompiledCSR.from_chain(unrolled)
+        logs = kernels.entry_weight_logs(
+            8, csr.indptr, csr.indices, original, state_map=state_map
+        )
+        dense = original.dense()
+        for s in range(8):
+            for e in range(csr.indptr[s], csr.indptr[s + 1]):
+                p = dense[s % 4, csr.indices[e] % 4]
+                expected = np.log(p) if p > 0 else -np.inf
+                assert logs[e] == expected
+
+
+def _brute_force_tables(n_traces, n_states, kept, step_traces, step_keys):
+    """Dict aggregation the array path must reproduce."""
+    tables = [dict() if kept[k] else None for k in range(n_traces)]
+    for traces, keys in zip(step_traces, step_keys):
+        for trace, key in zip(traces.tolist(), keys.tolist()):
+            if tables[trace] is None:
+                continue
+            pair = divmod(key, n_states)
+            tables[trace][pair] = tables[trace].get(pair, 0) + 1
+    return tables
+
+
+def _random_steps(rng, n_traces, n_states, n_steps=12):
+    step_traces, step_keys = [], []
+    for _ in range(n_steps):
+        live = rng.integers(1, n_traces + 1)
+        traces = np.sort(rng.permutation(n_traces)[:live]).astype(np.int64)
+        keys = rng.integers(0, n_states * n_states, size=live).astype(np.int64)
+        step_traces.append(traces)
+        step_keys.append(keys)
+    return step_traces, step_keys
+
+
+class TestTraceCounts:
+    def test_from_step_keys_matches_dict_aggregation(self, rng):
+        n_traces, n_states = 20, 5
+        kept = rng.random(n_traces) < 0.6
+        step_traces, step_keys = _random_steps(rng, n_traces, n_states)
+        counts = TraceCounts.from_step_keys(
+            n_traces, n_states, kept, step_traces, step_keys
+        )
+        expected = _brute_force_tables(n_traces, n_states, kept, step_traces, step_keys)
+        tables = counts.to_tables()
+        for k in range(n_traces):
+            if expected[k] is None:
+                assert tables[k] is None
+            else:
+                assert dict(tables[k].counts) == expected[k]
+                # dict iteration order is the sorted flat-key order
+                got_keys = [s * n_states + t for s, t in tables[k].counts]
+                assert got_keys == sorted(got_keys)
+
+    def test_empty_steps(self):
+        counts = TraceCounts.from_step_keys(3, 4, np.array([True, False, True]), [], [])
+        assert counts.n_entries == 0
+        tables = counts.to_tables()
+        assert dict(tables[0].counts) == {}
+        assert tables[1] is None
+        assert dict(tables[2].counts) == {}
+
+    def test_select_renumbers(self, rng):
+        n_traces, n_states = 15, 4
+        kept = np.ones(n_traces, dtype=bool)
+        counts = TraceCounts.from_step_keys(
+            n_traces, n_states, kept, *_random_steps(rng, n_traces, n_states)
+        )
+        picked = np.array([2, 7, 11], dtype=np.int64)
+        sub = counts.select(picked)
+        assert sub.n_traces == 3
+        full = counts.to_tables()
+        small = sub.to_tables()
+        for new, old in enumerate(picked):
+            assert dict(small[new].counts) == dict(full[old].counts)
+
+    def test_map_states_merges_collisions(self, rng):
+        n_traces, n_states = 10, 6
+        kept = np.ones(n_traces, dtype=bool)
+        counts = TraceCounts.from_step_keys(
+            n_traces, n_states, kept, *_random_steps(rng, n_traces, n_states)
+        )
+        state_map = np.arange(6, dtype=np.int64) % 3  # 6 states fold onto 3
+        projected = counts.map_states(state_map, 3)
+        assert projected.n_states == 3
+        for orig, proj in zip(counts.to_tables(), projected.to_tables()):
+            expected = {}
+            for (s, t), c in orig.counts.items():
+                pair = (s % 3, t % 3)
+                expected[pair] = expected.get(pair, 0) + c
+            assert dict(proj.counts) == expected
+
+    def test_concatenate_offsets_traces(self, rng):
+        n_states = 4
+        chunks = [
+            TraceCounts.from_step_keys(
+                n, n_states, np.ones(n, dtype=bool), *_random_steps(rng, n, n_states)
+            )
+            for n in (3, 5, 2)
+        ]
+        merged = TraceCounts.concatenate(chunks)
+        assert merged.n_traces == 10
+        tables = merged.to_tables()
+        offset = 0
+        for chunk in chunks:
+            for k, table in enumerate(chunk.to_tables()):
+                assert dict(tables[offset + k].counts) == dict(table.counts)
+            offset += chunk.n_traces
+
+    def test_concatenate_rejects_mixed_chains(self, rng):
+        a = TraceCounts.from_step_keys(2, 4, np.ones(2, dtype=bool), [], [])
+        b = TraceCounts.from_step_keys(2, 5, np.ones(2, dtype=bool), [], [])
+        with pytest.raises(EstimationError):
+            TraceCounts.concatenate([a, b])
+        with pytest.raises(EstimationError):
+            TraceCounts.concatenate([])
+
+    def test_trace_log_probs_match_table_walk(self, rng):
+        chain = random_dtmc(rng, 5, sparsity=1.0)
+        n_traces = 12
+        kept = np.ones(n_traces, dtype=bool)
+        counts = TraceCounts.from_step_keys(
+            n_traces, 5, kept, *_random_steps(rng, n_traces, 5)
+        )
+        logs = counts.trace_log_probs(chain)
+        dense = chain.dense()
+        for k, table in enumerate(counts.to_tables()):
+            expected = sum(
+                c * np.log(dense[s, t]) for (s, t), c in table.counts.items()
+            )
+            assert logs[k] == pytest.approx(expected, rel=1e-12)
+
+    def test_trace_log_probs_empty_trace_is_zero(self):
+        counts = TraceCounts.from_step_keys(4, 3, np.ones(4, dtype=bool), [], [])
+        chain = DTMC(np.eye(3), 0)
+        np.testing.assert_array_equal(counts.trace_log_probs(chain), np.zeros(4))
+
+
+class TestKernelBackendParity:
+    """KernelBackend realises bitwise the vectorized engine's ensembles."""
+
+    @pytest.mark.parametrize("prop", VECTOR_FORMULAS)
+    def test_ensembles_bitwise_identical(self, prop, rng):
+        chain = _labelled_chain(rng)
+        formula = parse_property(prop)
+        plan = make_plan(
+            chain, formula, count_mode="all", record_log_prob=True, max_steps=60
+        )
+        a = VectorizedBackend(plan).run_ensemble(500, np.random.default_rng(7))
+        b = KernelBackend(plan).run_ensemble(500, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.satisfied, b.satisfied)
+        np.testing.assert_array_equal(a.decided, b.decided)
+        np.testing.assert_array_equal(a.lengths, b.lengths)
+        np.testing.assert_array_equal(a.log_proposals, b.log_proposals)
+        vec_tables = a.tables()
+        ker_tables = b.tables()
+        for x, y in zip(vec_tables, ker_tables):
+            assert (x is None) == (y is None)
+            if x is not None:
+                assert dict(x.counts) == dict(y.counts)
+                assert list(x.counts) == list(y.counts)  # iteration order too
+
+    @pytest.mark.parametrize("prop", VECTOR_FORMULAS)
+    def test_trace_for_trace_vs_sequential(self, prop, rng):
+        chain = _labelled_chain(rng)
+        formula = parse_property(prop)
+        seq = TraceSampler(
+            chain, formula, count_mode="all", record_log_prob=True,
+            backend="sequential", max_steps=50,
+        )
+        ker = TraceSampler(
+            chain, formula, count_mode="all", record_log_prob=True,
+            backend="kernel", max_steps=50,
+        )
+        assert ker.backend_name == "kernel"
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        for _ in range(100):
+            a = seq.sample_batch(1, rng_a).records[0]
+            b = ker.sample_batch(1, rng_b).records[0]
+            assert a.satisfied == b.satisfied
+            assert a.decided == b.decided
+            assert a.length == b.length
+            assert a.log_proposal == pytest.approx(b.log_proposal, abs=1e-12)
+            assert dict(a.counts.counts) == dict(b.counts.counts)
+
+    def test_fused_numerator_matches_vectorized(self, rng):
+        chain = _labelled_chain(rng)
+        weight = random_dtmc(rng, chain.n_states, sparsity=1.0)
+        plan = make_plan(
+            chain, parse_property('F "goal"'), record_log_prob=True,
+            weight_chain=weight, max_steps=60,
+        )
+        a = VectorizedBackend(plan).run_ensemble(400, np.random.default_rng(3))
+        b = KernelBackend(plan).run_ensemble(400, np.random.default_rng(3))
+        assert a.log_numerators is not None and b.log_numerators is not None
+        np.testing.assert_array_equal(a.log_numerators, b.log_numerators)
+
+    def test_self_weight_numerator_equals_proposal(self, small_chain):
+        # Weighting against the sampled chain itself: log a = log b exactly.
+        plan = make_plan(
+            small_chain, parse_property('F "goal"'), record_log_prob=True,
+            weight_chain=small_chain,
+        )
+        result = KernelBackend(plan).run_ensemble(300, np.random.default_rng(5))
+        np.testing.assert_array_equal(result.log_numerators, result.log_proposals)
+
+    def test_requires_mask_spec(self, small_chain):
+        formula = parse_property('(F<=3 "goal") | (F<=5 "fail")')
+        plan = make_plan(small_chain, formula)
+        with pytest.raises(EstimationError):
+            KernelBackend(plan)
+
+    def test_kernel_request_falls_back_sequential(self, small_chain):
+        formula = parse_property('(F<=3 "goal") | (F<=5 "fail")')
+        sampler = TraceSampler(small_chain, formula, backend="kernel")
+        assert sampler.backend_name == "sequential"
+
+    def test_fuses_weights_property(self, small_chain):
+        formula = parse_property('F "goal"')
+        plain = TraceSampler(small_chain, formula)
+        assert not plain.fuses_weights
+        fused = TraceSampler(small_chain, formula, weight_chain=small_chain)
+        assert fused.fuses_weights
+        sequential = TraceSampler(
+            small_chain, formula, weight_chain=small_chain, backend="sequential"
+        )
+        assert not sequential.fuses_weights
+
+
+class TestEnsembleMerge:
+    """merge/concatenate across count representations and accumulators."""
+
+    def _plan(self, chain, weight=None):
+        return make_plan(
+            chain, parse_property('F "goal"'), record_log_prob=True,
+            weight_chain=weight,
+        )
+
+    def test_concatenate_all_arrays(self, small_chain):
+        plan = self._plan(small_chain, weight=small_chain)
+        backend = KernelBackend(plan)
+        a = backend.run_ensemble(60, np.random.default_rng(1))
+        b = backend.run_ensemble(40, np.random.default_rng(2))
+        merged = a.merge(b)
+        assert merged.n_samples == 100
+        assert merged.count_arrays is not None
+        assert merged.count_tables is None
+        np.testing.assert_array_equal(
+            merged.log_numerators,
+            np.concatenate([a.log_numerators, b.log_numerators]),
+        )
+        assert merged.tables()[:60] == a.tables()
+
+    def test_merge_mixed_representations(self, small_chain):
+        plan = self._plan(small_chain)
+        arrays = KernelBackend(plan).run_ensemble(50, np.random.default_rng(9))
+        tables = VectorizedBackend(plan).run_ensemble(30, np.random.default_rng(10))
+        assert arrays.count_arrays is not None and arrays.count_tables is None
+        assert tables.count_tables is not None and tables.count_arrays is None
+        merged = arrays.merge(tables)
+        assert merged.n_samples == 80
+        combined = merged.tables()
+        assert len(combined) == 80
+        for x, y in zip(combined, arrays.tables() + list(tables.count_tables)):
+            assert (x is None) == (y is None)
+            if x is not None:
+                assert dict(x.counts) == dict(y.counts)
+
+    def test_merge_without_numerators_keeps_none(self, small_chain):
+        plan = self._plan(small_chain)
+        backend = KernelBackend(plan)
+        a = backend.run_ensemble(20, np.random.default_rng(3))
+        b = backend.run_ensemble(20, np.random.default_rng(4))
+        assert a.merge(b).log_numerators is None
+
+
+class TestFusedEstimatorParity:
+    """Fused weights reproduce the classic per-trace table walk."""
+
+    @pytest.fixture
+    def setup(self):
+        original = DTMC(
+            illustrative_matrix(0.05, 0.3), 0, labels={"goal": [2], "init": [0]}
+        )
+        proposal = DTMC(
+            illustrative_matrix(0.5, 0.6), 0, labels={"goal": [2], "init": [0]}
+        )
+        return original, proposal, parse_property('F "goal"')
+
+    def test_fused_matches_classic_weights(self, setup):
+        original, proposal, formula = setup
+        classic = run_importance_sampling(
+            proposal, formula, 2000, np.random.default_rng(11), backend="vectorized"
+        )
+        fused = run_importance_sampling(
+            proposal, formula, 2000, np.random.default_rng(11),
+            backend="kernel", original=original, keep_counts=False,
+        )
+        assert fused.n_satisfied == classic.n_satisfied
+        np.testing.assert_allclose(
+            log_weights(original, fused), log_weights(original, classic), rtol=1e-9
+        )
+        a = estimate_from_sample(original, fused)
+        b = estimate_from_sample(original, classic)
+        assert a.estimate == pytest.approx(b.estimate, rel=1e-9)
+        assert a.interval.low == pytest.approx(b.interval.low, rel=1e-9, abs=1e-12)
+        assert a.interval.high == pytest.approx(b.interval.high, rel=1e-9)
+        assert a.ess == pytest.approx(b.ess, rel=1e-9)
+
+    def test_keep_counts_false_drops_tables(self, setup):
+        original, proposal, formula = setup
+        sample = run_importance_sampling(
+            proposal, formula, 300, np.random.default_rng(1),
+            original=original, keep_counts=False,
+        )
+        with pytest.raises(EstimationError):
+            sample.counts
+        # the fused numerator still serves the estimate
+        assert estimate_from_sample(original, sample).estimate > 0
+
+    def test_keep_counts_true_retains_tables_and_fuses(self, setup):
+        original, proposal, formula = setup
+        sample = run_importance_sampling(
+            proposal, formula, 300, np.random.default_rng(1), original=original
+        )
+        assert len(sample.counts) == sample.n_satisfied
+        # Same seed without fusion: identical traces, matching weights.
+        classic = run_importance_sampling(
+            proposal, formula, 300, np.random.default_rng(1)
+        )
+        np.testing.assert_allclose(
+            log_weights(original, sample), log_weights(original, classic), rtol=1e-9
+        )
+
+    def test_other_chain_falls_back_to_tables(self, setup):
+        """Evaluating a fused sample against a *different* chain uses the
+        count arrays, preserving Algorithm 1's sample-reuse property."""
+        original, proposal, formula = setup
+        other = DTMC(illustrative_matrix(0.08, 0.3), 0, labels={"goal": [2]})
+        sample = run_importance_sampling(
+            proposal, formula, 500, np.random.default_rng(2), original=original
+        )
+        first = estimate_from_sample(original, sample)
+        second = estimate_from_sample(other, sample)
+        assert first.estimate != second.estimate
+
+
+class TestRegistryQuickStudyParity:
+    """Property-style parity across backends on every quick study."""
+
+    @pytest.mark.parametrize("name", REGISTRY.quick_studies())
+    def test_kernel_vectorized_sequential_agree(self, name):
+        study, unrolled = REGISTRY.get(name).build(quick=True).as_pair()
+        n = 300
+        results = {}
+        for backend in ("kernel", "vectorized", "sequential"):
+            rng = np.random.default_rng(2024)
+            if unrolled is not None:
+                sample = run_bounded_importance_sampling(
+                    unrolled, n, rng, backend=backend, original=study.center
+                )
+            else:
+                sample = run_importance_sampling(
+                    study.proposal, study.formula, n, rng,
+                    backend=backend, original=study.center,
+                )
+            results[backend] = estimate_from_sample(
+                study.center, sample, study.confidence
+            )
+        a, b = results["kernel"], results["vectorized"]
+        # kernel and vectorized consume the stream identically and both
+        # fuse the numerator: identical down to the last bit.
+        assert a.n_satisfied == b.n_satisfied
+        assert a.estimate == b.estimate
+        assert (a.interval.low, a.interval.high) == (b.interval.low, b.interval.high)
+        assert a.ess == b.ess
+        # the sequential engine consumes the stream per-trace: same
+        # distribution, so the estimates agree statistically.
+        c = results["sequential"]
+        assert c.n_samples == a.n_samples
+        if a.estimate > 0 and c.estimate > 0:
+            assert np.isfinite(c.estimate)

@@ -27,9 +27,13 @@ from tests.smc.test_engine import VECTOR_FORMULAS, _labelled_chain
 
 
 def _tables(result):
-    if result.count_tables is None:
+    # tables() materializes count_arrays (kernel backend) and passes
+    # count_tables (vectorized/sequential) through — the comparisons here
+    # hold across storage representations.
+    tables = result.tables()
+    if tables is None:
         return None
-    return [None if t is None else dict(t.counts) for t in result.count_tables]
+    return [None if t is None else dict(t.counts) for t in tables]
 
 
 def _assert_identical(a, b):
@@ -97,9 +101,14 @@ class TestConstruction:
         sampler = TraceSampler(small_chain, parse_property('F "goal"'), workers=2)
         assert sampler.backend_name == "parallel"
 
-    def test_inner_resolves_vectorized(self, small_chain):
+    def test_inner_resolves_kernel(self, small_chain):
         plan = make_plan(small_chain, parse_property('F "goal"'))
         with ParallelBackend(plan, workers=1) as backend:
+            assert backend.inner.name == "kernel"
+
+    def test_inner_vectorized_forced(self, small_chain):
+        plan = make_plan(small_chain, parse_property('F "goal"'))
+        with ParallelBackend(plan, workers=1, inner="vectorized") as backend:
             assert backend.inner.name == "vectorized"
 
     def test_inner_falls_back_sequential(self, small_chain):
@@ -188,12 +197,12 @@ class TestDeterminism:
         result = self._run(plan, 2, n=300)
         assert result.n_samples == 300
         assert result.lengths.shape == (300,)
-        assert result.count_tables is not None
-        assert len(result.count_tables) == 300
+        tables = result.tables()
+        assert tables is not None
+        assert len(tables) == 300
         # satisfied traces carry tables, failed ones do not
         for k in range(300):
-            has_table = result.count_tables[k] is not None
-            assert has_table == bool(result.satisfied[k])
+            assert (tables[k] is not None) == bool(result.satisfied[k])
 
     def test_sequential_calls_draw_fresh_seeds(self, plan):
         with ParallelBackend(plan, workers=2, shard_size=64) as backend:

@@ -38,7 +38,9 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(["--version"])
         assert excinfo.value.code == 0
-        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+        out = capsys.readouterr().out.strip()
+        assert out.startswith(f"repro {repro.__version__}")
+        assert "kernel tier" in out
 
     def test_service_commands_parse(self):
         assert build_parser().parse_args(["serve", "--port", "0"]).command == "serve"
