@@ -1,0 +1,319 @@
+"""Benchmark: fleet throughput, tail latency and parity under client load.
+
+Boots a real fleet — N stateless ``--fleet`` front-end replicas
+(in-process, ephemeral ports, one shared store directory) plus M
+``repro worker`` pull-loop subprocesses — and drives it with hundreds of
+concurrent clients issuing a warm/cold query mix. Gates on four
+properties:
+
+1. **everyone finishes** — every client's job reaches ``complete``,
+   through whichever replica it happened to use;
+2. **sustained throughput** — completed requests per second over the
+   load window must not fall below ``--min-throughput``;
+3. **tail latency** — the p99 of warm-query latency (submit to terminal
+   snapshot, HTTP included) must stay under ``--max-warm-p99``;
+4. **bitwise fleet parity** — a cold job executed by the fleet's workers
+   must produce a CSV byte-for-byte identical to the equivalent
+   single-process ``repro matrix`` invocation, and both replicas must
+   serve the identical document for the same job id.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py            # full
+    PYTHONPATH=src python benchmarks/bench_service_load.py --quick    # CI gate
+
+Results are printed and written to ``BENCH_service_load.json`` (override
+with ``--out``); the JSON is written before exiting so CI can upload the
+trajectory even (especially) on failure. Floors are deliberately
+conservative — the gate exists to catch the fleet layer collapsing
+(lock convoys, lease storms, lost jobs), not to race the hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import repro
+from repro.cli import main as cli_main
+from repro.service import ServiceClient, ServiceConfig, create_server
+
+
+class _Replica:
+    """One in-process fleet front end bound to an ephemeral port."""
+
+    def __init__(self, store_root: str, capacity: int = 512):
+        self.server = create_server(
+            ServiceConfig(port=0, fleet_root=store_root, capacity=capacity)
+        )
+        self.thread = threading.Thread(target=self.server.serve_forever, daemon=True)
+        self.thread.start()
+        host, port = self.server.server_address[:2]
+        self.client = ServiceClient(f"http://{host}:{port}")
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+
+
+def _spawn_worker(store_root: str, lease_ttl: float = 15.0) -> subprocess.Popen:
+    """One ``repro worker`` pull loop as a real subprocess."""
+    src = str(Path(repro.__file__).parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--store",
+            store_root,
+            "--lease-ttl",
+            str(lease_ttl),
+            "--poll",
+            "0.05",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _run_job(client: ServiceClient, payload: dict, timeout: float) -> "tuple[dict, float]":
+    started = time.perf_counter()
+    submitted = client.submit(payload, retries=20, backoff=0.1)
+    snapshot = client.wait(str(submitted["id"]), timeout=timeout, poll=0.02)
+    elapsed = time.perf_counter() - started
+    if snapshot["state"] != "complete":
+        raise RuntimeError(f"job did not complete: {snapshot}")
+    return snapshot, elapsed
+
+
+def _cli_reference(payload: dict, out_dir: Path) -> str:
+    """The CSV the equivalent single-process ``repro matrix`` run writes."""
+    argv = ["matrix", "--studies", payload["study"], "--estimators", payload["estimator"]]
+    argv += ["--reps", str(payload["repetitions"]), "--samples", str(payload["n_samples"])]
+    argv += ["--seed", str(payload["seed"]), "--r-undefeated", str(payload["search_rounds"])]
+    argv += ["--workers", "1", "--out", str(out_dir)]
+    code = cli_main(argv)
+    if code != 0:
+        raise RuntimeError(f"reference CLI run failed with exit code {code}")
+    return (out_dir / "matrix.csv").read_text()
+
+
+def _percentile(samples: "list[float]", fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI configuration: fewer clients, smaller jobs"
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="root RNG seed")
+    parser.add_argument("--replicas", type=int, default=2, help="front-end replicas")
+    parser.add_argument("--fleet-workers", type=int, default=2, help="pull-worker processes")
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="concurrent clients (default: 50 quick, 200 full)",
+    )
+    parser.add_argument(
+        "--cold-every",
+        type=int,
+        default=10,
+        help="every Nth client issues a cold (unique-seed) query (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-throughput",
+        type=float,
+        default=3.0,
+        help="required sustained completed requests/second (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-warm-p99",
+        type=float,
+        default=10.0,
+        help="required warm-query p99 latency ceiling in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_service_load.json"),
+        help="output JSON path (default: ./BENCH_service_load.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.clients is None:
+        args.clients = 50 if args.quick else 200
+
+    # Small cells: the benchmark measures the fleet layer (queueing,
+    # leasing, document IO, HTTP), not the simulator — cold jobs finish
+    # in milliseconds so throughput reflects coordination overhead.
+    payload = {
+        "study": "illustrative",
+        "estimator": "mc",
+        "repetitions": 2 if args.quick else 4,
+        "n_samples": 500 if args.quick else 2_000,
+        "search_rounds": 100,
+        "seed": args.seed,
+    }
+    print(
+        f"== service load benchmark (quick={args.quick}, {args.replicas} replicas, "
+        f"{args.fleet_workers} workers, {args.clients} clients, {os.cpu_count()} CPUs) =="
+    )
+
+    try:
+        return _run_benchmark(args, payload)
+    except Exception as error:  # noqa: BLE001 — the trajectory must upload even on a crash
+        args.out.write_text(
+            json.dumps(
+                {
+                    "benchmark": "service_load",
+                    "quick": args.quick,
+                    "gate": {"status": "error", "error": f"{type(error).__name__}: {error}"},
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {args.out} (error document)")
+        raise
+
+
+def _run_benchmark(args: argparse.Namespace, payload: dict) -> int:
+    job_timeout = 300.0
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as root:
+        store = str(Path(root) / "store")
+        replicas = [_Replica(store) for _ in range(args.replicas)]
+        workers = [_spawn_worker(store) for _ in range(args.fleet_workers)]
+        try:
+            # Prime the warm path: one cold execution of the shared payload.
+            prime_snapshot, prime_time = _run_job(replicas[0].client, payload, job_timeout)
+            print(f"primed warm payload in {prime_time:.2f}s (job {prime_snapshot['id']})")
+
+            # Load phase: clients spread across replicas, ~1/cold-every
+            # issuing cold queries (unique seeds -> fresh execution).
+            def _one_client(index: int) -> "tuple[dict, float, bool]":
+                cold = index % args.cold_every == 0
+                body = {**payload, "seed": args.seed + 10_000 + index} if cold else payload
+                client = replicas[index % len(replicas)].client
+                snapshot, elapsed = _run_job(client, body, job_timeout)
+                return snapshot, elapsed, cold
+
+            load_started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=min(args.clients, 64)) as pool:
+                outcomes = list(pool.map(_one_client, range(args.clients)))
+            load_window = time.perf_counter() - load_started
+
+            # Cross-replica interchangeability: every replica must serve
+            # the identical document for the primed job id.
+            documents = [
+                replica.client.job(str(prime_snapshot["id"])) for replica in replicas
+            ]
+            cross_replica_ok = all(document == documents[0] for document in documents[1:])
+
+            # Bitwise parity: one fleet-executed cold job vs the CLI.
+            cold_snapshot = next(s for s, _, cold in outcomes if cold)
+            reference_csv = _cli_reference(
+                dict(cold_snapshot["request"]), Path(root) / "cli"
+            )
+            parity_ok = cold_snapshot["result"]["csv"] == reference_csv
+        finally:
+            for worker in workers:
+                worker.send_signal(signal.SIGTERM)
+            for worker in workers:
+                try:
+                    worker.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+            for replica in replicas:
+                replica.close()
+
+    latencies = [elapsed for _, elapsed, _ in outcomes]
+    warm_latencies = [elapsed for _, elapsed, cold in outcomes if not cold]
+    all_complete = len(outcomes) == args.clients and all(
+        snapshot["state"] == "complete" for snapshot, _, _ in outcomes
+    )
+    throughput = args.clients / load_window if load_window > 0 else float("inf")
+    warm_p99 = _percentile(warm_latencies, 0.99)
+
+    throughput_ok = throughput >= args.min_throughput
+    warm_p99_ok = warm_p99 <= args.max_warm_p99
+    passed = all_complete and throughput_ok and warm_p99_ok and parity_ok and cross_replica_ok
+
+    results = {
+        "benchmark": "service_load",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "quick": args.quick,
+        "topology": {
+            "replicas": args.replicas,
+            "fleet_workers": args.fleet_workers,
+            "clients": args.clients,
+            "cold_every": args.cold_every,
+        },
+        "repetitions": payload["repetitions"],
+        "n_samples": payload["n_samples"],
+        "load_window_seconds": round(load_window, 3),
+        "throughput_rps": round(throughput, 2),
+        "latency_seconds": {
+            "p50": round(_percentile(latencies, 0.50), 4),
+            "p99": round(_percentile(latencies, 0.99), 4),
+            "warm_p50": round(_percentile(warm_latencies, 0.50), 4),
+            "warm_p99": round(warm_p99, 4),
+            "max": round(max(latencies), 4),
+        },
+        "all_complete": all_complete,
+        "parity": {"fleet_vs_cli": parity_ok, "cross_replica": cross_replica_ok},
+        "gate": {
+            "criterion": (
+                f"{args.clients} clients all complete across {args.replicas} replicas + "
+                f"{args.fleet_workers} workers, sustained >= {args.min_throughput} req/s, "
+                f"warm p99 <= {args.max_warm_p99}s, fleet CSV bitwise identical to the CLI"
+            ),
+            "min_throughput": args.min_throughput,
+            "max_warm_p99": args.max_warm_p99,
+            "status": "passed" if passed else "failed",
+        },
+    }
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not all_complete:
+        print("FAIL: not every client's job completed")
+        return 1
+    if not parity_ok:
+        print("FAIL: fleet-executed CSV differs from the single-process CLI run")
+        return 1
+    if not cross_replica_ok:
+        print("FAIL: replicas disagree on the same job id")
+        return 1
+    if not throughput_ok:
+        print(f"FAIL: throughput {throughput:.2f} req/s < floor {args.min_throughput}")
+        return 1
+    if not warm_p99_ok:
+        print(f"FAIL: warm p99 {warm_p99:.2f}s > ceiling {args.max_warm_p99}s")
+        return 1
+    print(
+        f"gate: passed — {throughput:.1f} req/s sustained, warm p99 "
+        f"{warm_p99 * 1000:.0f}ms, bitwise parity across fleet and CLI"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

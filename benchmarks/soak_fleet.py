@@ -1,0 +1,266 @@
+"""Nightly soak: SIGKILL a fleet worker mid-job and prove full recovery.
+
+The fleet's failure-recovery story, exercised on real processes:
+
+1. a multi-second job is submitted to a durable fleet queue;
+2. worker A (short lease TTL) claims it and starts executing;
+3. once the ``running`` event lands, worker A is **SIGKILLed** — no
+   cleanup, no release: exactly what a crashed or OOM-killed worker
+   leaves behind (claimed lease, queue marker still present, no result);
+4. the soak asserts the orphaned lease expires on its own, that worker B
+   re-claims the job with an advanced fencing token, and that the run
+   completes;
+5. the recovered result must be **bitwise identical** to the equivalent
+   single-process ``repro matrix`` invocation — repetitions worker A
+   already committed to the shared store are reused, the rest are
+   simulated fresh, and the seed discipline makes the merge exact.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/soak_fleet.py
+
+Results are printed and written to ``SOAK_fleet.json`` (override with
+``--out``); the JSON is written before exiting so CI can upload the
+trajectory even (especially) on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro.cli import main as cli_main
+from repro.service.fleet import FleetQueue
+from repro.service.jobs import JobRequest, JobState
+
+
+def _spawn_worker(store_root: str, lease_ttl: float, owner: str) -> subprocess.Popen:
+    src = str(Path(repro.__file__).parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--store",
+            store_root,
+            "--lease-ttl",
+            str(lease_ttl),
+            "--poll",
+            "0.05",
+            "--owner",
+            owner,
+            "--max-jobs",
+            "1",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for(predicate, timeout: float, what: str, poll: float = 0.05) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise RuntimeError(f"timed out after {timeout}s waiting for {what}")
+        time.sleep(poll)
+
+
+def _cli_reference(payload: dict, out_dir: Path) -> str:
+    argv = ["matrix", "--studies", payload["study"], "--estimators", payload["estimator"]]
+    argv += ["--reps", str(payload["repetitions"]), "--samples", str(payload["n_samples"])]
+    argv += ["--seed", str(payload["seed"]), "--r-undefeated", str(payload["search_rounds"])]
+    argv += ["--workers", "1", "--out", str(out_dir)]
+    code = cli_main(argv)
+    if code != 0:
+        raise RuntimeError(f"reference CLI run failed with exit code {code}")
+    return (out_dir / "matrix.csv").read_text()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2018, help="root RNG seed")
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=2.0,
+        help="victim worker's lease TTL — recovery latency bound (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--kill-delay",
+        type=float,
+        default=0.5,
+        help="seconds between the running event and the SIGKILL (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("SOAK_fleet.json"),
+        help="output JSON path (default: ./SOAK_fleet.json)",
+    )
+    args = parser.parse_args(argv)
+
+    # Sized to run for whole seconds (~5s at 1 CPU) so the SIGKILL lands
+    # mid-execution with the lease held and repetitions partially stored.
+    payload = {
+        "study": "illustrative",
+        "estimator": "imcis",
+        "repetitions": 6,
+        "n_samples": 20_000,
+        "search_rounds": 500,
+        "seed": args.seed,
+    }
+    print(
+        f"== fleet soak (lease ttl {args.lease_ttl}s, "
+        f"kill after running + {args.kill_delay}s) =="
+    )
+    try:
+        return _run_soak(args, payload)
+    except Exception as error:  # noqa: BLE001 — the trajectory must upload even on a crash
+        args.out.write_text(
+            json.dumps(
+                {
+                    "benchmark": "fleet_soak",
+                    "gate": {"status": "error", "error": f"{type(error).__name__}: {error}"},
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {args.out} (error document)")
+        raise
+
+
+def _run_soak(args: argparse.Namespace, payload: dict) -> int:
+    with tempfile.TemporaryDirectory(prefix="soak-fleet-") as root:
+        store = str(Path(root) / "store")
+        queue = FleetQueue(store)
+        job, _ = queue.submit(JobRequest.from_payload(payload))
+        print(f"submitted {job.id}")
+
+        victim = _spawn_worker(store, lease_ttl=args.lease_ttl, owner="soak-victim")
+        try:
+            _wait_for(
+                lambda: job.state == JobState.RUNNING, 60, "the victim to start the job"
+            )
+            time.sleep(args.kill_delay)
+            if job.state in JobState.TERMINAL:
+                raise RuntimeError(
+                    "job finished before the kill — enlarge the workload so the "
+                    "SIGKILL lands mid-execution"
+                )
+            victim.kill()  # SIGKILL: no cleanup, no lease release
+            victim.wait(timeout=15)
+        except Exception:
+            victim.kill()
+            raise
+        killed_at = time.monotonic()
+        orphan = queue.leases.peek(job.id)
+        print(
+            f"killed victim mid-run; orphaned lease: owner={orphan.owner} "
+            f"token={orphan.token} released={orphan.released}"
+        )
+        orphan_held = (
+            orphan is not None and orphan.owner == "soak-victim" and not orphan.released
+        )
+
+        # The orphaned lease must expire on its own — nobody releases it.
+        _wait_for(
+            lambda: queue.leases.peek(job.id).expired(), args.lease_ttl + 30,
+            "the orphaned lease to expire",
+        )
+        expiry_seconds = time.monotonic() - killed_at
+        print(f"orphaned lease expired after {expiry_seconds:.2f}s (ttl {args.lease_ttl}s)")
+
+        rescuer = _spawn_worker(store, lease_ttl=15.0, owner="soak-rescuer")
+        try:
+            _wait_for(
+                lambda: job.state in JobState.TERMINAL, 300, "the rescuer to finish the job"
+            )
+        finally:
+            rescuer.terminate()
+            try:
+                rescuer.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                rescuer.kill()
+
+        snapshot = job.snapshot()
+        final_lease = queue.leases.peek(job.id)
+        completed = snapshot["state"] == JobState.COMPLETE
+        token_advanced = snapshot["token"] == orphan.token + 1
+        rescuer_owned = final_lease.owner == "soak-rescuer"
+        reused = snapshot["result"]["summary"]["store"]["hits"] if completed else 0
+        print(
+            f"recovered: state={snapshot['state']} token={snapshot['token']} "
+            f"(victim held {orphan.token}); {reused} repetition(s) reused from the "
+            "victim's partial progress"
+        )
+
+        reference_csv = _cli_reference(payload, Path(root) / "cli")
+        parity = completed and snapshot["result"]["csv"] == reference_csv
+
+    passed = orphan_held and completed and token_advanced and rescuer_owned and parity
+    results = {
+        "benchmark": "fleet_soak",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "payload": payload,
+        "lease_ttl": args.lease_ttl,
+        "orphan_lease_held_after_kill": orphan_held,
+        "lease_expiry_seconds": round(expiry_seconds, 2),
+        "recovered_state": snapshot["state"],
+        "victim_token": orphan.token,
+        "final_token": snapshot["token"],
+        "repetitions_reused_from_victim": reused,
+        "parity_vs_cli": parity,
+        "gate": {
+            "criterion": (
+                "a SIGKILLed worker's lease expires unaided, a second worker "
+                "re-claims the job under the next fencing token, the run "
+                "completes, and the recovered CSV is bitwise identical to the "
+                "single-process CLI run"
+            ),
+            "status": "passed" if passed else "failed",
+        },
+    }
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not orphan_held:
+        print("FAIL: the killed worker did not leave a live claimed lease behind")
+        return 1
+    if not completed:
+        print(f"FAIL: job ended {snapshot['state']!r} instead of completing")
+        return 1
+    if not token_advanced:
+        print(
+            f"FAIL: fencing token {snapshot['token']} is not the victim's "
+            f"{orphan.token} + 1"
+        )
+        return 1
+    if not rescuer_owned:
+        print(f"FAIL: final lease owner {final_lease.owner!r} is not the rescuer")
+        return 1
+    if not parity:
+        print("FAIL: recovered CSV differs from the single-process CLI run")
+        return 1
+    print(
+        f"gate: passed — lease expired in {expiry_seconds:.1f}s, job re-claimed and "
+        "completed, bitwise identical to the CLI run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -476,6 +476,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         capacity=args.queue_size,
         job_workers=args.job_workers,
         workers=None if args.workers == 1 else args.workers,
+        fleet_root=args.fleet,
+        reuse_port=args.reuse_port,
     )
     try:
         server = create_server(config)
@@ -483,8 +485,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"cannot bind {args.host}:{args.port}: {error}") from None
     host, port = server.server_address[:2]
     print(f"estimation service on http://{host}:{port}")
-    print(f"  store: {args.store or '(none — every job simulates)'}")
-    print(f"  queue: {args.queue_size} waiting jobs max, {args.job_workers} job worker(s)")
+    if args.fleet is not None:
+        print(f"  fleet: stateless front end over {args.fleet}")
+        print("         run 'repro worker --store' against the same directory")
+        print(f"  queue: {args.queue_size} pending jobs max (durable, fleet-wide)")
+    else:
+        print(f"  store: {args.store or '(none — every job simulates)'}")
+        print(f"  queue: {args.queue_size} waiting jobs max, {args.job_workers} job worker(s)")
     print("  stop:  SIGINT/SIGTERM drains the queue and exits")
     stop_requested = threading.Event()
 
@@ -500,10 +507,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
-        print("draining: waiting for in-flight jobs, cancelling queued ones")
+        if args.fleet is not None:
+            print("stopping front end (durable queue and workers are unaffected)")
+        else:
+            print("draining: waiting for in-flight jobs, cancelling queued ones")
         server.service.stop()  # type: ignore[attr-defined]
         server.server_close()
         print("stopped")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run one fleet pull worker until signalled (or drained/idle)."""
+    from repro.service.fleet import FleetWorker
+
+    worker = FleetWorker(
+        args.store,
+        owner=args.owner,
+        lease_ttl=args.lease_ttl,
+        poll=args.poll,
+        workers=None if args.workers == 1 else args.workers,
+    )
+    print(f"fleet worker {worker.owner} on {args.store}")
+    print(f"  lease ttl {args.lease_ttl:g}s (heartbeat every {args.lease_ttl / 3.0:g}s)")
+    print("  stop: SIGINT/SIGTERM exits after the job in flight")
+
+    def _request_stop(signum: int, frame: object) -> None:
+        worker.stop()
+
+    previous = {sig: signal.signal(sig, _request_stop) for sig in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        stats = worker.run(max_jobs=args.max_jobs, idle_exit=args.idle_exit)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print(
+        f"worker done: {stats['completed']} completed, {stats['failed']} failed, "
+        f"{stats['stale']} stale (of {stats['claimed']} claimed)"
+    )
     return 0
 
 
@@ -696,6 +737,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-job repetition fan-out processes ('auto' = CPU "
         "count; default 1 — the job axis usually owns concurrency)",
     )
+    p.add_argument(
+        "--fleet",
+        type=Path,
+        default=None,
+        metavar="STORE_DIR",
+        help="fleet mode: serve as a stateless front end over the durable "
+        "queue in this shared store directory (jobs execute in 'repro "
+        "worker' processes, any replica serves any job id)",
+    )
+    p.add_argument(
+        "--reuse-port",
+        action="store_true",
+        help="bind with SO_REUSEPORT so multiple replicas share one address",
+    )
+
+    p = sub.add_parser("worker", help="run a fleet pull worker over a shared store")
+    p.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        help="the shared store directory ('repro serve --fleet' front ends "
+        "point at the same one)",
+    )
+    p.add_argument(
+        "--owner",
+        default=None,
+        help="lease owner identity (default: host:pid:random)",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=15.0,
+        help="seconds a claimed job survives without a heartbeat before "
+        "another worker may re-claim it (default: %(default)s)",
+    )
+    p.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="idle seconds between queue scans (default: %(default)s)",
+    )
+    p.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after executing this many jobs (default: run until signalled)",
+    )
+    p.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help="exit after this many consecutive idle seconds (CI harnesses)",
+    )
+    p.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="per-job repetition fan-out when the request did not pin one "
+        "('auto' = CPU count; default: %(default)s)",
+    )
 
     p = sub.add_parser("submit", help="submit one estimation job to a running service")
     p.add_argument("--url", default="http://127.0.0.1:8000", help="service root URL")
@@ -738,6 +839,7 @@ def main(argv: list[str] | None = None) -> int:
         "matrix": cmd_matrix,
         "store": cmd_store,
         "serve": cmd_serve,
+        "worker": cmd_worker,
         "submit": cmd_submit,
         "jobs": cmd_jobs,
     }

@@ -66,6 +66,19 @@ class StoreError(ReproError):
     """The experiment artifact store is unusable or holds corrupt data."""
 
 
+class LeaseError(StoreError):
+    """A fleet lease record is unusable or a lease operation is invalid."""
+
+
+class StaleLeaseError(LeaseError):
+    """An operation quoted a lease that expired or was re-claimed.
+
+    Raised by heartbeat renewal and by the fencing check guarding result
+    commits: the holder must discard its work, because a newer owner may
+    already be executing the same resource under a higher token.
+    """
+
+
 class ServiceError(ReproError):
     """The estimation service rejected a request or reported a failure.
 
@@ -85,7 +98,15 @@ class QueueFullError(ServiceError):
     """The service's bounded job queue cannot accept another submission.
 
     Maps to HTTP 429; clients are expected to back off and retry.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested wait in seconds before retrying, when the server has
+        one (sent as the ``Retry-After`` HTTP header and honoured by
+        :meth:`repro.service.client.ServiceClient.submit`).
     """
 
-    def __init__(self, message: str):
+    def __init__(self, message: str, retry_after: float | None = None):
         super().__init__(message, status=429)
+        self.retry_after = retry_after

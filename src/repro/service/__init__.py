@@ -11,7 +11,10 @@ service. This package serves them over HTTP:
   (:class:`ThreadingHTTPServer`): submit, status, registry listing,
   health, and a Server-Sent Events progress stream per job;
 * :mod:`repro.service.client` — a stdlib :mod:`urllib` client used by
-  ``repro submit`` / ``repro jobs`` and the service benchmark.
+  ``repro submit`` / ``repro jobs`` and the service benchmark;
+* :mod:`repro.service.fleet` — the multi-process fleet layer: a durable
+  store-backed job queue, leased pull workers (``repro worker``), and
+  the stateless front-end mode behind ``repro serve --fleet``.
 
 Determinism invariants, inherited from the layers below:
 
@@ -32,11 +35,15 @@ Start one with ``repro serve --store runs/store``, then::
 """
 
 from repro.service.client import ServiceClient
+from repro.service.fleet import FleetJob, FleetQueue, FleetWorker, run_worker
 from repro.service.jobs import Job, JobEvent, JobQueue, JobRequest, JobState
 from repro.service.server import EstimationService, ServiceConfig, create_server
 
 __all__ = [
     "EstimationService",
+    "FleetJob",
+    "FleetQueue",
+    "FleetWorker",
     "Job",
     "JobEvent",
     "JobQueue",
@@ -45,4 +52,5 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "create_server",
+    "run_worker",
 ]

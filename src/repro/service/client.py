@@ -13,10 +13,11 @@ later) from a bad request (400) without string matching.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 
 from repro.errors import QueueFullError, ServiceError
 
@@ -62,7 +63,14 @@ class ServiceClient:
             except json.JSONDecodeError:
                 message = body or str(error)
             if error.code == 429:
-                raise QueueFullError(str(message)) from None
+                retry_after = None
+                header = error.headers.get("Retry-After") if error.headers else None
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        pass  # HTTP-date form: fall back to client-side backoff
+                raise QueueFullError(str(message), retry_after=retry_after) from None
             raise ServiceError(str(message), status=error.code) from None
         except urllib.error.URLError as error:
             raise ServiceError(
@@ -84,8 +92,18 @@ class ServiceClient:
         payload: "dict[str, object]",
         retries: int = 0,
         backoff: float = 0.2,
+        backoff_cap: float = 10.0,
+        rng: "random.Random | None" = None,
+        sleep: "Callable[[float], None] | None" = None,
     ) -> "dict[str, object]":
         """``POST /v1/jobs``; optionally retry while the queue is full.
+
+        Retries use *decorrelated jitter*: each sleep is drawn uniformly
+        from ``[backoff, 3 * previous_sleep]`` and capped at
+        *backoff_cap*, so a herd of clients hitting a full queue spreads
+        out instead of retrying in lockstep (fixed exponential backoff
+        keeps colliding clients colliding forever). When the server sent
+        a ``Retry-After`` hint, the sleep honours it as a floor.
 
         Parameters
         ----------
@@ -94,16 +112,29 @@ class ServiceClient:
         retries : int, optional
             Extra attempts after a 429 before giving up.
         backoff : float, optional
-            Sleep between attempts, doubled each time.
+            Base (and minimum) sleep between attempts in seconds.
+        backoff_cap : float, optional
+            Upper bound on any single sleep.
+        rng : random.Random, optional
+            Jitter source (tests inject a seeded one).
+        sleep : callable, optional
+            Replacement for :func:`time.sleep` (tests).
         """
+        draw = (rng or random).uniform
+        pause = time.sleep if sleep is None else sleep
+        previous = backoff
         attempt = 0
         while True:
             try:
                 return self._request("/v1/jobs", payload)
-            except QueueFullError:
+            except QueueFullError as error:
                 if attempt >= retries:
                     raise
-                time.sleep(backoff * (2**attempt))
+                delay = min(backoff_cap, draw(backoff, previous * 3.0))
+                if error.retry_after is not None:
+                    delay = max(delay, min(backoff_cap, error.retry_after))
+                pause(delay)
+                previous = delay
                 attempt += 1
 
     def job(self, job_id: str) -> "dict[str, object]":

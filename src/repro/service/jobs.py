@@ -33,6 +33,7 @@ import os
 import queue
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.errors import (
@@ -344,6 +345,51 @@ class Job:
             return True
 
 
+def execute_request(
+    request: JobRequest,
+    registry: StudyRegistry = REGISTRY,
+    store: "ArtifactStore | os.PathLike | str | None" = None,
+    progress: "Callable[[dict[str, object]], None] | None" = None,
+) -> "dict[str, object]":
+    """Run one request through the single-cell matrix path.
+
+    The shared executor under both the in-memory :class:`JobQueue` and
+    the fleet's pull workers: a single-cell
+    :func:`~repro.experiments.matrix.run_matrix` call — the same code
+    path as the CLI, so the deterministic result fields are bitwise
+    identical to the equivalent ``repro matrix`` invocation, whichever
+    process executes the job. With a store attached, repetitions already
+    on disk are served warm.
+
+    Returns the job result document (``records``, ``csv``, ``summary``);
+    library errors propagate to the caller, which owns the job's failure
+    bookkeeping.
+    """
+    handle = ArtifactStore.coerce(store)
+    started = time.perf_counter()
+    result = run_matrix(
+        request.to_matrix_config(),
+        registry=registry,
+        store=handle,
+        progress=progress,
+    )
+    elapsed = time.perf_counter() - started
+    records = result.records()
+    store_stats = None
+    if handle is not None:
+        store_stats = {"hits": handle.stats.hits, "misses": handle.stats.misses}
+    return {
+        "records": records,
+        "csv": result.to_csv_text(),
+        "summary": {
+            "cells": len(records),
+            "repetitions": request.repetitions,
+            "store": store_stats,
+            "elapsed": round(elapsed, 3),
+        },
+    }
+
+
 def execute_job(
     job: Job,
     registry: StudyRegistry = REGISTRY,
@@ -351,21 +397,15 @@ def execute_job(
 ) -> None:
     """Run one job to completion, recording progress events.
 
-    The job executes as a single-cell :func:`run_matrix` call — the same
-    code path as the CLI, so the deterministic result fields are bitwise
-    identical to the equivalent ``repro matrix`` invocation. With a store
-    root, repetitions already on disk are served warm; each job gets its
-    own :class:`ArtifactStore` handle so hit/miss accounting is per-job.
+    Thin state-machine wrapper around :func:`execute_request`: each job
+    gets its own :class:`ArtifactStore` handle so hit/miss accounting is
+    per-job, and any library error becomes the job's failure reason.
     """
     job.mark_running()
     store = ArtifactStore(store_root) if store_root is not None else None
-    started = time.perf_counter()
     try:
-        result = run_matrix(
-            job.request.to_matrix_config(),
-            registry=registry,
-            store=store,
-            progress=job.record_progress,
+        result = execute_request(
+            job.request, registry=registry, store=store, progress=job.record_progress
         )
     except (ModelError, EstimationError, ServiceError, StoreError) as error:
         job.fail(str(error))
@@ -373,23 +413,7 @@ def execute_job(
     except Exception as error:  # noqa: BLE001 — a worker must never die silently
         job.fail(f"{type(error).__name__}: {error}")
         return
-    elapsed = time.perf_counter() - started
-    records = result.records()
-    store_stats = None
-    if store is not None:
-        store_stats = {"hits": store.stats.hits, "misses": store.stats.misses}
-    job.complete(
-        {
-            "records": records,
-            "csv": result.to_csv_text(),
-            "summary": {
-                "cells": len(records),
-                "repetitions": job.request.repetitions,
-                "store": store_stats,
-                "elapsed": round(elapsed, 3),
-            },
-        }
-    )
+    job.complete(result)
 
 
 class JobQueue:

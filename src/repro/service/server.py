@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import repro
-from repro.errors import ServiceError
+from repro.errors import QueueFullError, ServiceError
 from repro.models.registry import REGISTRY, StudyRegistry
+from repro.service.fleet import FleetQueue
 from repro.service.jobs import Job, JobQueue, JobRequest, JobState
 
 __all__ = [
@@ -62,6 +64,18 @@ class ServiceConfig:
     history:
         Terminal jobs retained in memory for status queries (oldest
         evicted beyond this bound).
+    fleet_root:
+        When set, the instance runs in **fleet mode**: it becomes a
+        stateless front end over the durable store-backed queue at this
+        directory (:class:`~repro.service.fleet.FleetQueue`). No jobs
+        execute in-process — ``repro worker`` pull loops sharing the
+        same store do the work — and any number of replicas over the
+        same directory serve the same job ids interchangeably.
+        ``store_root``, ``job_workers`` and ``history`` are ignored in
+        this mode (the store *is* the state).
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so multiple fleet replicas can share
+        one address and the kernel load-balances connections.
     """
 
     host: str = "127.0.0.1"
@@ -71,6 +85,8 @@ class ServiceConfig:
     job_workers: int = 1
     workers: "int | str | None" = None
     history: int = 256
+    fleet_root: "os.PathLike | str | None" = None
+    reuse_port: bool = False
 
 
 class EstimationService:
@@ -84,22 +100,33 @@ class EstimationService:
     def __init__(self, config: ServiceConfig, registry: StudyRegistry = REGISTRY):
         self.config = config
         self.registry = registry
-        self.queue = JobQueue(
-            capacity=config.capacity,
-            job_workers=config.job_workers,
-            registry=registry,
-            store_root=config.store_root,
-            history=config.history,
-        )
+        self.queue: "JobQueue | FleetQueue"
+        if config.fleet_root is not None:
+            self.queue = FleetQueue(
+                config.fleet_root,
+                registry=registry,
+                capacity=config.capacity,
+            )
+        else:
+            self.queue = JobQueue(
+                capacity=config.capacity,
+                job_workers=config.job_workers,
+                registry=registry,
+                store_root=config.store_root,
+                history=config.history,
+            )
 
     # -- documents --------------------------------------------------------
 
     def health(self) -> "dict[str, object]":
         """The ``/healthz`` document."""
+        fleet = self.config.fleet_root
+        store = fleet if fleet is not None else self.config.store_root
         return {
             "status": "ok",
             "version": repro.__version__,
-            "store": None if self.config.store_root is None else str(self.config.store_root),
+            "mode": "fleet" if fleet is not None else "local",
+            "store": None if store is None else str(store),
             "queue": {"capacity": self.queue.capacity, "queued": self.queue.queued},
             "jobs": self.queue.counts(),
         }
@@ -140,7 +167,11 @@ class EstimationService:
         return {"jobs": [job.snapshot() for job in self.queue.jobs()]}
 
     def get_job(self, job_id: str) -> Job:
-        """The underlying :class:`Job` (used by the SSE stream)."""
+        """The underlying job object (used by the SSE stream).
+
+        In fleet mode this is a :class:`~repro.service.fleet.FleetJob`,
+        which duck-types the :class:`Job` read surface the stream needs.
+        """
         return self.queue.get(job_id)
 
     def stop(self, timeout: float | None = 30.0) -> None:
@@ -170,8 +201,20 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, message: str, status: int) -> None:
-        self._send_json({"error": message, "status": status}, status=status)
+    def _send_error_json(
+        self, message: str, status: int, retry_after: float | None = None
+    ) -> None:
+        document = {"error": message, "status": status}
+        if retry_after is not None:
+            document["retry_after"] = retry_after
+        body = (json.dumps(document, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
+        self.end_headers()
+        self.wfile.write(body)
 
     def _read_json_body(self) -> "dict[str, object]":
         length = int(self.headers.get("Content-Length") or 0)
@@ -215,6 +258,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             document, status = self.service.submit(self._read_json_body())
             self._send_json(document, status=status)
+        except QueueFullError as error:
+            self._send_error_json(str(error), error.status, retry_after=error.retry_after)
         except ServiceError as error:
             self._send_error_json(str(error), error.status)
         except BrokenPipeError:
@@ -271,7 +316,22 @@ def create_server(config: ServiceConfig, registry: StudyRegistry = REGISTRY) -> 
         lifecycle (the CLI's ``repro serve`` installs SIGINT/SIGTERM
         handlers around exactly that pair).
     """
-    server = ThreadingHTTPServer((config.host, config.port), _Handler)
+    server_class = _ReusePortHTTPServer if config.reuse_port else ThreadingHTTPServer
+    server = server_class((config.host, config.port), _Handler)
     server.daemon_threads = True
     server.service = EstimationService(config, registry=registry)  # type: ignore[attr-defined]
     return server
+
+
+class _ReusePortHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer binding with ``SO_REUSEPORT``.
+
+    Lets N fleet replicas share one listen address, with the kernel
+    spreading incoming connections across them — the zero-dependency
+    stand-in for a load balancer in front of the fleet.
+    """
+
+    def server_bind(self) -> None:
+        if hasattr(socket, "SO_REUSEPORT"):
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()

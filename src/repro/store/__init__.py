@@ -12,6 +12,9 @@ what actually changed:
   hit/miss accounting, gc);
 * :mod:`repro.store.cache` — :func:`map_repetitions_cached`, the drop-in
   cache-aware variant of the parallel repetition fan-out;
+* :mod:`repro.store.leases` — durable, fenced job leases (owner id,
+  heartbeat deadline, monotonic fencing token) the fleet layer
+  coordinates multi-process workers through;
 * :mod:`repro.store.codecs` — exact-round-trip JSON codecs for the
   result records the experiments aggregate.
 
@@ -34,10 +37,13 @@ from repro.store.keys import (
     fingerprint_matrix,
     seed_entropy,
 )
+from repro.store.leases import Lease, LeaseManager, default_owner_id
 from repro.store.store import ArtifactStore, RunManifest, RunRecord, StoreStats
 
 __all__ = [
     "ArtifactStore",
+    "Lease",
+    "LeaseManager",
     "RunManifest",
     "RunRecord",
     "STORE_SCHEMA",
@@ -45,6 +51,7 @@ __all__ = [
     "canonical_json",
     "code_versions",
     "config_key",
+    "default_owner_id",
     "describe_study",
     "fingerprint_array",
     "fingerprint_chain",

@@ -1,0 +1,339 @@
+"""Durable job leases in the artifact store's manifest layer.
+
+The fleet's coordination problem is the classic one: many worker
+processes share one store directory, each queued job must be executed by
+*exactly one* live worker at a time, and a worker that dies mid-job must
+not strand its job forever. A :class:`Lease` solves all three:
+
+* **exclusive claim** — at most one unexpired lease exists per name;
+  :meth:`LeaseManager.claim` is atomic (an exclusive file lock guards the
+  read-decide-write cycle), so a claim race between any number of
+  workers yields exactly one owner;
+* **heartbeats** — the owner renews the lease on a cadence well under
+  its TTL (:meth:`LeaseManager.renew` pushes ``deadline`` forward); a
+  worker that dies simply stops renewing, and once ``deadline`` passes
+  the lease is claimable again;
+* **fencing tokens** — every successful claim increments a per-name
+  monotonic token, persisted across releases and expiries. A result
+  commit quotes the token it ran under (:meth:`LeaseManager.validate`):
+  a worker that lost its lease mid-run — paused, partitioned, or merely
+  slow — holds a stale token and its write is rejected, so a re-claimed
+  job can never be double-committed out of order.
+
+Lease records live under ``<root>/leases/`` beside the store's run
+manifests and carry the same checksum discipline as record lines: a
+torn or bit-rotted lease file is detected on read and treated as absent
+(its fencing lineage restarts — acceptable, because a store that loses
+bytes has bigger problems, and the job-document state machine still
+refuses terminal-state rollbacks).
+
+The exclusive lock is :func:`fcntl.flock` on a per-name sidecar file:
+kernel-released on process death (a SIGKILLed worker never wedges the
+lock), correct across processes on one host and on lock-honouring
+shared filesystems. Locks guard only the microsecond read-decide-write
+critical section; *liveness* rides on the TTL, never on the lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import threading
+
+from repro.errors import LeaseError, StaleLeaseError
+from repro.store.keys import payload_checksum
+
+__all__ = [
+    "Lease",
+    "LeaseManager",
+    "default_owner_id",
+]
+
+#: Lease record format version (bumped on incompatible layout changes).
+LEASE_VERSION = 1
+
+# flock is per open-file-description: a second open of the same lock file
+# by the same process blocks against the first, so a naive context manager
+# self-deadlocks when a caller nests critical sections (the fleet commits
+# a job document and runs the fencing check under one lock). The registry
+# below makes :meth:`LeaseManager.locked` re-entrant per thread while
+# staying exclusive across threads and processes.
+_LOCK_REGISTRY: "dict[str, threading.RLock]" = {}
+_LOCK_REGISTRY_GUARD = threading.Lock()
+_HELD = threading.local()
+
+
+def default_owner_id() -> str:
+    """A process-unique owner identity: ``host:pid:random``.
+
+    The random suffix disambiguates PID reuse across worker restarts —
+    two incarnations of the same PID must never look like one owner to
+    the fencing checks.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}:{os.urandom(3).hex()}"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One lease record: who owns *name*, until when, under which token.
+
+    Attributes
+    ----------
+    name:
+        The leased resource (the fleet uses job ids).
+    owner:
+        Owner identity (see :func:`default_owner_id`).
+    token:
+        Fencing token — strictly increasing over every successful claim
+        of *name*, including re-claims after expiry. Consumers must
+        reject writes quoting a token older than the latest observed.
+    deadline:
+        Unix time the lease expires unless renewed.
+    ttl:
+        Seconds each claim/renewal extends the deadline by.
+    released:
+        True once the owner released the lease voluntarily; the record
+        stays on disk to carry the token lineage forward.
+    """
+
+    name: str
+    owner: str
+    token: int
+    deadline: float
+    ttl: float
+    released: bool = False
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the lease no longer protects its resource."""
+        return self.released or (time.time() if now is None else now) >= self.deadline
+
+    def to_payload(self) -> "dict[str, object]":
+        """JSON-serialisable form (inverted by :meth:`from_payload`)."""
+        return {
+            "name": self.name,
+            "owner": self.owner,
+            "token": self.token,
+            "deadline": self.deadline,
+            "ttl": self.ttl,
+            "released": self.released,
+        }
+
+    @staticmethod
+    def from_payload(payload: "dict[str, object]") -> "Lease":
+        """Rebuild a lease from its stored payload."""
+        try:
+            return Lease(
+                name=str(payload["name"]),
+                owner=str(payload["owner"]),
+                token=int(payload["token"]),  # type: ignore[arg-type]
+                deadline=float(payload["deadline"]),  # type: ignore[arg-type]
+                ttl=float(payload["ttl"]),  # type: ignore[arg-type]
+                released=bool(payload.get("released", False)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise LeaseError(f"unreadable lease payload: {error}") from None
+
+
+class LeaseManager:
+    """Claim, renew, release and fence leases under one directory.
+
+    Parameters
+    ----------
+    root : path-like
+        Directory holding ``leases/`` and ``locks/`` (created lazily).
+        The fleet passes its store's ``fleet/`` subdirectory.
+    ttl : float, optional
+        Seconds a claim or renewal keeps the lease alive. Owners should
+        renew at a fraction of this (the fleet worker uses ``ttl / 3``).
+
+    Notes
+    -----
+    All mutating operations run under an exclusive :func:`fcntl.flock`
+    on a per-name sidecar lock file, making each one atomic with respect
+    to every other process on the machine (or lock-honouring filesystem).
+    """
+
+    def __init__(self, root: "Path | str", ttl: float = 15.0):
+        if ttl <= 0:
+            raise LeaseError(f"lease ttl must be positive, got {ttl}")
+        self.root = Path(root)
+        self.ttl = float(ttl)
+
+    # -- paths ------------------------------------------------------------
+
+    def lease_path(self, name: str) -> Path:
+        """The lease record file of *name*."""
+        return self.root / "leases" / f"{name}.json"
+
+    def _lock_path(self, name: str) -> Path:
+        return self.root / "locks" / f"{name}.lock"
+
+    @contextmanager
+    def locked(self, name: str):
+        """Exclusive cross-process critical section for *name*.
+
+        A :func:`fcntl.flock`-backed context manager, re-entrant within
+        a thread (nesting is common: the fleet validates a lease while
+        already inside the job-document critical section) but exclusive
+        across threads and across processes. The fleet layer reuses it
+        to serialise job-document updates under the same per-name lock
+        that guards the lease record.
+        """
+        import fcntl
+
+        path = self._lock_path(name)
+        key = str(path)
+        with _LOCK_REGISTRY_GUARD:
+            local = _LOCK_REGISTRY.setdefault(key, threading.RLock())
+        depths = getattr(_HELD, "depths", None)
+        if depths is None:
+            depths = _HELD.depths = {}
+        local.acquire()
+        try:
+            if depths.get(key, 0) > 0:
+                depths[key] += 1
+                try:
+                    yield
+                finally:
+                    depths[key] -= 1
+            else:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                with path.open("a+") as handle:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                    depths[key] = 1
+                    try:
+                        yield
+                    finally:
+                        depths[key] = 0
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            local.release()
+
+    # -- record IO (caller holds the lock for writes) ---------------------
+
+    def _read(self, name: str) -> Lease | None:
+        path = self.lease_path(name)
+        try:
+            document = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            return None  # torn write: treat as absent (see module docstring)
+        if not isinstance(document, dict) or "payload" not in document:
+            return None
+        payload = document["payload"]
+        if document.get("check") != payload_checksum(payload):
+            return None
+        try:
+            return Lease.from_payload(payload)
+        except LeaseError:
+            return None
+
+    def _write(self, lease: Lease) -> None:
+        payload = lease.to_payload()
+        document = {"v": LEASE_VERSION, "check": payload_checksum(payload), "payload": payload}
+        path = self.lease_path(lease.name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}-{os.urandom(2).hex()}")
+        tmp.write_text(json.dumps(document, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    # -- operations -------------------------------------------------------
+
+    def peek(self, name: str) -> Lease | None:
+        """The current lease record of *name* (live, expired or released)."""
+        return self._read(name)
+
+    def claim(self, name: str, owner: str) -> Lease | None:
+        """Try to claim *name* for *owner*.
+
+        Succeeds when no lease exists, the previous one was released, or
+        the previous one has expired (its owner stopped heartbeating);
+        the new lease's fencing token is the previous token plus one in
+        every case. Returns ``None`` while another owner's lease is
+        live — the caller polls again later.
+        """
+        with self.locked(name):
+            now = time.time()
+            current = self._read(name)
+            if current is not None and not current.expired(now):
+                return None
+            token = (0 if current is None else current.token) + 1
+            lease = Lease(
+                name=name, owner=owner, token=token, deadline=now + self.ttl, ttl=self.ttl
+            )
+            self._write(lease)
+            return lease
+
+    def renew(self, lease: Lease) -> Lease:
+        """Heartbeat: push the deadline of an owned lease forward.
+
+        Renewal succeeds as long as nobody re-claimed the name — an
+        expired-but-unclaimed lease can be resurrected by its owner
+        (standard lease semantics: expiry only *permits* a takeover).
+
+        Raises
+        ------
+        StaleLeaseError
+            When the lease was re-claimed (token moved on), released, or
+            the record vanished — the caller must abandon its work.
+        """
+        with self.locked(lease.name):
+            current = self._read(lease.name)
+            if (
+                current is None
+                or current.token != lease.token
+                or current.owner != lease.owner
+                or current.released
+            ):
+                raise StaleLeaseError(
+                    f"lease {lease.name!r} token {lease.token} is no longer held by "
+                    f"{lease.owner!r} "
+                    f"(current: {None if current is None else current.to_payload()})"
+                )
+            renewed = replace(current, deadline=time.time() + self.ttl)
+            self._write(renewed)
+            return renewed
+
+    def release(self, lease: Lease) -> None:
+        """Voluntarily end an owned lease (no-op when already lost).
+
+        The record is kept on disk with ``released=True`` so the next
+        claim continues the fencing-token lineage.
+        """
+        with self.locked(lease.name):
+            current = self._read(lease.name)
+            if current is None or current.token != lease.token or current.owner != lease.owner:
+                return
+            self._write(replace(current, released=True))
+
+    def validate(self, lease: Lease) -> None:
+        """Fencing check before a commit made under *lease*.
+
+        Raises
+        ------
+        StaleLeaseError
+            When the lease is no longer the current live claim — the
+            caller's work must be discarded, because a newer owner may
+            already be executing (and committing) the same resource.
+        """
+        with self.locked(lease.name):
+            current = self._read(lease.name)
+            now = time.time()
+            if (
+                current is None
+                or current.token != lease.token
+                or current.owner != lease.owner
+                or current.released
+                or current.expired(now)
+            ):
+                raise StaleLeaseError(
+                    f"commit under lease {lease.name!r} token {lease.token} rejected: "
+                    "the lease expired or was re-claimed"
+                )

@@ -1,0 +1,98 @@
+"""Tests of the client's 429 retry policy: decorrelated jitter, Retry-After.
+
+No server needed — ``_request`` is stubbed to raise controlled
+:class:`QueueFullError` sequences, and sleeps are captured instead of
+slept, so the policy's arithmetic is asserted exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.service import ServiceClient
+
+PAYLOAD = {"study": "illustrative", "estimator": "mc"}
+
+
+def make_client(monkeypatch, failures, retry_after=None):
+    """A client whose first *failures* submits hit a full queue."""
+    client = ServiceClient("http://127.0.0.1:1")
+    calls = {"n": 0}
+
+    def _fake_request(path, payload=None):
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            raise QueueFullError("full", retry_after=retry_after)
+        return {"id": "job-x", "state": "queued", "deduplicated": False}
+
+    monkeypatch.setattr(client, "_request", _fake_request)
+    return client, calls
+
+
+class TestSubmitBackoff:
+    def test_no_retries_raises_immediately(self, monkeypatch):
+        client, calls = make_client(monkeypatch, failures=1)
+        with pytest.raises(QueueFullError):
+            client.submit(PAYLOAD, retries=0, sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_retries_until_success(self, monkeypatch):
+        client, calls = make_client(monkeypatch, failures=3)
+        document = client.submit(PAYLOAD, retries=5, sleep=lambda s: None)
+        assert document["id"] == "job-x"
+        assert calls["n"] == 4
+
+    def test_sleeps_are_jittered_not_lockstep(self, monkeypatch):
+        """Two clients with different RNGs must not back off identically."""
+        schedules = []
+        for seed in (1, 2):
+            client, _ = make_client(monkeypatch, failures=4)
+            sleeps = []
+            client.submit(
+                PAYLOAD,
+                retries=4,
+                backoff=0.1,
+                rng=random.Random(seed),
+                sleep=sleeps.append,
+            )
+            schedules.append(sleeps)
+        assert schedules[0] != schedules[1]
+
+    def test_decorrelated_jitter_bounds(self, monkeypatch):
+        """Every sleep lies in [backoff, min(cap, 3 * previous)]."""
+        client, _ = make_client(monkeypatch, failures=6)
+        sleeps = []
+        client.submit(
+            PAYLOAD,
+            retries=6,
+            backoff=0.2,
+            backoff_cap=1.5,
+            rng=random.Random(7),
+            sleep=sleeps.append,
+        )
+        previous = 0.2
+        for delay in sleeps:
+            assert 0.2 <= delay <= min(1.5, previous * 3.0) + 1e-9
+            previous = delay
+
+    def test_retry_after_honoured_as_floor(self, monkeypatch):
+        client, _ = make_client(monkeypatch, failures=2, retry_after=0.7)
+        sleeps = []
+        client.submit(
+            PAYLOAD, retries=2, backoff=0.01, rng=random.Random(0), sleep=sleeps.append
+        )
+        assert all(delay >= 0.7 for delay in sleeps)
+
+    def test_retry_after_capped(self, monkeypatch):
+        client, _ = make_client(monkeypatch, failures=1, retry_after=500.0)
+        sleeps = []
+        client.submit(
+            PAYLOAD,
+            retries=1,
+            backoff=0.01,
+            backoff_cap=2.0,
+            rng=random.Random(0),
+            sleep=sleeps.append,
+        )
+        assert sleeps == [2.0]

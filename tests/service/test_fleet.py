@@ -1,0 +1,254 @@
+"""Tests of the fleet layer: durable queue, pull workers, stateless fronts.
+
+The durable queue and worker are exercised directly (no HTTP needed for
+their invariants); the replica-interchangeability tests run two real
+``--fleet`` servers over one store directory, because statelessness is a
+property of the HTTP layer reading the store. Crash recovery is proven
+by abandoning a claimed lease (the observable state a SIGKILLed worker
+leaves behind) and letting a second worker re-claim after expiry — the
+full process-level kill lives in ``benchmarks/soak_fleet.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueueFullError, ServiceError, StaleLeaseError
+from repro.service import ServiceClient, ServiceConfig, create_server
+from repro.service.fleet import FleetQueue, FleetWorker
+from repro.service.jobs import JobRequest, JobState
+
+PAYLOAD = {"study": "illustrative", "estimator": "mc", "repetitions": 2, "n_samples": 300}
+
+
+def request(**overrides) -> JobRequest:
+    return JobRequest.from_payload({**PAYLOAD, **overrides})
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return FleetQueue(tmp_path / "store", capacity=4)
+
+
+class TestDurableQueue:
+    def test_submit_creates_durable_document_and_marker(self, queue):
+        job, deduplicated = queue.submit(request())
+        assert not deduplicated
+        assert job.state == JobState.QUEUED
+        assert queue.document_path(job.id).is_file()
+        assert queue.marker_path(job.id).is_file()
+        assert queue.queued == 1
+
+    def test_identical_submissions_coalesce(self, queue):
+        first, _ = queue.submit(request())
+        second, deduplicated = queue.submit(request())
+        assert deduplicated
+        assert first.id == second.id
+        assert queue.queued == 1
+
+    def test_worker_count_does_not_change_job_id(self, queue):
+        first, _ = queue.submit(request(workers=1))
+        second, deduplicated = queue.submit(request(workers=2))
+        assert deduplicated and first.id == second.id
+
+    def test_distinct_requests_get_distinct_jobs(self, queue):
+        first, _ = queue.submit(request(seed=1))
+        second, _ = queue.submit(request(seed=2))
+        assert first.id != second.id
+        assert queue.queued == 2
+
+    def test_capacity_bound_raises_queue_full_with_retry_hint(self, queue):
+        for seed in range(queue.capacity):
+            queue.submit(request(seed=seed))
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit(request(seed=999))
+        assert excinfo.value.retry_after is not None
+
+    def test_unknown_job_is_404(self, queue):
+        with pytest.raises(ServiceError) as excinfo:
+            queue.get("job-missing")
+        assert excinfo.value.status == 404
+
+    def test_queue_survives_process_boundary(self, queue, tmp_path):
+        job, _ = queue.submit(request())
+        reopened = FleetQueue(tmp_path / "store")  # a fresh front end
+        assert reopened.get(job.id).state == JobState.QUEUED
+        assert reopened.queued == 1
+
+    def test_stop_leaves_queue_intact(self, queue):
+        job, _ = queue.submit(request())
+        queue.stop(timeout=1)
+        assert queue.get(job.id).state == JobState.QUEUED
+
+
+class TestWorkerExecution:
+    def test_worker_completes_job_with_result(self, queue, tmp_path):
+        job, _ = queue.submit(request())
+        stats = FleetWorker(tmp_path / "store", poll=0.05).run(max_jobs=1)
+        assert stats == {"claimed": 1, "completed": 1, "failed": 0, "stale": 0}
+        assert job.state == JobState.COMPLETE
+        assert job.result["summary"]["cells"] == 1
+        assert queue.queued == 0
+
+    def test_event_log_records_the_lifecycle(self, queue, tmp_path):
+        job, _ = queue.submit(request())
+        FleetWorker(tmp_path / "store", poll=0.05).run(max_jobs=1)
+        events = [event.event for event in job.events_since(0, timeout=1)]
+        assert events[0] == JobState.QUEUED
+        assert events[1] == JobState.RUNNING
+        assert events[-1] == JobState.COMPLETE
+        assert [event.seq for event in job.events_since(0, timeout=1)] == list(
+            range(len(events))
+        )
+
+    def test_completed_resubmission_served_warm(self, queue, tmp_path):
+        job, _ = queue.submit(request())
+        FleetWorker(tmp_path / "store", poll=0.05).run(max_jobs=1)
+        again, deduplicated = queue.submit(request())
+        assert deduplicated
+        assert again.state == JobState.COMPLETE
+        assert again.result == job.result
+
+    def test_two_workers_split_the_queue(self, queue, tmp_path):
+        jobs = [queue.submit(request(seed=seed))[0] for seed in range(4)]
+        workers = [FleetWorker(tmp_path / "store", poll=0.05) for _ in range(2)]
+        threads = [
+            threading.Thread(target=worker.run, kwargs={"idle_exit": 0.5})
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert all(job.state == JobState.COMPLETE for job in jobs)
+        assert sum(worker.stats["completed"] for worker in workers) == 4
+
+    def test_failed_job_records_error_and_can_be_requeued(self, queue, tmp_path):
+        bad = request(study="illustrative")
+        job, _ = queue.submit(bad)
+        # Sabotage the durable request so execution fails validation.
+        import json
+
+        path = queue.document_path(job.id)
+        document = json.loads(path.read_text())
+        document["payload"]["request"]["study"] = "no-such-study"
+        from repro.store.keys import payload_checksum
+
+        document["check"] = payload_checksum(document["payload"])
+        path.write_text(json.dumps(document))
+        stats = FleetWorker(tmp_path / "store", poll=0.05).run(max_jobs=1)
+        assert stats["failed"] == 1
+        assert job.state == JobState.FAILED
+        assert "no-such-study" in job.error
+        requeued, deduplicated = queue.submit(bad)
+        assert not deduplicated
+        assert requeued.state == JobState.QUEUED
+        assert requeued.snapshot()["attempts"] == 2
+
+
+class TestCrashRecovery:
+    def test_expired_lease_is_reclaimed_and_job_completes(self, queue, tmp_path):
+        """A dead worker's claim expires; the next worker finishes the job."""
+        job, _ = queue.submit(request())
+        crashed = FleetQueue(tmp_path / "store", lease_ttl=0.1)
+        # Simulate a SIGKILL after claiming: lease held, never renewed,
+        # marker still present, no result committed.
+        abandoned = crashed.leases.claim(job.id, "dead-worker")
+        assert abandoned is not None
+        time.sleep(0.15)
+        stats = FleetWorker(tmp_path / "store", poll=0.05, lease_ttl=5).run(max_jobs=1)
+        assert stats["completed"] == 1
+        assert job.state == JobState.COMPLETE
+        assert job.snapshot()["token"] == abandoned.token + 1
+
+    def test_stale_writer_cannot_commit_after_reclaim(self, queue, tmp_path):
+        job, _ = queue.submit(request())
+        stale_queue = FleetQueue(tmp_path / "store", lease_ttl=0.1)
+        stale = stale_queue.leases.claim(job.id, "slow-worker")
+        time.sleep(0.15)
+        fresh = queue.leases.claim(job.id, "fast-worker")
+        assert fresh is not None
+        with pytest.raises(StaleLeaseError):
+            stale_queue.commit(job.id, stale, {"records": [], "csv": "", "summary": {}})
+        assert job.state == JobState.QUEUED  # the stale write changed nothing
+
+    def test_stale_marker_for_terminal_job_is_swept(self, queue, tmp_path):
+        job, _ = queue.submit(request())
+        FleetWorker(tmp_path / "store", poll=0.05).run(max_jobs=1)
+        # A crash between commit and marker cleanup leaves this behind.
+        queue.marker_path(job.id).touch()
+        stats = FleetWorker(tmp_path / "store", poll=0.05).run(max_jobs=1, idle_exit=0.2)
+        assert stats["claimed"] == 0
+        assert not queue.marker_path(job.id).exists()
+
+
+@pytest.fixture
+def fleet_replicas(tmp_path):
+    """Two stateless front ends over one store, plus their clients."""
+    store = tmp_path / "store"
+    servers, clients, threads = [], [], []
+    for _ in range(2):
+        server = create_server(ServiceConfig(port=0, fleet_root=store, capacity=8))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        servers.append(server)
+        threads.append(thread)
+        clients.append(ServiceClient(f"http://{host}:{port}", timeout=30.0))
+    yield store, clients
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+    for thread in threads:
+        thread.join(timeout=5)
+
+
+class TestStatelessReplicas:
+    def test_health_reports_fleet_mode(self, fleet_replicas):
+        _, clients = fleet_replicas
+        health = clients[0].health()
+        assert health["mode"] == "fleet"
+        assert health["store"] is not None
+
+    def test_submissions_coalesce_across_replicas(self, fleet_replicas):
+        _, clients = fleet_replicas
+        first = clients[0].submit(PAYLOAD)
+        second = clients[1].submit(PAYLOAD)
+        assert first["id"] == second["id"]
+        assert second["deduplicated"] is True
+
+    def test_any_replica_serves_any_job(self, fleet_replicas):
+        store, clients = fleet_replicas
+        submitted = clients[0].submit(PAYLOAD)
+        FleetWorker(store, poll=0.05).run(max_jobs=1)
+        snapshots = [client.job(str(submitted["id"])) for client in clients]
+        assert snapshots[0] == snapshots[1]
+        assert snapshots[0]["state"] == JobState.COMPLETE
+
+    def test_sse_stream_replays_store_backed_events(self, fleet_replicas):
+        store, clients = fleet_replicas
+        submitted = clients[0].submit(PAYLOAD)
+        FleetWorker(store, poll=0.05).run(max_jobs=1)
+        frames = list(clients[1].events(str(submitted["id"]), timeout=30))
+        names = [frame["event"] for frame in frames]
+        assert names[0] == JobState.QUEUED
+        assert names[-1] == JobState.COMPLETE
+
+    def test_replica_restart_loses_nothing(self, fleet_replicas):
+        store, clients = fleet_replicas
+        submitted = clients[0].submit(PAYLOAD)
+        FleetWorker(store, poll=0.05).run(max_jobs=1)
+        # A brand-new replica (fresh process in production) over the same
+        # store serves the completed job immediately.
+        server = create_server(ServiceConfig(port=0, fleet_root=store))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            newcomer = ServiceClient(f"http://{host}:{port}", timeout=30.0)
+            assert newcomer.job(str(submitted["id"]))["state"] == JobState.COMPLETE
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

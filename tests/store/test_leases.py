@@ -1,0 +1,186 @@
+"""Tests of the durable lease layer: claim races, fencing, heartbeats.
+
+The invariants under test are the ones the fleet's correctness rests on:
+a claim race yields exactly one owner, fencing tokens only move forward,
+heartbeat renewal extends expiry, and a writer holding a stale lease is
+rejected at validation time.
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import LeaseError, StaleLeaseError
+from repro.store import Lease, LeaseManager, default_owner_id
+
+
+@pytest.fixture
+def manager(tmp_path):
+    return LeaseManager(tmp_path, ttl=5.0)
+
+
+class TestLeaseRecord:
+    def test_payload_round_trip(self):
+        lease = Lease(name="job-1", owner="a:1:ff", token=3, deadline=123.0, ttl=5.0)
+        assert Lease.from_payload(lease.to_payload()) == lease
+
+    def test_unreadable_payload_rejected(self):
+        with pytest.raises(LeaseError, match="unreadable"):
+            Lease.from_payload({"name": "x", "owner": "y"})
+
+    def test_expiry(self):
+        lease = Lease(name="n", owner="o", token=1, deadline=time.time() + 60, ttl=60)
+        assert not lease.expired()
+        assert lease.expired(now=lease.deadline + 1)
+        assert Lease(**{**lease.to_payload(), "released": True}).expired()
+
+    def test_default_owner_ids_are_unique(self):
+        assert default_owner_id() != default_owner_id()
+
+    def test_nonpositive_ttl_rejected(self, tmp_path):
+        with pytest.raises(LeaseError, match="positive"):
+            LeaseManager(tmp_path, ttl=0)
+
+
+class TestClaim:
+    def test_first_claim_succeeds_with_token_one(self, manager):
+        lease = manager.claim("job-a", "owner-1")
+        assert lease is not None
+        assert lease.token == 1
+        assert lease.owner == "owner-1"
+        assert not lease.expired()
+
+    def test_live_lease_blocks_second_claimant(self, manager):
+        assert manager.claim("job-a", "owner-1") is not None
+        assert manager.claim("job-a", "owner-2") is None
+
+    def test_release_allows_reclaim_with_next_token(self, manager):
+        first = manager.claim("job-a", "owner-1")
+        manager.release(first)
+        second = manager.claim("job-a", "owner-2")
+        assert second is not None
+        assert second.token == first.token + 1
+
+    def test_expired_lease_reclaimed_with_next_token(self, tmp_path):
+        manager = LeaseManager(tmp_path, ttl=0.05)
+        first = manager.claim("job-a", "owner-1")
+        time.sleep(0.08)
+        second = manager.claim("job-a", "owner-2")
+        assert second is not None
+        assert second.owner == "owner-2"
+        assert second.token == first.token + 1
+
+    def test_concurrent_claim_race_yields_exactly_one_owner(self, manager):
+        barrier = threading.Barrier(8)
+
+        def contender(index):
+            barrier.wait()
+            return manager.claim("job-hot", f"owner-{index}")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(contender, range(8)))
+        winners = [lease for lease in outcomes if lease is not None]
+        assert len(winners) == 1
+        assert winners[0].token == 1
+
+    def test_tokens_strictly_monotonic_over_many_cycles(self, manager):
+        tokens = []
+        for cycle in range(5):
+            lease = manager.claim("job-a", f"owner-{cycle}")
+            tokens.append(lease.token)
+            manager.release(lease)
+        assert tokens == [1, 2, 3, 4, 5]
+
+
+class TestRenew:
+    def test_renewal_extends_deadline(self, manager):
+        lease = manager.claim("job-a", "owner-1")
+        time.sleep(0.01)
+        renewed = manager.renew(lease)
+        assert renewed.deadline > lease.deadline
+        assert renewed.token == lease.token
+
+    def test_renewal_after_reclaim_rejected(self, tmp_path):
+        manager = LeaseManager(tmp_path, ttl=0.05)
+        first = manager.claim("job-a", "owner-1")
+        time.sleep(0.08)
+        assert manager.claim("job-a", "owner-2") is not None
+        with pytest.raises(StaleLeaseError):
+            manager.renew(first)
+
+    def test_renewal_after_release_rejected(self, manager):
+        lease = manager.claim("job-a", "owner-1")
+        manager.release(lease)
+        with pytest.raises(StaleLeaseError):
+            manager.renew(lease)
+
+    def test_owner_can_resurrect_expired_unclaimed_lease(self, tmp_path):
+        manager = LeaseManager(tmp_path, ttl=0.05)
+        lease = manager.claim("job-a", "owner-1")
+        time.sleep(0.08)
+        renewed = manager.renew(lease)  # expiry only *permits* takeover
+        assert not renewed.expired()
+
+
+class TestValidate:
+    def test_live_lease_validates(self, manager):
+        lease = manager.claim("job-a", "owner-1")
+        manager.validate(lease)  # does not raise
+
+    def test_stale_writer_rejected_after_reclaim(self, tmp_path):
+        manager = LeaseManager(tmp_path, ttl=0.05)
+        stale = manager.claim("job-a", "owner-1")
+        time.sleep(0.08)
+        fresh = manager.claim("job-a", "owner-2")
+        with pytest.raises(StaleLeaseError, match="rejected"):
+            manager.validate(stale)
+        manager.validate(fresh)
+
+    def test_expired_unclaimed_lease_fails_validation(self, tmp_path):
+        manager = LeaseManager(tmp_path, ttl=0.05)
+        lease = manager.claim("job-a", "owner-1")
+        time.sleep(0.08)
+        with pytest.raises(StaleLeaseError):
+            manager.validate(lease)
+
+    def test_released_lease_fails_validation(self, manager):
+        lease = manager.claim("job-a", "owner-1")
+        manager.release(lease)
+        with pytest.raises(StaleLeaseError):
+            manager.validate(lease)
+
+
+class TestDurability:
+    def test_corrupt_record_treated_as_absent(self, manager):
+        lease = manager.claim("job-a", "owner-1")
+        manager.lease_path("job-a").write_text("{not json")
+        assert manager.peek("job-a") is None
+        fresh = manager.claim("job-a", "owner-2")
+        assert fresh is not None
+        with pytest.raises(StaleLeaseError):
+            manager.validate(lease)
+
+    def test_tampered_payload_detected_by_checksum(self, manager):
+        manager.claim("job-a", "owner-1")
+        path = manager.lease_path("job-a")
+        document = json.loads(path.read_text())
+        document["payload"]["owner"] = "intruder"
+        path.write_text(json.dumps(document))
+        assert manager.peek("job-a") is None
+
+    def test_release_of_lost_lease_is_noop(self, tmp_path):
+        manager = LeaseManager(tmp_path, ttl=0.05)
+        stale = manager.claim("job-a", "owner-1")
+        time.sleep(0.08)
+        fresh = manager.claim("job-a", "owner-2")
+        manager.release(stale)  # must not clobber owner-2's claim
+        manager.validate(fresh)
+
+    def test_locked_is_reentrant_within_a_thread(self, manager):
+        with manager.locked("job-a"):
+            with manager.locked("job-a"):
+                manager.claim("job-a", "owner-1")
+        assert manager.peek("job-a").owner == "owner-1"
