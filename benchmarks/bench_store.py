@@ -1,8 +1,11 @@
-"""Benchmark: warm-cache speedup and parity of the artifact store.
+"""Benchmark: warm-cache speedup, parity, and O(index) listings.
 
-Runs the quick cross-study matrix twice against a fresh artifact store —
-a cold run that simulates every repetition and a warm run that serves all
-of them from disk — and gates on two properties:
+Two phases, each with its own gate and trajectory file:
+
+**Warm-cache phase** (``BENCH_store.json``) runs the quick cross-study
+matrix twice against a fresh artifact store — a cold run that simulates
+every repetition and a warm run that serves all of them from disk — and
+gates on two properties:
 
 1. the warm run is at least ``--min-speedup`` times faster (default 5x:
    the store exists to make nightly reruns incremental, so a warm rerun
@@ -11,16 +14,23 @@ of them from disk — and gates on two properties:
    ``workers=1`` and ``workers=4`` — caching can never change a byte of
    any deterministic artifact.
 
+**Format-v2 listing phase** (``BENCH_store_v2.json``) populates a v1
+(JSONL) and a v2 (segments + indexed catalog) store with the same 50k+
+records, then times a full listing of each. The gate requires the v2
+``describe()`` to be at least ``--min-ls-speedup`` times faster (default
+20x) than the v1 full scan AND to open no record segment at all
+(``stats.segment_reads == 0``) — the O(index) property format v2 exists
+for. The phase also migrates the v1 store and verifies sampled keys
+decode bitwise identically.
+
 Run standalone (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_store.py            # full
     PYTHONPATH=src python benchmarks/bench_store.py --quick    # CI gate
 
-Results are printed and written to ``BENCH_store.json`` (override with
-``--out``). The JSON is written before exiting so CI can upload the
-trajectory even (especially) on failure. Unlike the scaling gates, this
-gate has no hardware prerequisites: a warm cache is pure IO on any
-machine.
+The JSON trajectories are written before exiting so CI can upload them
+even (especially) on failure. Unlike the scaling gates, these gates have
+no hardware prerequisites: both phases are pure IO on any machine.
 """
 
 from __future__ import annotations
@@ -35,13 +45,101 @@ from dataclasses import replace
 from pathlib import Path
 
 from repro.experiments.matrix import DEFAULT_ESTIMATORS, MatrixConfig, run_matrix
-from repro.store import ArtifactStore
+from repro.store import ArtifactStore, canonical_json
 
 
 def _timed_matrix(config: MatrixConfig, store: "ArtifactStore | None"):
     started = time.perf_counter()
     result = run_matrix(config, store=store)
     return result, time.perf_counter() - started
+
+
+def _payloads(count: int):
+    return {i: {"estimate": float(i) * 1e-5, "n": i} for i in range(count)}
+
+
+def _v1_scan_listing(root) -> int:
+    """What listing a v1 store costs: parse every line of every record file."""
+    store = ArtifactStore.open(root)
+    return sum(len(store.get(key)) for key in store.iter_keys())
+
+
+def bench_v2_listing(args) -> "tuple[dict, bool]":
+    """Populate identical v1/v2 stores with 50k+ records and time listings."""
+    n_keys, per_key = args.ls_keys, args.ls_records_per_key
+    keys = [f"{i:032x}" for i in range(n_keys)]
+    print(f"\n== format-v2 listing benchmark ({n_keys} keys x {per_key} records) ==")
+
+    with tempfile.TemporaryDirectory(prefix="bench-store-v2-") as tmp:
+        root_v1, root_v2 = Path(tmp) / "v1", Path(tmp) / "v2"
+        v1_writer = ArtifactStore(root_v1, version=1)
+        v2_writer = ArtifactStore(root_v2)
+        for key in keys:
+            payloads = _payloads(per_key)
+            v1_writer.put(key, payloads)
+            v2_writer.put(key, payloads)
+        v2_writer.close()
+        v2_writer.compact_index()
+
+        started = time.perf_counter()
+        v1_records = _v1_scan_listing(root_v1)
+        v1_time = time.perf_counter() - started
+        print(f"v1 full scan: {v1_time:.3f}s ({v1_records} records)")
+
+        reader = ArtifactStore.open(root_v2)
+        started = time.perf_counter()
+        document = reader.describe()
+        v2_time = time.perf_counter() - started
+        segment_reads = reader.stats.segment_reads
+        v2_records = document["totals"]["records"]
+        print(f"v2 describe(): {v2_time:.3f}s ({v2_records} records, "
+              f"{segment_reads} segment reads)")
+
+        started = time.perf_counter()
+        migrated = ArtifactStore.open(root_v1).migrate()
+        migrate_time = time.perf_counter() - started
+        sample = [keys[0], keys[n_keys // 2], keys[-1]]
+        reference = {index: canonical_json(p) for index, p in _payloads(per_key).items()}
+        migrated_store = ArtifactStore.open(root_v1)
+        parity = all(
+            {i: canonical_json(p) for i, p in migrated_store.get(key).items()} == reference
+            for key in sample
+        )
+        print(f"v1->v2 migration: {migrate_time:.3f}s "
+              f"({migrated['records_migrated']} records, sampled parity={parity})")
+
+    speedup = v1_time / v2_time if v2_time > 0 else float("inf")
+    counted_ok = v1_records == v2_records == n_keys * per_key
+    gate_ok = (
+        speedup >= args.min_ls_speedup and segment_reads == 0 and parity and counted_ok
+    )
+    results = {
+        "benchmark": "store-v2-listing",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "keys": n_keys,
+        "records_per_key": per_key,
+        "records": n_keys * per_key,
+        "v1_scan_seconds": round(v1_time, 4),
+        "v2_ls_seconds": round(v2_time, 4),
+        "ls_speedup": round(speedup, 1),
+        "v2_segment_reads": segment_reads,
+        "migrate": {
+            "seconds": round(migrate_time, 3),
+            "records_migrated": migrated["records_migrated"],
+            "parity_sample_keys": len(sample),
+            "parity": parity,
+        },
+        "gate": {
+            "criterion": (
+                f"v2 listing >= {args.min_ls_speedup}x faster than v1 full scan, "
+                "zero record-segment reads, and bitwise migration parity"
+            ),
+            "min_ls_speedup": args.min_ls_speedup,
+            "status": "passed" if gate_ok else "failed",
+        },
+    }
+    return results, gate_ok
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -63,6 +161,30 @@ def main(argv: "list[str] | None" = None) -> int:
         type=Path,
         default=Path("BENCH_store.json"),
         help="output JSON path (default: ./BENCH_store.json)",
+    )
+    parser.add_argument(
+        "--min-ls-speedup",
+        type=float,
+        default=20.0,
+        help="required v1-scan/v2-listing wall-time ratio (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--ls-keys",
+        type=int,
+        default=500,
+        help="keys in the listing benchmark stores (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--ls-records-per-key",
+        type=int,
+        default=100,
+        help="records per key in the listing benchmark (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--v2-out",
+        type=Path,
+        default=Path("BENCH_store_v2.json"),
+        help="listing-phase JSON path (default: ./BENCH_store_v2.json)",
     )
     args = parser.parse_args(argv)
 
@@ -127,6 +249,10 @@ def main(argv: "list[str] | None" = None) -> int:
     args.out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.out}")
 
+    v2_results, v2_ok = bench_v2_listing(args)
+    args.v2_out.write_text(json.dumps(v2_results, indent=2) + "\n")
+    print(f"wrote {args.v2_out}")
+
     if not parity_ok:
         broken = [name for name, ok in parity.items() if not ok]
         print(f"FAIL: cached artifacts are not bitwise identical: {', '.join(broken)}")
@@ -134,7 +260,18 @@ def main(argv: "list[str] | None" = None) -> int:
     if not speedup_ok:
         print(f"FAIL: warm-cache speedup {speedup:.1f}x < required {args.min_speedup}x")
         return 1
+    if not v2_ok:
+        print(
+            f"FAIL: v2 listing gate — {v2_results['ls_speedup']}x speedup "
+            f"(need {args.min_ls_speedup}x), {v2_results['v2_segment_reads']} segment "
+            f"reads (need 0), migration parity={v2_results['migrate']['parity']}"
+        )
+        return 1
     print(f"gate: passed — {speedup:.1f}x warm-cache speedup, bitwise parity")
+    print(
+        f"gate: passed — {v2_results['ls_speedup']}x O(index) listing speedup, "
+        "0 segment reads, migration parity"
+    )
     return 0
 
 

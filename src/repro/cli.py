@@ -371,98 +371,128 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
-def _store_ls(store: ArtifactStore, as_json: bool = False) -> int:
-    """List the store's runs and record files (optionally as JSON)."""
-    manifests = store.list_manifests()
-    keys = store.keys()
-    if as_json:
-        document = {
-            "root": str(store.root),
-            "runs": [
-                {
-                    "run_id": m.run_id,
-                    "command": m.command,
-                    "status": m.status,
-                    "keys": len(m.keys),
-                    "created": m.created,
-                }
-                for m in manifests
-            ],
-            "records": [
-                {
-                    "key": key,
-                    "records": store.record_count(key),
-                    "bytes": store.record_path(key).stat().st_size,
-                }
-                for key in keys
-            ],
-        }
+def _store_ls(store: ArtifactStore, fmt: str) -> int:
+    """List the store's runs and records (O(index): no segment is read)."""
+    document = store.describe()
+    if fmt == "json":
         print(json.dumps(document, indent=2))
         return 0
-    print(f"artifact store at {store.root}")
-    print(f"runs: {len(manifests)}")
-    for manifest in manifests:
-        created = f"  {manifest.created}" if manifest.created else ""
+    totals = document["totals"]
+    print(f"artifact store at {document['root']} (format v{document['format']})")
+    print(f"runs: {totals['runs']}")
+    for run in document["runs"]:
+        created = f"  {run['created']}" if run["created"] else ""
         print(
-            f"  {manifest.run_id:<18} {manifest.command:<8} {manifest.status:<9}"
-            f" {len(manifest.keys)} key(s){created}"
+            f"  {run['run_id']:<18} {run['command']:<8} {run['status']:<9}"
+            f" {run['keys']} key(s){created}"
         )
-    total_bytes = sum(store.record_path(key).stat().st_size for key in keys)
-    print(f"record files: {len(keys)} ({total_bytes:,} bytes)")
-    for key in keys:
-        print(f"  {key}  {store.record_count(key)} record(s)")
+    print(f"records: {totals['keys']} key(s), {totals['records']} record(s), "
+          f"{totals['bytes']:,} bytes")
+    for entry in document["records"]:
+        legacy = "  [legacy v1]" if entry["legacy"] else ""
+        print(f"  {entry['key']}  {entry['records']} record(s){legacy}")
     return 0
 
 
-def _store_inspect(store: ArtifactStore, run_id: str | None, key: str | None) -> int:
-    """Validate record files; show one run's manifest or one key's records."""
+def _store_inspect(store: ArtifactStore, run_id: str | None, key: str | None, fmt: str) -> int:
+    """Validate stored records; show one run's manifest or one key's records."""
+    manifest = None
     if run_id is not None:
         manifest = store.load_manifest(run_id)
-        print(manifest.to_json())
         keys = list(manifest.keys)
-        if not keys:
-            print("(run lists no keys yet — it has not completed)")
     else:
-        keys = [key] if key is not None else store.keys()
+        keys = [key] if key is not None else list(store.iter_keys())
+    checked = []
     status = 0
     for k in keys:
         valid, problems = store.verify(k)
-        line = f"{k}  {valid} valid record(s)"
         if problems:
             status = 1
-            line += f", {len(problems)} problem(s)"
+        checked.append({"key": k, "records": valid, "problems": problems})
+    if fmt == "json":
+        document = {
+            "root": str(store.root),
+            "format": store.version,
+            "run": None if manifest is None else json.loads(manifest.to_json()),
+            "records": checked,
+            "ok": status == 0,
+        }
+        print(json.dumps(document, indent=2))
+        return status
+    if manifest is not None:
+        print(manifest.to_json())
+        if not manifest.keys:
+            print("(run lists no keys yet — it has not completed)")
+    for entry in checked:
+        line = f"{entry['key']}  {entry['records']} valid record(s)"
+        if entry["problems"]:
+            line += f", {len(entry['problems'])} problem(s)"
         print(line)
-        for problem in problems:
+        for problem in entry["problems"]:
             print(f"    {problem}")
     return status
 
 
-def _store_gc(store: ArtifactStore, drop_unreferenced: bool) -> int:
-    """Compact record files, dropping corrupt lines and optional orphans."""
-    counters = store.gc(drop_unreferenced=drop_unreferenced)
+def _store_gc(
+    store: ArtifactStore,
+    drop_unreferenced: bool,
+    dry_run: bool,
+    older_than: float | None,
+    fmt: str,
+) -> int:
+    """Compact segments and record files, dropping corrupt frames and orphans."""
+    counters = store.gc(
+        drop_unreferenced=drop_unreferenced, dry_run=dry_run, older_than=older_than
+    )
+    if fmt == "json":
+        print(json.dumps({"root": str(store.root), "format": store.version, **counters}, indent=2))
+        return 0
+    prefix = "would keep" if dry_run else "kept"
     print(
-        f"kept {counters['records_kept']} record(s), "
-        f"dropped {counters['lines_dropped']} corrupt/duplicate line(s), "
-        f"deleted {counters['files_deleted']} file(s)"
+        f"{prefix} {counters['records_kept']} record(s), "
+        f"dropped {counters['lines_dropped']} corrupt/duplicate record(s), "
+        f"dropped {counters['keys_dropped']} orphaned key(s), "
+        f"deleted {counters['files_deleted']} file(s) and "
+        f"{counters['segments_removed']} segment(s)"
     )
     if drop_unreferenced and counters["in_flight_runs"]:
         print(
             f"note: {counters['in_flight_runs']} run(s) still 'running' — "
-            "unreferenced files kept (an interrupted run records its keys "
+            "unreferenced records kept (an interrupted run records its keys "
             "only on completion, so its resumable records look like orphans)"
         )
     return 0
 
 
+def _store_migrate(store: ArtifactStore, keep_v1: bool, fmt: str) -> int:
+    """Rewrite legacy v1 JSON-lines records into format v2 segments."""
+    counters = store.migrate(keep_v1=keep_v1)
+    if fmt == "json":
+        print(json.dumps({"root": str(store.root), "format": store.version, **counters}, indent=2))
+        return 0
+    print(
+        f"migrated {counters['records_migrated']} record(s) across "
+        f"{counters['keys_migrated']} key(s), skipped {counters['lines_skipped']} "
+        f"corrupt/already-indexed line(s), removed {counters['files_removed']} "
+        f"legacy file(s)"
+    )
+    return 0
+
+
 def cmd_store(args: argparse.Namespace) -> int:
-    """Artifact-store maintenance: ls, inspect, gc."""
+    """Artifact-store maintenance: ls, inspect, gc, migrate."""
     store = ArtifactStore(args.store)
+    fmt = getattr(args, "format", "table")
+    if getattr(args, "json", False):
+        fmt = "json"
     try:
         if args.store_command == "ls":
-            return _store_ls(store, as_json=args.json)
+            return _store_ls(store, fmt)
         if args.store_command == "inspect":
-            return _store_inspect(store, args.run, args.key)
-        return _store_gc(store, args.drop_unreferenced)
+            return _store_inspect(store, args.run, args.key, fmt)
+        if args.store_command == "migrate":
+            return _store_migrate(store, args.keep_v1, fmt)
+        return _store_gc(store, args.drop_unreferenced, args.dry_run, args.older_than, fmt)
     except StoreError as error:
         raise SystemExit(str(error)) from None
 
@@ -686,21 +716,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("store", help="artifact-store maintenance")
     store_sub = p.add_subparsers(dest="store_command", required=True)
-    q = store_sub.add_parser("ls", help="list runs and record files")
-    q.add_argument("--store", type=Path, required=True, help="store directory")
+
+    def _store_common(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--store", type=Path, required=True, help="store directory")
+        q.add_argument(
+            "--format",
+            choices=("json", "table"),
+            default="table",
+            help="output contract: 'json' emits one machine-readable document "
+            "with the same field names the HTTP service's store endpoint "
+            "serves (default: %(default)s)",
+        )
+
+    q = store_sub.add_parser("ls", help="list runs and stored records (O(index))")
+    _store_common(q)
     q.add_argument(
-        "--json", action="store_true", help="machine-readable output (one JSON document)"
+        "--json",
+        action="store_true",
+        help="deprecated alias of --format json",
     )
     q = store_sub.add_parser("inspect", help="validate record integrity; show a run or a key")
-    q.add_argument("--store", type=Path, required=True, help="store directory")
+    _store_common(q)
     q.add_argument("--run", default=None, metavar="RUN_ID", help="show one run's manifest")
     q.add_argument("--key", default=None, help="restrict to one config key")
-    q = store_sub.add_parser("gc", help="compact record files: drop corrupt lines and duplicates")
-    q.add_argument("--store", type=Path, required=True, help="store directory")
+    q = store_sub.add_parser(
+        "gc", help="compact segments and record files: drop corrupt records and duplicates"
+    )
+    _store_common(q)
     q.add_argument(
         "--drop-unreferenced",
         action="store_true",
-        help="also delete record files no run manifest references",
+        help="also delete records no run manifest references",
+    )
+    q.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would happen without touching the store (strictly read-only)",
+    )
+    q.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="spare segments and record files modified within the last "
+        "SECONDS (safe beside live writers)",
+    )
+    q = store_sub.add_parser(
+        "migrate", help="rewrite legacy v1 JSON-lines records into format v2 segments"
+    )
+    _store_common(q)
+    q.add_argument(
+        "--keep-v1",
+        action="store_true",
+        help="leave the legacy records/ files in place after migrating",
     )
 
     p = sub.add_parser("fig5", help="Figure 5 probability curve")

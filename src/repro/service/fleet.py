@@ -249,7 +249,9 @@ class FleetQueue:
     ----------
     store_root : path-like
         The shared artifact-store directory (jobs live under its
-        ``fleet/`` subdirectory; repetition records under ``records/``).
+        ``fleet/`` subdirectory; repetition records in indexed binary
+        segments under ``segments/``, with legacy v1 stores read
+        through transparently).
     registry : StudyRegistry, optional
         The catalogue study names resolve through.
     capacity : int, optional
@@ -593,7 +595,7 @@ class FleetWorker:
             result = execute_request(
                 request,
                 registry=self.registry,
-                store=ArtifactStore(queue.store_root),
+                store=ArtifactStore.open(queue.store_root),
                 progress=_progress,
             )
         except (ModelError, EstimationError, ServiceError, StoreError) as exc:

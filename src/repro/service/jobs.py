@@ -402,7 +402,7 @@ def execute_job(
     per-job, and any library error becomes the job's failure reason.
     """
     job.mark_running()
-    store = ArtifactStore(store_root) if store_root is not None else None
+    store = ArtifactStore.open(store_root) if store_root is not None else None
     try:
         result = execute_request(
             job.request, registry=registry, store=store, progress=job.record_progress

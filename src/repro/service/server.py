@@ -4,6 +4,8 @@ Endpoints (all JSON unless noted)::
 
     GET  /healthz              liveness + queue/job accounting
     GET  /v1/studies           the study registry, as the CLI sees it
+    GET  /v1/store             the artifact store's O(index) summary
+                               (same document as `repro store ls --format json`)
     POST /v1/jobs              submit a job (201; 409-free dedup; 429 full)
     GET  /v1/jobs              list all jobs (snapshots)
     GET  /v1/jobs/{id}         one job's snapshot (result once complete)
@@ -33,6 +35,7 @@ from repro.errors import QueueFullError, ServiceError
 from repro.models.registry import REGISTRY, StudyRegistry
 from repro.service.fleet import FleetQueue
 from repro.service.jobs import Job, JobQueue, JobRequest, JobState
+from repro.store.store import ArtifactStore
 
 __all__ = [
     "EstimationService",
@@ -145,6 +148,20 @@ class EstimationService:
             ]
         }
 
+    def store_summary(self) -> "dict[str, object]":
+        """The ``/v1/store`` document.
+
+        Exactly :meth:`~repro.store.store.ArtifactStore.describe` — the
+        same field names ``repro store ls --format json`` prints, built
+        from the index alone (no record segment is read). 404 when the
+        instance runs storeless.
+        """
+        fleet = self.config.fleet_root
+        root = fleet if fleet is not None else self.config.store_root
+        if root is None:
+            raise ServiceError("this service instance runs without an artifact store", status=404)
+        return ArtifactStore.open(root).describe()
+
     def submit(self, payload: "dict[str, object]") -> "tuple[dict[str, object], int]":
         """Validate and enqueue a submission body.
 
@@ -236,6 +253,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(self.service.health())
             elif path == "/v1/studies":
                 self._send_json(self.service.studies())
+            elif path == "/v1/store":
+                self._send_json(self.service.store_summary())
             elif path == "/v1/jobs":
                 self._send_json(self.service.jobs())
             elif path.startswith("/v1/jobs/") and path.endswith("/events"):

@@ -1,4 +1,4 @@
-"""Content-addressed experiment artifact store.
+"""Content-addressed experiment artifact store (format v2).
 
 The Section VI experiments are repetition-heavy Monte Carlo fan-outs in
 which every repetition is a pure function of ``(configuration, seed)``.
@@ -7,25 +7,44 @@ what actually changed:
 
 * :mod:`repro.store.keys` — stable :func:`config_key` hashing of study
   content, estimator configuration, root seed entropy and code versions;
-* :mod:`repro.store.store` — the :class:`ArtifactStore` itself
-  (JSON-lines record files, integrity checksums, run manifests,
-  hit/miss accounting, gc);
+* :mod:`repro.store.format` — binary record segments: length-prefixed,
+  CRC-checked frames around the exact canonical-JSON payload bytes;
+* :mod:`repro.store.index` — the durable indexed catalog (append-only
+  per-writer index segments compacted into a sorted key → coordinates
+  map) that makes listings, lookups and gc O(index);
+* :mod:`repro.store.store` — the :class:`ArtifactStore` facade itself
+  (versioned ``open``, ``get``/``put``/``iter_keys``/``stats``, run
+  manifests, ``describe``/``verify``/``gc``/``migrate`` maintenance,
+  transparent read-through of legacy v1 JSON-lines stores);
 * :mod:`repro.store.cache` — :func:`map_repetitions_cached`, the drop-in
   cache-aware variant of the parallel repetition fan-out;
 * :mod:`repro.store.leases` — durable, fenced job leases (owner id,
-  heartbeat deadline, monotonic fencing token) the fleet layer
-  coordinates multi-process workers through;
+  heartbeat deadline, monotonic fencing token) the fleet layer and the
+  store's own maintenance operations coordinate through;
 * :mod:`repro.store.codecs` — exact-round-trip JSON codecs for the
   result records the experiments aggregate.
 
 The experiments (:mod:`repro.experiments`) accept ``store=`` and consult
 the cache before dispatching repetitions; the CLI exposes ``--store``,
-``--resume`` and the ``repro store ls|inspect|gc`` maintenance commands.
-Cached and freshly computed repetitions produce bitwise-identical
-artifacts at every worker count.
+``--resume`` and the ``repro store ls|inspect|gc|migrate`` maintenance
+commands. Cached and freshly computed repetitions produce
+bitwise-identical artifacts at every worker count, whether the records
+were written by v2 or migrated from v1.
+
+Deprecation policy
+------------------
+The blessed public surface is what this module re-exports. Within it,
+:class:`ArtifactStore`'s stable contract is ``open``/``get``/``put``/
+``iter_keys``/``key_stats``/``describe``/``stats`` plus the maintenance
+verbs; the v1-era methods (``record_path``, ``load``, ``append``,
+``keys``, ``record_count``, ``compact``) emit a ``DeprecationWarning``
+once per process as of 0.8 and will be removed in 1.0. Anything not
+re-exported here is internal and may change without notice.
 """
 
 from repro.store.cache import map_repetitions_cached
+from repro.store.format import SegmentWriter, scan_segment
+from repro.store.index import IndexEntry
 from repro.store.keys import (
     STORE_SCHEMA,
     canonical_json,
@@ -38,15 +57,24 @@ from repro.store.keys import (
     seed_entropy,
 )
 from repro.store.leases import Lease, LeaseManager, default_owner_id
-from repro.store.store import ArtifactStore, RunManifest, RunRecord, StoreStats
+from repro.store.store import (
+    FORMAT_VERSION,
+    ArtifactStore,
+    RunManifest,
+    RunRecord,
+    StoreStats,
+)
 
 __all__ = [
     "ArtifactStore",
+    "FORMAT_VERSION",
+    "IndexEntry",
     "Lease",
     "LeaseManager",
     "RunManifest",
     "RunRecord",
     "STORE_SCHEMA",
+    "SegmentWriter",
     "StoreStats",
     "canonical_json",
     "code_versions",
@@ -57,5 +85,6 @@ __all__ = [
     "fingerprint_chain",
     "fingerprint_matrix",
     "map_repetitions_cached",
+    "scan_segment",
     "seed_entropy",
 ]

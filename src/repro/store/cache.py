@@ -4,7 +4,7 @@
 experiments layer and the artifact store: it looks the run's config key up
 in the store, decodes the repetitions already on disk, dispatches *only*
 the misses through :func:`~repro.experiments.runner.map_repetitions`, and
-appends the freshly computed records — preserving seed order throughout,
+``put``s the freshly computed records — preserving seed order throughout,
 so the merged result list (and therefore every artifact derived from it)
 is bitwise identical to an uncached run at any worker count.
 
@@ -75,7 +75,7 @@ def map_repetitions_cached(
     if key is None or encode is None or decode is None:
         raise ValueError("a store-backed run needs key=, encode= and decode=")
     store.touched_keys.add(key)
-    cached = store.load(key)
+    cached = store.get(key)
     results: "list[T | None]" = [None] * len(seeds)
     miss_indices: "list[int]" = []
     for index in range(len(seeds)):
@@ -102,5 +102,5 @@ def map_repetitions_cached(
         for index, value in zip(miss_indices, computed):
             results[index] = value
             fresh[index] = encode(value)
-        store.append(key, fresh)
+        store.put(key, fresh)
     return results  # type: ignore[return-value]

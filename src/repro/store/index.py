@@ -1,0 +1,336 @@
+"""The store's durable indexed catalog (format v2).
+
+The catalog maps every config key to the ``(segment, offset, length)``
+coordinates of its record frames, so listings, integrity checks, gc
+planning and cache lookups are O(index) — no record segment is ever
+opened just to answer "what is stored?".
+
+The index is itself written with the same crash discipline as the
+segments, in two tiers under ``<root>/index/``:
+
+``delta-<segment>.jsonl``
+    Append-only per-writer index segments. After flushing frames to its
+    exclusively-owned record segment, a writer appends one checksummed
+    JSON line per ``put`` batch to the delta file *named after that
+    segment* — so delta files inherit the segment files' no-sharing
+    property and need no locking. A torn tail line (crashed writer) is
+    detected by its checksum and skipped; the frames it described are
+    simply absent from the index, i.e. recomputable cache misses.
+
+``catalog.json``
+    The compacted sorted key → coordinates map, covering every delta
+    absorbed so far. Published atomically via ``os.replace``, so readers
+    see either the old or the new catalog, never a torn one. The file
+    has two parts: a header line carrying a CRC32 of the body bytes and
+    a per-key ``[records, bytes]`` summary, then the body with the full
+    coordinate rows. Listings (``store ls``, ``describe``) parse only
+    the header — O(keys), not O(entries) — while coordinate readers
+    (``get``, ``gc``, ``verify``) parse the body. Compaction
+    (:func:`compact`) merges the current catalog with all delta files
+    and deletes the absorbed deltas; the store fences it with the
+    :class:`~repro.store.leases.LeaseManager` so two maintenance
+    processes never interleave.
+
+Reading the index (:func:`load_index`) is always catalog + live deltas,
+so a reader needs no compaction to see fresh writes. Entries are
+*advisory*: every frame re-verifies its own CRC on read, so a stale or
+duplicated index entry can at worst cause a recompute, never a wrong
+result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StoreError
+from repro.store.keys import payload_checksum
+
+__all__ = [
+    "CATALOG_VERSION",
+    "IndexEntry",
+    "append_delta",
+    "compact",
+    "delta_path",
+    "load_catalog",
+    "load_catalog_summary",
+    "load_deltas",
+    "load_index",
+    "write_catalog",
+]
+
+#: Catalog/delta document version (bumped on incompatible layout changes).
+CATALOG_VERSION = 2
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Coordinates of one record frame.
+
+    Attributes
+    ----------
+    segment:
+        Record segment file name under ``segments/``.
+    offset, length:
+        Byte position and size of the frame within the segment.
+    index:
+        Repetition index the frame stores (copied into the index so
+        listings and prefix checks never open a segment).
+    """
+
+    segment: str
+    offset: int
+    length: int
+    index: int
+
+    def to_row(self) -> "list[object]":
+        """Compact JSON row form ``[segment, offset, length, index]``."""
+        return [self.segment, self.offset, self.length, self.index]
+
+    @staticmethod
+    def from_row(row: object) -> "IndexEntry":
+        """Rebuild an entry from its row form (StoreError when malformed)."""
+        if not isinstance(row, (list, tuple)) or len(row) != 4:
+            raise StoreError(f"malformed index row: {row!r}")
+        segment, offset, length, index = row
+        try:
+            return IndexEntry(
+                segment=str(segment), offset=int(offset), length=int(length), index=int(index)
+            )
+        except (TypeError, ValueError) as error:
+            raise StoreError(f"malformed index row {row!r}: {error}") from None
+
+
+def delta_path(index_dir: Path, segment: str) -> Path:
+    """The append-only index segment paired with record segment *segment*."""
+    return index_dir / f"delta-{segment}.jsonl"
+
+
+def catalog_path(index_dir: Path) -> Path:
+    """The compacted catalog document."""
+    return index_dir / "catalog.json"
+
+
+def append_delta(
+    index_dir: Path, segment: str, entries: "Mapping[str, Iterable[IndexEntry]]"
+) -> None:
+    """Publish one ``put`` batch to *segment*'s index segment.
+
+    The line is appended only after the record frames it describes are
+    flushed; a crash before this call leaves unindexed (invisible)
+    frames, a crash during it leaves a checksum-failing torn line —
+    either way the index never points at bytes that were not written.
+    """
+    payload = {
+        "segment": segment,
+        "keys": {key: [entry.to_row() for entry in batch] for key, batch in entries.items()},
+    }
+    line = json.dumps(
+        {"v": CATALOG_VERSION, "check": payload_checksum(payload), "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    index_dir.mkdir(parents=True, exist_ok=True)
+    with delta_path(index_dir, segment).open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+
+
+def _read_delta(path: Path) -> "dict[str, list[IndexEntry]]":
+    entries: "dict[str, list[IndexEntry]]" = {}
+    try:
+        text = path.read_text()
+    except OSError:
+        return entries
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail line: the writer crashed mid-append
+        if not isinstance(document, dict) or "payload" not in document:
+            continue
+        payload = document["payload"]
+        if document.get("check") != payload_checksum(payload):
+            continue
+        keys = payload.get("keys")
+        if not isinstance(keys, dict):
+            continue
+        for key, rows in keys.items():
+            if not isinstance(rows, list):
+                continue
+            batch = entries.setdefault(str(key), [])
+            for row in rows:
+                try:
+                    batch.append(IndexEntry.from_row(row))
+                except StoreError:
+                    continue
+    return entries
+
+
+def _summarise(batch: "list[IndexEntry]") -> "list[int]":
+    """Per-key ``[records, bytes]`` under last-entry-wins semantics."""
+    winners: "dict[int, int]" = {}
+    for entry in batch:
+        winners[entry.index] = entry.length
+    return [len(winners), sum(winners.values())]
+
+
+def _read_catalog_parts(index_dir: Path) -> "tuple[dict | None, bytes]":
+    """The catalog's verified ``(header, body_bytes)``; ``(None, b"")`` when
+    the file is absent, torn or fails its CRC."""
+    try:
+        blob = catalog_path(index_dir).read_bytes()
+    except OSError:
+        return None, b""
+    header_bytes, sep, body = blob.partition(b"\n")
+    if not sep:
+        return None, b""
+    try:
+        header = json.loads(header_bytes)
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None, b""
+    if not isinstance(header, dict) or header.get("crc") != zlib.crc32(body):
+        return None, b""
+    return header, body
+
+
+def load_catalog_summary(index_dir: Path) -> "dict[str, tuple[int, int]]":
+    """Per-key ``(records, bytes)`` from the catalog header alone.
+
+    This is the O(keys) listing path: no coordinate row is parsed, no
+    :class:`IndexEntry` constructed. Empty when the catalog is absent or
+    torn (callers fall back to an empty index, same as
+    :func:`load_catalog`).
+    """
+    header, _ = _read_catalog_parts(index_dir)
+    summary = header.get("summary") if header else None
+    if not isinstance(summary, dict):
+        return {}
+    parsed: "dict[str, tuple[int, int]]" = {}
+    for key, pair in summary.items():
+        if (
+            isinstance(pair, list)
+            and len(pair) == 2
+            and all(isinstance(v, int) and not isinstance(v, bool) for v in pair)
+        ):
+            parsed[str(key)] = (pair[0], pair[1])
+    return parsed
+
+
+def load_catalog(index_dir: Path) -> "dict[str, list[IndexEntry]]":
+    """The compacted catalog's key → entries map (empty when absent/torn)."""
+    _, body = _read_catalog_parts(index_dir)
+    if not body:
+        return {}
+    try:
+        document = json.loads(body)
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {}
+    keys = document.get("keys") if isinstance(document, dict) else None
+    if not isinstance(keys, dict):
+        return {}
+    catalog: "dict[str, list[IndexEntry]]" = {}
+    for key, rows in keys.items():
+        if not isinstance(rows, list):
+            continue
+        batch: "list[IndexEntry]" = []
+        for row in rows:
+            try:
+                batch.append(IndexEntry.from_row(row))
+            except StoreError:
+                continue
+        if batch:
+            catalog[str(key)] = batch
+    return catalog
+
+
+def write_catalog(index_dir: Path, catalog: "Mapping[str, Iterable[IndexEntry]]") -> Path:
+    """Atomically publish a compacted catalog (sorted keys, CRC-checked)."""
+    batches = {key: batch for key in sorted(catalog) if (batch := list(catalog[key]))}
+    body = json.dumps(
+        {"keys": {key: [entry.to_row() for entry in batch] for key, batch in batches.items()}},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8") + b"\n"
+    header = {
+        "v": CATALOG_VERSION,
+        "crc": zlib.crc32(body),
+        "summary": {key: _summarise(batch) for key, batch in batches.items()},
+    }
+    index_dir.mkdir(parents=True, exist_ok=True)
+    path = catalog_path(index_dir)
+    tmp = path.with_suffix(f".tmp-{os.getpid()}-{os.urandom(2).hex()}")
+    tmp.write_bytes(
+        json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8") + b"\n" + body
+    )
+    os.replace(tmp, path)
+    return path
+
+
+def load_deltas(index_dir: Path) -> "dict[str, list[IndexEntry]]":
+    """Entries published in live (not yet compacted) delta files only.
+
+    Listings use this to decide which keys need the full coordinate
+    merge: a key with no delta entries is fully described by the catalog
+    header's summary.
+    """
+    merged: "dict[str, list[IndexEntry]]" = {}
+    if index_dir.is_dir():
+        for path in sorted(index_dir.glob("delta-*.jsonl")):
+            for key, batch in _read_delta(path).items():
+                merged.setdefault(key, []).extend(batch)
+    return merged
+
+
+def load_index(index_dir: Path) -> "dict[str, list[IndexEntry]]":
+    """The full current index: compacted catalog merged with live deltas.
+
+    Freshly computed on every call (no caching), so a reader always sees
+    the latest published writes of every process sharing the store.
+    Duplicate coordinates are possible when a recompute re-stored an
+    index that already had an entry; all of them are valid (records are
+    pure functions of their ``(key, index)``), and the reader's
+    last-entry-wins merge matches v1's last-line-wins semantics.
+    """
+    merged = {key: list(batch) for key, batch in load_catalog(index_dir).items()}
+    for key, batch in load_deltas(index_dir).items():
+        merged.setdefault(key, []).extend(batch)
+    return merged
+
+
+def compact(index_dir: Path) -> "dict[str, int]":
+    """Fold every delta file into the catalog and delete the absorbed deltas.
+
+    Callers must fence this with the store's maintenance lease: two
+    concurrent compactions could each absorb-and-delete deltas the other
+    never read. A writer racing the compaction can lose freshly appended
+    delta lines (its open handle keeps writing to the unlinked file) —
+    that demotes cached repetitions to recomputable misses, never
+    corrupts results, and is why compaction runs only inside explicit
+    maintenance commands, not on the write path.
+
+    Returns
+    -------
+    dict
+        Counters: ``deltas_absorbed``, ``keys`` and ``entries`` in the
+        published catalog.
+    """
+    merged = load_index(index_dir)
+    deltas = sorted(index_dir.glob("delta-*.jsonl")) if index_dir.is_dir() else []
+    write_catalog(index_dir, merged)
+    for path in deltas:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    return {
+        "deltas_absorbed": len(deltas),
+        "keys": len(merged),
+        "entries": sum(len(batch) for batch in merged.values()),
+    }

@@ -1,51 +1,110 @@
 """The on-disk experiment artifact store.
 
-Layout under the store root::
+Format v2 layout under the store root::
 
     <root>/
-        records/<key[:2]>/<key>.jsonl    one line per cached repetition
+        FORMAT                           format marker ("2")
+        segments/seg-<writer>.seg        binary record segments (format.py)
+        index/catalog.json               compacted key → coordinates map
+        index/delta-<segment>.jsonl      append-only per-writer index segments
         runs/<run-id>.json               one manifest per resumable run
+        records/<key[:2]>/<key>.jsonl    legacy v1 records (read-through)
 
-Record files are JSON-lines: append-only, human-inspectable, and safe to
-extend — a crashed run leaves at worst one truncated trailing line, which
-the integrity checksum detects and the next run recomputes. Every line
-carries the config key it belongs to and a checksum of its payload, so a
-file that was moved, concatenated or bit-rotted is caught on load instead
-of silently corrupting an experiment.
+Records are framed binary (length prefix + CRC32 around the exact
+canonical-JSON payload bytes — the float round-trip guarantees of
+:mod:`repro.store.codecs` are untouched) and located through the indexed
+catalog of :mod:`repro.store.index`, so listings, lookups and gc are
+O(index) instead of O(scan). Writes are concurrency-safe across
+processes on a shared filesystem: every writer appends to its own
+segment and publishes index entries only after the bytes are flushed;
+index compaction and migration are fenced by the store's
+:class:`~repro.store.leases.LeaseManager`.
 
-Run manifests make interrupted runs resumable: ``repro matrix --store DIR``
-writes a manifest up front (run id, full configuration, touched keys) and
-``repro matrix --resume RUN-ID --store DIR`` replays the same configuration
-— every repetition that made it to disk is a cache hit, only the remainder
-simulates.
+Legacy v1 stores (JSON-lines under ``records/``) are read transparently
+— a v2 store merges legacy records under its own, and ``repro store
+migrate`` rewrites them into segments once and for all. Passing
+``version=1`` pins a store to the pure v1 engine (used by migration
+tests and parity baselines).
+
+The public contract is the versioned facade: :meth:`ArtifactStore.open`
+plus ``get`` / ``put`` / ``iter_keys`` / ``stats`` (and the maintenance
+verbs ``describe``/``verify``/``gc``/``migrate``). The v1 surface that
+leaked into other layers — ``record_path``, ``load``, ``append``,
+``keys``, ``record_count``, ``compact`` — still works but warns
+``DeprecationWarning`` once per process and will be removed in 1.0.
+
+Run manifests are unchanged from v1: ``repro matrix --store DIR`` writes
+a manifest up front and ``--resume RUN-ID`` replays the same
+configuration — every repetition that made it to disk is a cache hit.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from collections.abc import Mapping
+import time
+import warnings
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import StoreError
+from repro.store import index as index_module
+from repro.store.format import SegmentWriter, read_frame, scan_segment
+from repro.store.index import (
+    IndexEntry,
+    append_delta,
+    load_catalog_summary,
+    load_deltas,
+    load_index,
+    write_catalog,
+)
 from repro.store.keys import payload_checksum
+from repro.store.leases import LeaseManager
 
 __all__ = [
     "ArtifactStore",
+    "FORMAT_VERSION",
     "RunManifest",
     "RunRecord",
     "StoreStats",
 ]
 
-#: Record-line format version (see also ``keys.STORE_SCHEMA``, which is
-#: part of the key itself).
+#: Legacy (v1) record-line format version (see also ``keys.STORE_SCHEMA``,
+#: which is part of the key itself and deliberately did NOT change with
+#: the v2 layout — keys address *content*, not storage format).
 RECORD_VERSION = 1
+
+#: Current on-disk store format.
+FORMAT_VERSION = 2
+
+#: Lease/lock name fencing index compaction, gc rewrites and migration.
+MAINTENANCE_LEASE = "store-maintenance"
+
+# Names already warned about (deprecations fire once per process).
+_DEPRECATION_SEEN: "set[str]" = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _DEPRECATION_SEEN:
+        return
+    _DEPRECATION_SEEN.add(name)
+    warnings.warn(
+        f"ArtifactStore.{name} is deprecated since repro 0.8 and will be removed "
+        f"in 1.0; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One cached repetition result.
+    """One cached repetition result (the legacy v1 line form).
+
+    Format v2 stores the same ``(key, index, payload)`` triple as a
+    binary frame (:mod:`repro.store.format`); this class remains the
+    reader/writer of v1 JSON lines, used by the legacy read-through,
+    migration and forced-v1 stores.
 
     Attributes
     ----------
@@ -110,12 +169,18 @@ class RunRecord:
 
 @dataclass
 class StoreStats:
-    """Hit/miss accounting of one process's store usage."""
+    """Hit/miss accounting of one process's store usage.
+
+    ``segment_reads`` counts record frames read from v2 segments — the
+    observable proof that listings (``describe``/``iter_keys``) are
+    O(index): they leave the counter untouched.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     corrupt: int = 0
+    segment_reads: int = 0
 
     def summary(self) -> str:
         """One-line human-readable account."""
@@ -185,34 +250,66 @@ class RunManifest:
 
 
 class ArtifactStore:
-    """Content-addressed JSON-lines store of per-repetition results.
+    """Content-addressed store of per-repetition results (format v2).
 
     Parameters
     ----------
     root : path-like
         Directory holding the store (created lazily on first write).
     strict : bool, optional
-        When True, a corrupt record line raises
+        When True, a corrupt record raises
         :class:`~repro.errors.StoreError`; the default treats it as a
-        cache miss (the repetition is recomputed and re-appended), which
+        cache miss (the repetition is recomputed and re-stored), which
         is always safe because records are pure functions of their key
         and index.
+    version : int, optional
+        ``None`` (default) auto-detects from the store's ``FORMAT``
+        marker and falls back to the current format for fresh
+        directories. ``1`` pins the pure v1 JSON-lines engine (raises on
+        a directory that already holds v2 data); ``2`` is the current
+        engine, which also reads v1 records through transparently.
 
     Notes
     -----
-    The store is *append-only* per record file. Duplicate indices can
-    therefore exist (e.g. after a corrupt line is recomputed); the last
-    valid occurrence wins on load, and ``gc`` compacts files down to one
-    line per index.
+    The store is *append-only* on the write path. Duplicate entries for
+    one ``(key, index)`` can exist (e.g. after a corrupt frame is
+    recomputed); any valid copy is equally good — records are pure
+    functions of their coordinates — and ``gc`` compacts the store down
+    to one frame per index.
     """
 
-    def __init__(self, root: "Path | str", strict: bool = False):
+    def __init__(
+        self, root: "Path | str", strict: bool = False, version: "int | None" = None
+    ):
         self.root = Path(root)
         self.strict = strict
         self.stats = StoreStats()
         self.touched_keys: "set[str]" = set()
+        self._writer: "SegmentWriter | None" = None
+        detected = self._detect_version()
+        if version is None:
+            version = detected
+        if version == 1 and detected != 1 and self._has_v2_layout():
+            raise StoreError(
+                f"{self.root} already holds format v2 data and cannot be opened with version=1"
+            )
+        if version not in (1, FORMAT_VERSION):
+            raise StoreError(f"unsupported store format version {version!r}")
+        self.version = version
 
-    # -- coercion ---------------------------------------------------------
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, root: "Path | str", version: "int | None" = None, strict: bool = False
+    ) -> "ArtifactStore":
+        """Open (or lazily create) the store at *root*.
+
+        This is the blessed constructor of the public API; together with
+        :meth:`get`, :meth:`put`, :meth:`iter_keys` and :attr:`stats` it
+        forms the store's stable contract.
+        """
+        return cls(root, strict=strict, version=version)
 
     @staticmethod
     def coerce(store: "ArtifactStore | Path | str | None") -> "ArtifactStore | None":
@@ -221,19 +318,72 @@ class ArtifactStore:
             return store
         return ArtifactStore(store)
 
-    # -- record files -----------------------------------------------------
+    def close(self) -> None:
+        """Flush and release this process's open segment writer, if any."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
 
-    def record_path(self, key: str) -> Path:
-        """The JSON-lines file of *key* (two-level fan-out by key prefix)."""
-        return self.root / "records" / key[:2] / f"{key}.jsonl"
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter shutdown: file machinery may be gone
 
-    def load(self, key: str) -> "dict[int, dict[str, object]]":
-        """All valid cached payloads of *key*, indexed by repetition.
+    # -- layout ------------------------------------------------------------
 
-        Corrupt lines are counted in :attr:`stats` and skipped (or raised
-        under ``strict=True``).
+    def _marker_path(self) -> Path:
+        return self.root / "FORMAT"
+
+    def _segments_dir(self) -> Path:
+        return self.root / "segments"
+
+    def _index_dir(self) -> Path:
+        return self.root / "index"
+
+    def _records_dir(self) -> Path:
+        return self.root / "records"
+
+    def _detect_version(self) -> int:
+        try:
+            detected = int(self._marker_path().read_text().strip())
+        except (OSError, ValueError):
+            return FORMAT_VERSION
+        if detected not in (1, FORMAT_VERSION):
+            raise StoreError(
+                f"{self.root} uses store format {detected}, newer than this "
+                f"code understands (max {FORMAT_VERSION})"
+            )
+        return detected
+
+    def _has_v2_layout(self) -> bool:
+        return self._segments_dir().is_dir() or self._index_dir().is_dir()
+
+    def _write_marker(self) -> None:
+        path = self._marker_path()
+        if path.exists():
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}-{os.urandom(2).hex()}")
+        tmp.write_text(f"{FORMAT_VERSION}\n")
+        os.replace(tmp, path)
+
+    def _maintenance_lock(self):
+        """Cross-process critical section for index/segment rewrites.
+
+        Rides the fleet's :class:`LeaseManager` lock files so store
+        maintenance and fleet coordination share one fencing mechanism
+        (and one ``fleet/locks/`` directory).
         """
-        path = self.record_path(key)
+        return LeaseManager(self.root / "fleet").locked(MAINTENANCE_LEASE)
+
+    # -- legacy (v1) engine ------------------------------------------------
+
+    def _legacy_record_path(self, key: str) -> Path:
+        return self._records_dir() / key[:2] / f"{key}.jsonl"
+
+    def _legacy_load(self, key: str) -> "dict[int, dict[str, object]]":
+        path = self._legacy_record_path(key)
         if not path.exists():
             return {}
         payloads: "dict[int, dict[str, object]]" = {}
@@ -250,11 +400,8 @@ class ArtifactStore:
             payloads[record.index] = record.payload
         return payloads
 
-    def append(self, key: str, payloads: "Mapping[int, dict[str, object]]") -> None:
-        """Append one record line per ``(index, payload)`` entry."""
-        if not payloads:
-            return
-        path = self.record_path(key)
+    def _legacy_append(self, key: str, payloads: "Mapping[int, dict[str, object]]") -> None:
+        path = self._legacy_record_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         lines = [
             RunRecord(key=key, index=index, payload=dict(payload)).to_line()
@@ -264,47 +411,263 @@ class ArtifactStore:
             handle.write("\n".join(lines) + "\n")
         self.stats.writes += len(lines)
 
-    def keys(self) -> "list[str]":
-        """Every key with a record file, sorted."""
-        records = self.root / "records"
+    def _legacy_keys(self) -> "list[str]":
+        records = self._records_dir()
         if not records.is_dir():
             return []
         return sorted(path.stem for path in records.glob("*/*.jsonl"))
 
-    def record_count(self, key: str) -> int:
-        """Stored record lines of *key*, without decoding any payload.
-
-        A cheap newline count for listings: duplicates and corrupt lines
-        are included (``verify``/``gc`` are the integrity-aware tools),
-        so on a store that has never needed recovery it equals the
-        number of cached repetitions.
-        """
-        path = self.record_path(key)
+    def _legacy_compact(self, key: str) -> "tuple[int, int]":
+        path = self._legacy_record_path(key)
         if not path.exists():
-            return 0
-        return path.read_bytes().count(b"\n")
+            return 0, 0
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        kept: "dict[int, RunRecord]" = {}
+        dropped = 0
+        for line in lines:
+            try:
+                record = RunRecord.from_line(line, expected_key=key)
+            except StoreError:
+                dropped += 1
+                continue
+            kept[record.index] = record
+        if dropped == 0 and len(kept) == len(lines):
+            return len(kept), 0
+        if kept:
+            body = "\n".join(kept[i].to_line() for i in sorted(kept)) + "\n"
+            path.write_text(body)
+        else:
+            path.unlink()
+        return len(kept), dropped + (len(lines) - dropped - len(kept))
+
+    # -- public contract: get / put / iter_keys ----------------------------
+
+    def get(self, key: str) -> "dict[int, dict[str, object]]":
+        """All valid cached payloads of *key*, indexed by repetition.
+
+        Frames are located through the index and re-verified (CRC) on
+        read; corrupt or unreachable frames count into :attr:`stats` and
+        are skipped (or raise under ``strict=True``). On a v2 store that
+        still holds legacy v1 lines for *key*, both are merged with the
+        v2 copy winning (they are bitwise-identical by construction).
+        """
+        if self.version == 1:
+            return self._legacy_load(key)
+        payloads = self._legacy_load(key)
+        entries = load_index(self._index_dir()).get(key, [])
+        by_segment: "dict[str, list[IndexEntry]]" = {}
+        for entry in entries:
+            by_segment.setdefault(entry.segment, []).append(entry)
+        for segment in sorted(by_segment):
+            path = self._segments_dir() / segment
+            try:
+                handle = path.open("rb")
+            except OSError:
+                if self.strict:
+                    raise StoreError(f"index references missing segment {segment}") from None
+                continue  # segment gc'd under us: entries demote to misses
+            with handle:
+                for entry in by_segment[segment]:
+                    self.stats.segment_reads += 1
+                    try:
+                        frame_key, frame_index, payload = read_frame(
+                            handle, entry.offset, entry.length
+                        )
+                        if frame_key != key or frame_index != entry.index:
+                            raise StoreError(
+                                f"frame at {segment}@{entry.offset} stores "
+                                f"{frame_key}:{frame_index}, index says {key}:{entry.index}"
+                            )
+                    except StoreError as error:
+                        if self.strict:
+                            raise StoreError(f"{path}: {error}") from None
+                        self.stats.corrupt += 1
+                        continue
+                    payloads[frame_index] = payload
+        return payloads
+
+    def put(self, key: str, payloads: "Mapping[int, dict[str, object]]") -> None:
+        """Store one frame per ``(index, payload)`` entry.
+
+        Appends to this process's exclusively-owned segment, flushes,
+        then publishes the index entries — so a crash at any point
+        leaves either invisible bytes or a detectable torn line, never a
+        record that reads back wrong. Safe to call concurrently from any
+        number of processes sharing the store directory.
+        """
+        if not payloads:
+            return
+        if self.version == 1:
+            self._legacy_append(key, payloads)
+            return
+        if self._writer is None:
+            self._writer = SegmentWriter(self._segments_dir())
+        batch: "list[IndexEntry]" = []
+        for index, payload in sorted(payloads.items()):
+            offset, length = self._writer.append(key, int(index), dict(payload))
+            batch.append(
+                IndexEntry(segment=self._writer.name, offset=offset, length=length, index=index)
+            )
+        self._writer.flush()
+        append_delta(self._index_dir(), self._writer.name, {key: batch})
+        self._write_marker()
+        self.stats.writes += len(batch)
+
+    def iter_keys(self) -> "Iterator[str]":
+        """Every stored key (index union legacy read-through), sorted.
+
+        Reads the catalog header and live deltas only — no coordinate
+        row is parsed and no segment opened.
+        """
+        if self.version == 1:
+            yield from self._legacy_keys()
+            return
+        known = set(load_catalog_summary(self._index_dir()))
+        known.update(load_deltas(self._index_dir()))
+        known.update(self._legacy_keys())
+        yield from sorted(known)
+
+    # -- O(index) introspection --------------------------------------------
+
+    @staticmethod
+    def _winners(entries: "list[IndexEntry]") -> "dict[int, IndexEntry]":
+        winners: "dict[int, IndexEntry]" = {}
+        for entry in entries:
+            winners[entry.index] = entry
+        return winners
+
+    def _fold_legacy(
+        self, key: str, records: int, nbytes: int, legacy_path: "Path | None"
+    ) -> "dict[str, object]":
+        legacy = False
+        if legacy_path is not None and legacy_path.exists():
+            legacy = True
+            records = max(records, legacy_path.read_bytes().count(b"\n"))
+            nbytes += legacy_path.stat().st_size
+        return {"key": key, "records": records, "bytes": nbytes, "legacy": legacy}
+
+    def _key_summary(
+        self, key: str, entries: "list[IndexEntry]", legacy_path: "Path | None"
+    ) -> "dict[str, object]":
+        winners = self._winners(entries)
+        nbytes = sum(entry.length for entry in winners.values())
+        return self._fold_legacy(key, len(winners), nbytes, legacy_path)
+
+    def key_stats(self, key: str) -> "dict[str, object]":
+        """Record count and byte size of *key*, from the index alone.
+
+        Never opens a record segment; on legacy read-through keys the
+        line count of the v1 file is folded in (a file stat plus a
+        newline count, exactly what v1 listings did).
+        """
+        entries = [] if self.version == 1 else load_index(self._index_dir()).get(key, [])
+        return self._key_summary(key, entries, self._legacy_record_path(key))
+
+    def describe(self) -> "dict[str, object]":
+        """The machine-readable store summary (O(index), no segment reads).
+
+        This document is the shared contract of ``repro store ls
+        --format json`` and the service's ``GET /v1/store`` endpoint —
+        field names here are stable API:
+
+        ``root``, ``format``
+            Store directory and on-disk format version.
+        ``runs``
+            One entry per run manifest: ``run_id``, ``command``,
+            ``status``, ``keys``, ``created``.
+        ``records``
+            One entry per stored key: ``key``, ``records``, ``bytes``,
+            ``legacy`` (True while v1 lines remain unmigrated).
+        ``totals``
+            ``runs``, ``keys``, ``records``, ``bytes``.
+
+        On a compacted store this is O(keys): summaries come from the
+        catalog header without parsing a single coordinate row. Keys
+        with live (uncompacted) delta entries fall back to the full
+        index merge — still no segment is ever opened.
+        """
+        if self.version == 1:
+            summaries, deltas = {}, {}
+        else:
+            summaries = load_catalog_summary(self._index_dir())
+            deltas = load_deltas(self._index_dir())
+        legacy = {key: self._legacy_record_path(key) for key in self._legacy_keys()}
+        full_index = None
+        records = []
+        for key in sorted(set(summaries) | set(deltas) | set(legacy)):
+            if key in deltas:
+                if full_index is None:
+                    full_index = load_index(self._index_dir())
+                records.append(self._key_summary(key, full_index.get(key, []), legacy.get(key)))
+            elif key in summaries:
+                count, nbytes = summaries[key]
+                records.append(self._fold_legacy(key, count, nbytes, legacy.get(key)))
+            else:
+                records.append(self._key_summary(key, [], legacy.get(key)))
+        runs = [
+            {
+                "run_id": manifest.run_id,
+                "command": manifest.command,
+                "status": manifest.status,
+                "keys": len(manifest.keys),
+                "created": manifest.created,
+            }
+            for manifest in self.list_manifests()
+        ]
+        return {
+            "root": str(self.root),
+            "format": self.version,
+            "runs": runs,
+            "records": records,
+            "totals": {
+                "runs": len(runs),
+                "keys": len(records),
+                "records": sum(e["records"] for e in records),
+                "bytes": sum(e["bytes"] for e in records),
+            },
+        }
 
     def verify(self, key: str) -> "tuple[int, list[str]]":
-        """Validate one record file.
+        """Validate every stored copy of *key*'s records.
 
         Returns
         -------
         tuple
             ``(valid_record_count, problems)`` where *problems* is one
-            human-readable line per corrupt record.
+            human-readable line per corrupt frame or record line.
         """
-        path = self.record_path(key)
-        if not path.exists():
-            return 0, [f"no record file for key {key}"]
         valid: "set[int]" = set()
         problems: "list[str]" = []
-        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-            if not line.strip():
-                continue
+        entries = [] if self.version == 1 else load_index(self._index_dir()).get(key, [])
+        for entry in entries:
+            path = self._segments_dir() / entry.segment
             try:
-                valid.add(RunRecord.from_line(line, expected_key=key).index)
+                with path.open("rb") as handle:
+                    self.stats.segment_reads += 1
+                    frame_key, frame_index, _ = read_frame(handle, entry.offset, entry.length)
+                if frame_key != key or frame_index != entry.index:
+                    raise StoreError(
+                        f"frame stores {frame_key}:{frame_index}, "
+                        f"index says {key}:{entry.index}"
+                    )
+            except OSError:
+                problems.append(f"{entry.segment}@{entry.offset}: segment missing")
+                continue
             except StoreError as error:
-                problems.append(f"line {lineno}: {error}")
+                problems.append(f"{entry.segment}@{entry.offset}: {error}")
+                continue
+            valid.add(entry.index)
+        legacy_path = self._legacy_record_path(key)
+        if legacy_path.exists():
+            for lineno, line in enumerate(legacy_path.read_text().splitlines(), start=1):
+                if not line.strip():
+                    continue
+                try:
+                    valid.add(RunRecord.from_line(line, expected_key=key).index)
+                except StoreError as error:
+                    problems.append(f"line {lineno}: {error}")
+        elif not entries:
+            return 0, [f"no records for key {key}"]
         return len(valid), problems
 
     # -- run manifests ----------------------------------------------------
@@ -351,79 +714,379 @@ class ArtifactStore:
         """Keys referenced by any run manifest."""
         return {key for manifest in self.list_manifests() for key in manifest.keys}
 
-    def compact(self, key: str) -> "tuple[int, int]":
-        """Rewrite one record file: drop corrupt lines and duplicates.
+    def drop(self, key: str) -> int:
+        """Forget every stored record of *key*; returns records dropped.
 
-        Returns
-        -------
-        tuple
-            ``(records_kept, lines_dropped)``.
+        On v2 the key is removed from the index (its frames become dead
+        bytes reclaimed by the next ``gc``); any legacy v1 file is
+        deleted outright.
         """
-        path = self.record_path(key)
-        if not path.exists():
-            return 0, 0
-        lines = [line for line in path.read_text().splitlines() if line.strip()]
-        kept: "dict[int, RunRecord]" = {}
         dropped = 0
-        for line in lines:
-            try:
-                record = RunRecord.from_line(line, expected_key=key)
-            except StoreError:
-                dropped += 1
-                continue
-            kept[record.index] = record
-        if dropped == 0 and len(kept) == len(lines):
-            return len(kept), 0
-        if kept:
-            body = "\n".join(kept[i].to_line() for i in sorted(kept)) + "\n"
-            path.write_text(body)
-        else:
-            path.unlink()
-        return len(kept), dropped + (len(lines) - dropped - len(kept))
+        legacy_path = self._legacy_record_path(key)
+        if legacy_path.exists():
+            dropped += legacy_path.read_bytes().count(b"\n")
+            legacy_path.unlink()
+            if not any(legacy_path.parent.iterdir()):
+                legacy_path.parent.rmdir()
+        if self.version >= FORMAT_VERSION:
+            with self._maintenance_lock():
+                merged = load_index(self._index_dir())
+                if key in merged:
+                    dropped += len(self._winners(merged.pop(key)))
+                    write_catalog(self._index_dir(), merged)
+                    for path in self._index_dir().glob("delta-*.jsonl"):
+                        path.unlink(missing_ok=True)
+        return dropped
 
-    def gc(self, drop_unreferenced: bool = False) -> "dict[str, int]":
-        """Compact every record file; optionally delete orphaned keys.
+    def gc(
+        self,
+        drop_unreferenced: bool = False,
+        dry_run: bool = False,
+        older_than: "float | None" = None,
+    ) -> "dict[str, int]":
+        """Compact the store; optionally delete orphaned keys.
 
         Parameters
         ----------
         drop_unreferenced : bool, optional
-            Also delete record files whose key no run manifest references
+            Also delete records whose key no run manifest references
             (records written by ad-hoc library calls rather than CLI runs
             count as unreferenced — hence opt-in). Skipped whenever any
             manifest is still ``"running"``: an interrupted or in-flight
             run records its touched keys only on completion, so its
             resumable records would be indistinguishable from orphans.
+        dry_run : bool, optional
+            Report what would happen without modifying the store in any
+            way — strictly read-only: no lock is taken, no directory is
+            created, no file is touched.
+        older_than : float, optional
+            Age threshold in seconds: segments and record files modified
+            more recently are left exactly as they are (their keys are
+            spared entirely), so a gc can run beside live writers
+            without churning fresh data.
 
         Returns
         -------
         dict
             Counters: ``records_kept``, ``lines_dropped``,
-            ``files_deleted``, ``in_flight_runs``.
+            ``keys_dropped``, ``files_deleted``, ``segments_removed``,
+            ``in_flight_runs``, ``dry_run``.
         """
         in_flight = sum(1 for m in self.list_manifests() if m.status == "running")
-        referenced = None
+        referenced: "set[str] | None" = None
         if drop_unreferenced and in_flight == 0:
             referenced = self.referenced_keys()
-        kept_total = dropped_total = deleted = 0
-        for key in self.keys():
-            if referenced is not None and key not in referenced:
-                self.record_path(key).unlink()
-                deleted += 1
+        cutoff = None if older_than is None else time.time() - float(older_than)
+        counters = {
+            "records_kept": 0,
+            "lines_dropped": 0,
+            "keys_dropped": 0,
+            "files_deleted": 0,
+            "segments_removed": 0,
+            "in_flight_runs": in_flight,
+            "dry_run": int(bool(dry_run)),
+        }
+        if self.version >= FORMAT_VERSION:
+            if dry_run:
+                self._gc_v2(referenced, cutoff, dry_run, counters)
+            else:
+                with self._maintenance_lock():
+                    self._gc_v2(referenced, cutoff, dry_run, counters)
+        self._gc_legacy(referenced, cutoff, dry_run, counters)
+        return counters
+
+    def _gc_v2(
+        self,
+        referenced: "set[str] | None",
+        cutoff: "float | None",
+        dry_run: bool,
+        counters: "dict[str, int]",
+    ) -> None:
+        index_dir = self._index_dir()
+        segments_dir = self._segments_dir()
+        merged = load_index(index_dir)
+        if not merged and not segments_dir.is_dir():
+            return
+        existing = (
+            {path.name for path in segments_dir.glob("*.seg")} if segments_dir.is_dir() else set()
+        )
+
+        def is_recent(segment: str) -> bool:
+            if cutoff is None:
+                return False
+            try:
+                return (segments_dir / segment).stat().st_mtime >= cutoff
+            except OSError:
+                return False
+
+        recent = {segment for segment in existing if is_recent(segment)}
+        keep: "dict[str, dict[int, IndexEntry]]" = {}
+        for key, entries in merged.items():
+            winners = self._winners(entries)
+            counters["lines_dropped"] += len(entries) - len(winners)
+            touches_recent = any(entry.segment in recent for entry in winners.values())
+            if referenced is not None and key not in referenced and not touches_recent:
+                counters["keys_dropped"] += 1
                 continue
-            kept, dropped = self.compact(key)
-            kept_total += kept
-            dropped_total += dropped
-            if kept == 0 and not self.record_path(key).exists():
-                deleted += 1
-        # Remove now-empty fan-out directories so ls stays tidy.
-        records = self.root / "records"
-        if records.is_dir():
+            keep[key] = winners
+
+        if dry_run:
+            for winners in keep.values():
+                counters["records_kept"] += len(winners)
+            # Every old segment disappears: rewritten ones are replaced by
+            # the fresh compact segment, unreferenced ones are orphans.
+            counters["segments_removed"] += len(existing - recent)
+            return
+
+        self.close()  # never rewrite under our own open writer
+        writer: "SegmentWriter | None" = None
+        catalog: "dict[str, list[IndexEntry]]" = {}
+        for key in sorted(keep):
+            rewritten: "list[IndexEntry]" = []
+            for index in sorted(keep[key]):
+                entry = keep[key][index]
+                if entry.segment in recent:
+                    rewritten.append(entry)
+                    counters["records_kept"] += 1
+                    continue
+                path = segments_dir / entry.segment
+                try:
+                    with path.open("rb") as handle:
+                        self.stats.segment_reads += 1
+                        frame_key, frame_index, payload = read_frame(
+                            handle, entry.offset, entry.length
+                        )
+                    if frame_key != key or frame_index != entry.index:
+                        raise StoreError("index/frame mismatch")
+                except (OSError, StoreError):
+                    counters["lines_dropped"] += 1
+                    continue
+                if writer is None:
+                    writer = SegmentWriter(segments_dir)
+                offset, length = writer.append(key, index, payload)
+                rewritten.append(
+                    IndexEntry(segment=writer.name, offset=offset, length=length, index=index)
+                )
+                counters["records_kept"] += 1
+            if rewritten:
+                catalog[key] = rewritten
+        if writer is not None:
+            writer.flush()
+            writer.close()
+        deltas = sorted(index_dir.glob("delta-*.jsonl")) if index_dir.is_dir() else []
+        write_catalog(index_dir, catalog)
+        for path in deltas:
+            if cutoff is not None:
+                try:
+                    if path.stat().st_mtime >= cutoff:
+                        continue  # a live writer may still hold this delta open
+                except OSError:
+                    continue
+            path.unlink(missing_ok=True)
+        for segment in sorted(existing - recent):
+            (segments_dir / segment).unlink(missing_ok=True)
+            counters["segments_removed"] += 1
+
+    def _gc_legacy(
+        self,
+        referenced: "set[str] | None",
+        cutoff: "float | None",
+        dry_run: bool,
+        counters: "dict[str, int]",
+    ) -> None:
+        records = self._records_dir()
+        if not records.is_dir():
+            return
+        for key in self._legacy_keys():
+            path = self._legacy_record_path(key)
+            if cutoff is not None:
+                try:
+                    if path.stat().st_mtime >= cutoff:
+                        counters["records_kept"] += path.read_bytes().count(b"\n")
+                        continue
+                except OSError:
+                    continue
+            if referenced is not None and key not in referenced:
+                counters["files_deleted"] += 1
+                counters["keys_dropped"] += 1
+                if not dry_run:
+                    path.unlink()
+                continue
+            if dry_run:
+                lines = [line for line in path.read_text().splitlines() if line.strip()]
+                kept: "set[int]" = set()
+                dropped = 0
+                for line in lines:
+                    try:
+                        kept.add(RunRecord.from_line(line, expected_key=key).index)
+                    except StoreError:
+                        dropped += 1
+                counters["records_kept"] += len(kept)
+                counters["lines_dropped"] += dropped + (len(lines) - dropped - len(kept))
+                if not kept:
+                    counters["files_deleted"] += 1
+                continue
+            kept_count, dropped_count = self._legacy_compact(key)
+            counters["records_kept"] += kept_count
+            counters["lines_dropped"] += dropped_count
+            if kept_count == 0 and not path.exists():
+                counters["files_deleted"] += 1
+        if not dry_run:
             for bucket in records.iterdir():
                 if bucket.is_dir() and not any(bucket.iterdir()):
                     bucket.rmdir()
-        return {
-            "records_kept": kept_total,
-            "lines_dropped": dropped_total,
-            "files_deleted": deleted,
-            "in_flight_runs": in_flight,
+
+    def migrate(self, keep_v1: bool = False) -> "dict[str, int]":
+        """Rewrite every legacy v1 record into format v2 segments.
+
+        Idempotent: records whose ``(key, index)`` is already indexed
+        are skipped, and a second run over a fully migrated store is a
+        no-op. Fenced by the maintenance lease, so concurrent migrations
+        (or a migration racing a gc) serialise.
+
+        Parameters
+        ----------
+        keep_v1 : bool, optional
+            Leave the legacy ``records/`` files in place (the v2 engine
+            ignores records it already indexed). Default deletes them.
+
+        Returns
+        -------
+        dict
+            Counters: ``keys_migrated``, ``records_migrated``,
+            ``lines_skipped`` (corrupt or already indexed),
+            ``files_removed``.
+        """
+        if self.version == 1:
+            raise StoreError("cannot migrate a store pinned to version=1; reopen it unpinned")
+        counters = {
+            "keys_migrated": 0,
+            "records_migrated": 0,
+            "lines_skipped": 0,
+            "files_removed": 0,
         }
+        with self._maintenance_lock():
+            existing = load_index(self._index_dir())
+            writer: "SegmentWriter | None" = None
+            fresh: "dict[str, list[IndexEntry]]" = {}
+            removable: "list[Path]" = []
+            for key in self._legacy_keys():
+                path = self._legacy_record_path(key)
+                already = set(self._winners(existing.get(key, [])))
+                payloads: "dict[int, dict[str, object]]" = {}
+                lines_seen = 0
+                for line in path.read_text().splitlines():
+                    if not line.strip():
+                        continue
+                    lines_seen += 1
+                    try:
+                        record = RunRecord.from_line(line, expected_key=key)
+                    except StoreError:
+                        counters["lines_skipped"] += 1
+                        continue
+                    payloads[record.index] = record.payload
+                migrated_any = False
+                for index in sorted(payloads):
+                    if index in already:
+                        counters["lines_skipped"] += 1
+                        continue
+                    if writer is None:
+                        writer = SegmentWriter(self._segments_dir())
+                    offset, length = writer.append(key, index, payloads[index])
+                    fresh.setdefault(key, []).append(
+                        IndexEntry(
+                            segment=writer.name, offset=offset, length=length, index=index
+                        )
+                    )
+                    counters["records_migrated"] += 1
+                    migrated_any = True
+                if migrated_any:
+                    counters["keys_migrated"] += 1
+                removable.append(path)
+            if writer is not None:
+                writer.flush()
+                writer.close()
+            # Publish index entries for the migrated frames, folding live
+            # deltas into the catalog while we hold the lease anyway.
+            merged = load_index(self._index_dir())
+            for key, batch in fresh.items():
+                merged.setdefault(key, [])[:0] = batch  # existing v2 entries keep winning
+            if merged or fresh or self._has_v2_layout() or removable:
+                write_catalog(self._index_dir(), merged)
+                for path in self._index_dir().glob("delta-*.jsonl"):
+                    path.unlink(missing_ok=True)
+            self._write_marker()
+            if not keep_v1:
+                for path in removable:
+                    path.unlink(missing_ok=True)
+                    counters["files_removed"] += 1
+                records = self._records_dir()
+                if records.is_dir():
+                    for bucket in records.iterdir():
+                        if bucket.is_dir() and not any(bucket.iterdir()):
+                            bucket.rmdir()
+                    if not any(records.iterdir()):
+                        records.rmdir()
+        return counters
+
+    def compact_index(self) -> "dict[str, int]":
+        """Fold live index deltas into the catalog (lease-fenced)."""
+        with self._maintenance_lock():
+            return index_module.compact(self._index_dir())
+
+    # -- deprecated v1 surface --------------------------------------------
+
+    def record_path(self, key: str) -> Path:
+        """Deprecated: the legacy v1 JSON-lines path of *key*.
+
+        .. deprecated:: 0.8
+            Format v2 stores records in shared segments; there is no
+            per-key file. Use :meth:`get`/:meth:`put`/:meth:`key_stats`.
+        """
+        _warn_deprecated("record_path", "get()/put()/key_stats()")
+        return self._legacy_record_path(key)
+
+    def load(self, key: str) -> "dict[int, dict[str, object]]":
+        """Deprecated alias of :meth:`get`.
+
+        .. deprecated:: 0.8
+        """
+        _warn_deprecated("load", "get()")
+        return self.get(key)
+
+    def append(self, key: str, payloads: "Mapping[int, dict[str, object]]") -> None:
+        """Deprecated alias of :meth:`put`.
+
+        .. deprecated:: 0.8
+        """
+        _warn_deprecated("append", "put()")
+        self.put(key, payloads)
+
+    def keys(self) -> "list[str]":
+        """Deprecated: every stored key, as a list.
+
+        .. deprecated:: 0.8
+            Use :meth:`iter_keys`.
+        """
+        _warn_deprecated("keys", "iter_keys()")
+        return list(self.iter_keys())
+
+    def record_count(self, key: str) -> int:
+        """Deprecated: stored record count of *key*.
+
+        .. deprecated:: 0.8
+            Use ``key_stats(key)["records"]``.
+        """
+        _warn_deprecated("record_count", 'key_stats(key)["records"]')
+        return int(self.key_stats(key)["records"])
+
+    def compact(self, key: str) -> "tuple[int, int]":
+        """Deprecated: per-key compaction.
+
+        .. deprecated:: 0.8
+            Use :meth:`gc` — v2 compaction is store-wide.
+        """
+        _warn_deprecated("compact", "gc()")
+        if self.version == 1 or self._legacy_record_path(key).exists():
+            return self._legacy_compact(key)
+        return len(self._winners(load_index(self._index_dir()).get(key, []))), 0

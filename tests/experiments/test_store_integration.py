@@ -64,7 +64,7 @@ class TestMatrixStoreParity:
         ).to_csv_text()
 
     def test_resume_after_simulated_interrupt_is_bitwise(self, tmp_path):
-        """Kill a run halfway (drop record files) and resume via its manifest."""
+        """Kill a run halfway (drop half the records) and resume via its manifest."""
         from repro.store.store import RunManifest
 
         store = ArtifactStore(tmp_path)
@@ -77,10 +77,10 @@ class TestMatrixStoreParity:
         )
         store.save_manifest(manifest)
         # Simulate the interrupt: half the cells never made it to disk.
-        keys = store.keys()
+        keys = list(store.iter_keys())
         assert len(keys) == 4
         for key in keys[2:]:
-            store.record_path(key).unlink()
+            store.drop(key)
         resumed_store = ArtifactStore(tmp_path)
         loaded = resumed_store.load_manifest("matrix-test0001")
         resumed = run_matrix(MatrixConfig.from_payload(loaded.config), store=resumed_store)
@@ -134,7 +134,7 @@ class TestCoverageStoreParity:
         run_table2(
             [REGISTRY.make_study("knuth-yao").as_pair()], 2, rng=8, n_samples=200, store=store
         )
-        assert len(store.keys()) == 3
+        assert len(list(store.iter_keys())) == 3
         assert store.stats.hits == 0
 
 

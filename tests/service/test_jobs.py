@@ -169,8 +169,10 @@ class TestJobQueue:
         queue.start()
         assert jobs[0].wait(timeout=60)
         assert jobs[0].state == JobState.COMPLETE
-        record_files = list((store_root / "records").glob("*/*.jsonl"))
-        assert len(record_files) == 1, "identical submissions must share one store key"
+        from repro.store import ArtifactStore
+
+        keys = list(ArtifactStore.open(store_root).iter_keys())
+        assert len(keys) == 1, "identical submissions must share one store key"
         queue.stop(timeout=10)
 
     def test_get_unknown_job_is_404(self):

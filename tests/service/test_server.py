@@ -152,6 +152,32 @@ class TestSubmissionErrorPaths:
         assert len(client.jobs()) == 1
 
 
+class TestStoreEndpoint:
+    def test_store_document_matches_cli_ls_contract(self, live_service):
+        """`GET /v1/store` serves the same describe() document (same field
+        names) as `repro store ls --format json`."""
+        _, client = live_service
+        client.wait(client.submit(PAYLOAD)["id"], timeout=120)
+        document = client._request("/v1/store")
+        assert set(document) == {"root", "format", "runs", "records", "totals"}
+        assert document["format"] == 2
+        assert set(document["totals"]) == {"runs", "keys", "records", "bytes"}
+        assert document["totals"]["records"] == 2
+        record = document["records"][0]
+        assert set(record) == {"key", "records", "bytes", "legacy"}
+        assert record["legacy"] is False
+
+    def test_storeless_service_is_404(self, tmp_path):
+        server = create_server(ServiceConfig(port=0))
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                server.service.store_summary()
+            assert excinfo.value.status == 404
+        finally:
+            server.service.stop(timeout=10)
+            server.server_close()
+
+
 class TestJobExecution:
     def test_submit_wait_result(self, live_service):
         _, client = live_service

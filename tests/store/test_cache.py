@@ -71,9 +71,11 @@ class TestMapRepetitionsCached:
         seeds = np.random.SeedSequence(3).spawn(2)
         kwargs = dict(key=KEY, encode=_encode, decode=_decode)
         first = map_repetitions_cached(_toy_repetition, 1.0, seeds, store=store, **kwargs)
-        path = store.record_path(KEY)
-        lines = path.read_text().splitlines()
-        path.write_text("\n".join([lines[0][:-8], lines[1]]) + "\n")
+        store.close()
+        segment = sorted((tmp_path / "segments").glob("*.seg"))[0]
+        blob = bytearray(segment.read_bytes())
+        blob[-3] ^= 0xFF  # flip a payload byte in the last frame (index 1)
+        segment.write_bytes(bytes(blob))
         fresh_store = ArtifactStore(tmp_path)
         second = map_repetitions_cached(_toy_repetition, 1.0, seeds, store=fresh_store, **kwargs)
         assert second == first

@@ -1,0 +1,120 @@
+"""Tests of the indexed catalog: deltas, atomic catalog, compaction."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.index import (
+    IndexEntry,
+    append_delta,
+    catalog_path,
+    compact,
+    delta_path,
+    load_catalog,
+    load_index,
+    write_catalog,
+)
+
+KEY_A = "aa" + "0" * 30
+KEY_B = "bb" + "0" * 30
+
+
+def entry(segment="seg-1.seg", offset=6, length=40, index=0):
+    return IndexEntry(segment=segment, offset=offset, length=length, index=index)
+
+
+class TestIndexEntry:
+    def test_row_round_trip(self):
+        original = entry(index=3)
+        assert IndexEntry.from_row(original.to_row()) == original
+
+    def test_malformed_rows_rejected(self):
+        for row in (None, [], ["seg", 1, 2], ["seg", "x", 2, 3], 42):
+            with pytest.raises(StoreError, match="malformed index row"):
+                IndexEntry.from_row(row)
+
+
+class TestDeltas:
+    def test_append_and_load(self, tmp_path):
+        append_delta(tmp_path, "seg-1.seg", {KEY_A: [entry()]})
+        append_delta(tmp_path, "seg-1.seg", {KEY_A: [entry(index=1, offset=46)]})
+        index = load_index(tmp_path)
+        assert [e.index for e in index[KEY_A]] == [0, 1]
+
+    def test_deltas_are_per_segment_files(self, tmp_path):
+        append_delta(tmp_path, "seg-1.seg", {KEY_A: [entry()]})
+        append_delta(tmp_path, "seg-2.seg", {KEY_B: [entry(segment="seg-2.seg")]})
+        assert delta_path(tmp_path, "seg-1.seg").exists()
+        assert delta_path(tmp_path, "seg-2.seg").exists()
+        assert set(load_index(tmp_path)) == {KEY_A, KEY_B}
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        append_delta(tmp_path, "seg-1.seg", {KEY_A: [entry()]})
+        path = delta_path(tmp_path, "seg-1.seg")
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"v": 2, "check": "torn')  # crashed mid-append
+        index = load_index(tmp_path)
+        assert [e.index for e in index[KEY_A]] == [0]
+
+    def test_checksum_failing_line_skipped(self, tmp_path):
+        append_delta(tmp_path, "seg-1.seg", {KEY_A: [entry()]})
+        path = delta_path(tmp_path, "seg-1.seg")
+        lines = path.read_text().splitlines()
+        document = json.loads(lines[0])
+        document["payload"]["keys"][KEY_B] = [entry().to_row()]  # check now stale
+        path.write_text(json.dumps(document) + "\n")
+        assert load_index(tmp_path) == {}
+
+
+class TestCatalog:
+    def test_round_trip_sorted(self, tmp_path):
+        write_catalog(tmp_path, {KEY_B: [entry(index=1)], KEY_A: [entry()]})
+        catalog = load_catalog(tmp_path)
+        assert list(catalog) == sorted([KEY_A, KEY_B])
+        assert catalog[KEY_B][0].index == 1
+
+    def test_empty_batches_dropped(self, tmp_path):
+        write_catalog(tmp_path, {KEY_A: [entry()], KEY_B: []})
+        assert set(load_catalog(tmp_path)) == {KEY_A}
+
+    def test_absent_or_torn_catalog_is_empty(self, tmp_path):
+        assert load_catalog(tmp_path) == {}
+        catalog_path(tmp_path).parent.mkdir(parents=True, exist_ok=True)
+        catalog_path(tmp_path).write_text('{"v": 2, "check": "torn')
+        assert load_catalog(tmp_path) == {}
+
+    def test_publication_leaves_no_temp_files(self, tmp_path):
+        write_catalog(tmp_path, {KEY_A: [entry()]})
+        assert [p.name for p in tmp_path.iterdir()] == ["catalog.json"]
+
+
+class TestLoadIndex:
+    def test_catalog_entries_come_before_delta_entries(self, tmp_path):
+        # Last-entry-wins readers must prefer the fresher delta entry.
+        write_catalog(tmp_path, {KEY_A: [entry(offset=6)]})
+        append_delta(tmp_path, "seg-2.seg", {KEY_A: [entry(segment="seg-2.seg", offset=99)]})
+        offsets = [e.offset for e in load_index(tmp_path)[KEY_A]]
+        assert offsets == [6, 99]
+
+    def test_fresh_on_every_call(self, tmp_path):
+        assert load_index(tmp_path) == {}
+        append_delta(tmp_path, "seg-1.seg", {KEY_A: [entry()]})
+        assert KEY_A in load_index(tmp_path)
+
+
+class TestCompact:
+    def test_absorbs_deltas_into_catalog(self, tmp_path):
+        append_delta(tmp_path, "seg-1.seg", {KEY_A: [entry()]})
+        append_delta(tmp_path, "seg-2.seg", {KEY_B: [entry(segment="seg-2.seg")]})
+        counters = compact(tmp_path)
+        assert counters == {"deltas_absorbed": 2, "keys": 2, "entries": 2}
+        assert list(tmp_path.glob("delta-*.jsonl")) == []
+        assert set(load_catalog(tmp_path)) == {KEY_A, KEY_B}
+        assert load_index(tmp_path) == load_catalog(tmp_path)
+
+    def test_idempotent(self, tmp_path):
+        append_delta(tmp_path, "seg-1.seg", {KEY_A: [entry()]})
+        compact(tmp_path)
+        counters = compact(tmp_path)
+        assert counters == {"deltas_absorbed": 0, "keys": 1, "entries": 1}

@@ -1,15 +1,25 @@
 """Tests of the on-disk store: record round-trips, corruption detection,
-run manifests and garbage collection."""
+run manifests, garbage collection and the legacy v1 engine."""
 
 import json
+import warnings
 
 import pytest
 
 from repro.errors import StoreError
+from repro.store import store as store_module
 from repro.store.store import ArtifactStore, RunManifest, RunRecord
 
 KEY = "ab" + "0" * 30
 OTHER_KEY = "cd" + "0" * 30
+
+
+def corrupt_one_frame(store_root):
+    """Flip a payload byte inside the last frame of some segment file."""
+    segment = sorted((store_root / "segments").glob("*.seg"))[0]
+    blob = bytearray(segment.read_bytes())
+    blob[-2] ^= 0xFF
+    segment.write_bytes(bytes(blob))
 
 
 class TestRunRecord:
@@ -45,63 +55,155 @@ class TestRunRecord:
 
 
 class TestArtifactStore:
-    def test_load_of_absent_key_is_empty(self, tmp_path):
-        assert ArtifactStore(tmp_path).load(KEY) == {}
+    def test_get_of_absent_key_is_empty(self, tmp_path):
+        assert ArtifactStore(tmp_path).get(KEY) == {}
 
-    def test_append_load_round_trip(self, tmp_path):
+    def test_put_get_round_trip(self, tmp_path):
         store = ArtifactStore(tmp_path)
         payloads = {0: {"x": 1.5}, 2: {"x": float("nan")}, 1: {"x": -0.0}}
-        store.append(KEY, payloads)
-        loaded = store.load(KEY)
+        store.put(KEY, payloads)
+        loaded = store.get(KEY)
         assert set(loaded) == {0, 1, 2}
         assert loaded[0] == {"x": 1.5}
         assert str(loaded[2]["x"]) == "nan"
         assert store.stats.writes == 3
 
-    def test_incremental_append_merges(self, tmp_path):
+    def test_incremental_put_merges(self, tmp_path):
         store = ArtifactStore(tmp_path)
-        store.append(KEY, {0: {"x": 1}})
-        store.append(KEY, {1: {"x": 2}})
-        assert set(store.load(KEY)) == {0, 1}
+        store.put(KEY, {0: {"x": 1}})
+        store.put(KEY, {1: {"x": 2}})
+        assert set(store.get(KEY)) == {0, 1}
 
-    def test_corrupt_line_skipped_and_counted(self, tmp_path):
+    def test_fresh_handle_sees_prior_writes(self, tmp_path):
+        ArtifactStore(tmp_path).put(KEY, {0: {"x": 1.25}})
+        assert ArtifactStore(tmp_path).get(KEY) == {0: {"x": 1.25}}
+
+    def test_corrupt_frame_skipped_and_counted(self, tmp_path):
         store = ArtifactStore(tmp_path)
-        store.append(KEY, {0: {"x": 1}, 1: {"x": 2}})
-        path = store.record_path(KEY)
-        lines = path.read_text().splitlines()
-        path.write_text("\n".join([lines[0], lines[1][:-10]]) + "\n")
-        loaded = store.load(KEY)
+        store.put(KEY, {0: {"x": 1}, 1: {"x": 2}})
+        store.close()
+        corrupt_one_frame(tmp_path)
+        fresh = ArtifactStore(tmp_path)
+        loaded = fresh.get(KEY)
         assert set(loaded) == {0}
-        assert store.stats.corrupt == 1
+        assert fresh.stats.corrupt == 1
 
     def test_strict_store_raises_on_corruption(self, tmp_path):
         store = ArtifactStore(tmp_path)
-        store.append(KEY, {0: {"x": 1}})
-        path = store.record_path(KEY)
-        path.write_text(path.read_text().replace('"x": 1', '"x": 9'))
-        with pytest.raises(StoreError, match="checksum"):
-            ArtifactStore(tmp_path, strict=True).load(KEY)
+        store.put(KEY, {0: {"x": 1}})
+        store.close()
+        corrupt_one_frame(tmp_path)
+        with pytest.raises(StoreError, match="CRC"):
+            ArtifactStore(tmp_path, strict=True).get(KEY)
 
     def test_verify_reports_problems(self, tmp_path):
         store = ArtifactStore(tmp_path)
-        store.append(KEY, {0: {"x": 1}})
-        path = store.record_path(KEY)
-        path.write_text(path.read_text() + "not json\n")
+        store.put(KEY, {0: {"x": 1}, 1: {"x": 2}})
+        store.close()
+        corrupt_one_frame(tmp_path)
         valid, problems = store.verify(KEY)
         assert valid == 1
-        assert len(problems) == 1 and "line 2" in problems[0]
+        assert len(problems) == 1 and "CRC" in problems[0]
 
-    def test_keys_lists_record_files(self, tmp_path):
-        store = ArtifactStore(tmp_path)
-        store.append(KEY, {0: {}})
-        store.append(OTHER_KEY, {0: {}})
-        assert store.keys() == sorted([KEY, OTHER_KEY])
+    def test_verify_of_absent_key(self, tmp_path):
+        valid, problems = ArtifactStore(tmp_path).verify(KEY)
+        assert valid == 0
+        assert problems and "no records" in problems[0]
 
-    def test_coerce(self, tmp_path):
+    def test_iter_keys_sorted(self, tmp_path):
         store = ArtifactStore(tmp_path)
+        store.put(OTHER_KEY, {0: {}})
+        store.put(KEY, {0: {}})
+        assert list(store.iter_keys()) == sorted([KEY, OTHER_KEY])
+
+    def test_listing_reads_no_segment(self, tmp_path):
+        """ls/describe/key_stats are O(index): the counter stays at zero."""
+        store = ArtifactStore(tmp_path)
+        store.put(KEY, {i: {"x": float(i)} for i in range(10)})
+        store.put(OTHER_KEY, {0: {"x": 0.5}})
+        fresh = ArtifactStore(tmp_path)
+        document = fresh.describe()
+        list(fresh.iter_keys())
+        fresh.key_stats(KEY)
+        assert fresh.stats.segment_reads == 0
+        totals = document["totals"]
+        assert (totals["runs"], totals["keys"], totals["records"]) == (0, 2, 11)
+        assert totals["bytes"] > 0
+        assert [e["key"] for e in document["records"]] == sorted([KEY, OTHER_KEY])
+        assert all(not e["legacy"] for e in document["records"])
+
+    def test_open_facade_and_coerce(self, tmp_path):
+        store = ArtifactStore.open(tmp_path)
+        assert isinstance(store, ArtifactStore)
         assert ArtifactStore.coerce(None) is None
         assert ArtifactStore.coerce(store) is store
         assert ArtifactStore.coerce(tmp_path).root == tmp_path
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="unsupported"):
+            ArtifactStore(tmp_path, version=7)
+        (tmp_path / "FORMAT").write_text("9\n")
+        with pytest.raises(StoreError, match="newer"):
+            ArtifactStore(tmp_path)
+
+
+class TestLegacyV1:
+    def test_forced_v1_writes_json_lines(self, tmp_path):
+        store = ArtifactStore(tmp_path, version=1)
+        store.put(KEY, {0: {"x": 1.5}})
+        path = tmp_path / "records" / KEY[:2] / f"{KEY}.jsonl"
+        assert path.exists()
+        assert store.get(KEY) == {0: {"x": 1.5}}
+        assert not (tmp_path / "segments").exists()
+
+    def test_v2_reads_v1_through(self, tmp_path):
+        ArtifactStore(tmp_path, version=1).put(KEY, {0: {"x": 1.5}, 1: {"x": 2.5}})
+        store = ArtifactStore(tmp_path)
+        assert store.get(KEY) == {0: {"x": 1.5}, 1: {"x": 2.5}}
+        assert list(store.iter_keys()) == [KEY]
+        summary = store.key_stats(KEY)
+        assert summary["records"] == 2 and summary["legacy"]
+
+    def test_v2_extension_of_v1_key_merges(self, tmp_path):
+        ArtifactStore(tmp_path, version=1).put(KEY, {0: {"x": 1.5}})
+        store = ArtifactStore(tmp_path)
+        store.put(KEY, {1: {"x": 2.5}})
+        assert ArtifactStore(tmp_path).get(KEY) == {0: {"x": 1.5}, 1: {"x": 2.5}}
+
+    def test_v1_pin_rejected_on_v2_store(self, tmp_path):
+        ArtifactStore(tmp_path).put(KEY, {0: {}})
+        with pytest.raises(StoreError, match="version=1"):
+            ArtifactStore(tmp_path, version=1)
+
+
+class TestDeprecatedSurface:
+    @pytest.fixture(autouse=True)
+    def _reset_seen(self):
+        seen = set(store_module._DEPRECATION_SEEN)
+        store_module._DEPRECATION_SEEN.clear()
+        yield
+        store_module._DEPRECATION_SEEN.clear()
+        store_module._DEPRECATION_SEEN.update(seen)
+
+    def test_old_names_delegate_and_warn_once(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store.append(KEY, {0: {"x": 1.0}})
+            store.append(KEY, {1: {"x": 2.0}})
+            assert store.load(KEY) == {0: {"x": 1.0}, 1: {"x": 2.0}}
+            assert store.keys() == [KEY]
+            assert store.record_count(KEY) == 2
+        names = [str(w.message) for w in caught if w.category is DeprecationWarning]
+        assert len(names) == 4  # append, load, keys, record_count — once each
+        assert any("put()" in n for n in names)
+
+    def test_record_path_points_at_legacy_layout(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            path = store.record_path(KEY)
+        assert path == tmp_path / "records" / KEY[:2] / f"{KEY}.jsonl"
 
 
 class TestManifests:
@@ -140,21 +242,33 @@ class TestManifests:
 
 
 class TestGc:
-    def test_compact_drops_duplicates_and_corruption(self, tmp_path):
+    def test_gc_compacts_duplicates_and_corruption(self, tmp_path):
         store = ArtifactStore(tmp_path)
-        store.append(KEY, {0: {"x": 1}})
-        store.append(KEY, {0: {"x": 1}, 1: {"x": 2}})
-        path = store.record_path(KEY)
-        path.write_text(path.read_text() + "garbage\n")
-        kept, dropped = store.compact(KEY)
-        assert (kept, dropped) == (2, 2)
-        assert set(store.load(KEY)) == {0, 1}
-        assert len(path.read_text().splitlines()) == 2
+        store.put(KEY, {0: {"x": 1}})
+        store.put(KEY, {0: {"x": 1}, 1: {"x": 2}})
+        store.close()
+        counters = store.gc()
+        assert counters["records_kept"] == 2
+        assert counters["lines_dropped"] == 1  # the duplicate index-0 frame
+        assert set(store.get(KEY)) == {0, 1}
+        # Everything now lives in one fresh compact segment.
+        assert len(list((tmp_path / "segments").glob("*.seg"))) == 1
+
+    def test_gc_drops_corrupt_frames(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY, {0: {"x": 1}, 1: {"x": 2}})
+        store.close()
+        corrupt_one_frame(tmp_path)
+        counters = store.gc()
+        assert counters["records_kept"] == 1
+        assert counters["lines_dropped"] == 1
+        assert set(ArtifactStore(tmp_path).get(KEY)) == {0}
 
     def test_gc_keeps_referenced_drops_orphans(self, tmp_path):
         store = ArtifactStore(tmp_path)
-        store.append(KEY, {0: {"x": 1}})
-        store.append(OTHER_KEY, {0: {"x": 1}})
+        store.put(KEY, {0: {"x": 1}})
+        store.put(OTHER_KEY, {0: {"x": 1}})
+        store.close()
         store.save_manifest(
             RunManifest(
                 run_id="matrix-aa",
@@ -165,24 +279,103 @@ class TestGc:
             )
         )
         counters = store.gc(drop_unreferenced=True)
-        assert counters["files_deleted"] == 1
-        assert store.keys() == [KEY]
+        assert counters["keys_dropped"] == 1
+        assert list(store.iter_keys()) == [KEY]
+        assert ArtifactStore(tmp_path).get(OTHER_KEY) == {}
 
     def test_gc_without_flag_keeps_unreferenced(self, tmp_path):
         store = ArtifactStore(tmp_path)
-        store.append(KEY, {0: {"x": 1}})
-        assert store.gc()["files_deleted"] == 0
-        assert store.keys() == [KEY]
+        store.put(KEY, {0: {"x": 1}})
+        store.close()
+        assert store.gc()["keys_dropped"] == 0
+        assert list(store.iter_keys()) == [KEY]
 
     def test_gc_spares_orphans_while_a_run_is_in_flight(self, tmp_path):
         """An interrupted run records its keys only on completion — its
         resumable records must not be collected as orphans."""
         store = ArtifactStore(tmp_path)
-        store.append(KEY, {0: {"x": 1}})
+        store.put(KEY, {0: {"x": 1}})
+        store.close()
         store.save_manifest(
             RunManifest(run_id="matrix-aa", command="matrix", config={}, status="running")
         )
         counters = store.gc(drop_unreferenced=True)
-        assert counters["files_deleted"] == 0
+        assert counters["keys_dropped"] == 0
         assert counters["in_flight_runs"] == 1
-        assert store.keys() == [KEY]
+        assert list(store.iter_keys()) == [KEY]
+
+    def test_gc_older_than_spares_fresh_segments(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY, {0: {"x": 1}})
+        store.put(KEY, {0: {"x": 1}})  # duplicate that gc would normally fold
+        store.close()
+        segments = sorted((tmp_path / "segments").glob("*.seg"))
+        counters = store.gc(older_than=3600.0)
+        assert counters["segments_removed"] == 0
+        assert sorted((tmp_path / "segments").glob("*.seg")) == segments
+        assert ArtifactStore(tmp_path).get(KEY) == {0: {"x": 1}}
+
+    def test_legacy_files_compacted_in_place(self, tmp_path):
+        v1 = ArtifactStore(tmp_path, version=1)
+        v1.put(KEY, {0: {"x": 1}})
+        v1.put(KEY, {0: {"x": 1}, 1: {"x": 2}})
+        path = tmp_path / "records" / KEY[:2] / f"{KEY}.jsonl"
+        path.write_text(path.read_text() + "garbage\n")
+        counters = ArtifactStore(tmp_path).gc()
+        assert counters["records_kept"] == 2
+        assert counters["lines_dropped"] == 2  # duplicate + garbage
+        assert len(path.read_text().splitlines()) == 2
+
+
+def snapshot_tree(root):
+    """Every file under *root* with its exact bytes and mtime."""
+    return {
+        str(path.relative_to(root)): (path.read_bytes(), path.stat().st_mtime_ns)
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+class TestGcDryRun:
+    def test_dry_run_with_older_than_is_strictly_read_only(self, tmp_path):
+        """Regression: dry-run combined with --older-than must not rewrite,
+        delete or create anything — not even lock or directory entries."""
+        ArtifactStore(tmp_path, version=1).put(OTHER_KEY, {0: {"x": 3}})
+        store = ArtifactStore(tmp_path)
+        store.put(KEY, {0: {"x": 1}})
+        store.put(KEY, {0: {"x": 1}, 1: {"x": 2}})
+        store.close()
+        before = snapshot_tree(tmp_path)
+        dirs_before = sorted(str(p) for p in tmp_path.rglob("*") if p.is_dir())
+        counters = store.gc(dry_run=True, older_than=0.0, drop_unreferenced=True)
+        assert counters["dry_run"] == 1
+        assert snapshot_tree(tmp_path) == before
+        assert sorted(str(p) for p in tmp_path.rglob("*") if p.is_dir()) == dirs_before
+
+    def test_dry_run_counters_match_a_real_gc(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY, {0: {"x": 1}})
+        store.put(KEY, {0: {"x": 1}, 1: {"x": 2}})
+        store.close()
+        planned = store.gc(dry_run=True)
+        actual = store.gc()
+        for field in ("records_kept", "lines_dropped", "keys_dropped"):
+            assert planned[field] == actual[field]
+
+
+class TestDrop:
+    def test_drop_forgets_a_key(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(KEY, {0: {"x": 1}, 1: {"x": 2}})
+        store.put(OTHER_KEY, {0: {"x": 3}})
+        assert store.drop(KEY) == 2
+        assert store.get(KEY) == {}
+        assert store.get(OTHER_KEY) == {0: {"x": 3}}
+        assert list(store.iter_keys()) == [OTHER_KEY]
+
+    def test_drop_removes_legacy_file(self, tmp_path):
+        ArtifactStore(tmp_path, version=1).put(KEY, {0: {"x": 1}})
+        store = ArtifactStore(tmp_path)
+        assert store.drop(KEY) == 1
+        assert store.get(KEY) == {}
+        assert not (tmp_path / "records" / KEY[:2]).exists()

@@ -174,14 +174,12 @@ class TestStoreCommands:
         assert "kept 2 record(s)" in capsys.readouterr().out
 
     def test_store_inspect_flags_corruption(self, capsys, tmp_path):
-        from repro.store import ArtifactStore
-
         code, store_dir, _ = self._run_with_store(tmp_path)
         assert code == 0
-        store = ArtifactStore(store_dir)
-        key = store.keys()[0]
-        path = store.record_path(key)
-        path.write_text(path.read_text() + "garbage\n")
+        segment = sorted((store_dir / "segments").glob("*.seg"))[0]
+        blob = bytearray(segment.read_bytes())
+        blob[-2] ^= 0xFF
+        segment.write_bytes(bytes(blob))
         capsys.readouterr()
         assert main(["store", "inspect", "--store", str(store_dir)]) == 1
         assert "problem" in capsys.readouterr().out
@@ -190,19 +188,73 @@ class TestStoreCommands:
         code, store, _ = self._run_with_store(tmp_path)
         assert code == 0
         capsys.readouterr()
-        assert main(["store", "ls", "--store", str(store), "--json"]) == 0
+        assert main(["store", "ls", "--store", str(store), "--format", "json"]) == 0
         document = json.loads(capsys.readouterr().out)
         assert document["root"] == str(store)
+        assert document["format"] == 2
         assert len(document["runs"]) == 1
         assert document["runs"][0]["status"] == "complete"
         assert len(document["records"]) == 1
         assert document["records"][0]["records"] == 2
         assert document["records"][0]["bytes"] > 0
+        assert document["records"][0]["legacy"] is False
+        assert document["totals"]["records"] == 2
+
+    def test_store_ls_json_flag_is_an_alias(self, capsys, tmp_path):
+        code, store, _ = self._run_with_store(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", str(store), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["format"] == 2
 
     def test_store_ls_json_empty_store(self, capsys, tmp_path):
-        assert main(["store", "ls", "--store", str(tmp_path), "--json"]) == 0
+        assert main(["store", "ls", "--store", str(tmp_path), "--format", "json"]) == 0
         document = json.loads(capsys.readouterr().out)
-        assert document == {"root": str(tmp_path), "runs": [], "records": []}
+        assert document == {
+            "root": str(tmp_path),
+            "format": 2,
+            "runs": [],
+            "records": [],
+            "totals": {"runs": 0, "keys": 0, "records": 0, "bytes": 0},
+        }
+
+    def test_store_gc_dry_run_with_older_than_is_read_only(self, capsys, tmp_path):
+        """Regression: --dry-run combined with --older-than must not touch
+        a single byte of the store."""
+        code, store, _ = self._run_with_store(tmp_path)
+        assert code == 0
+        before = {
+            str(p.relative_to(store)): (p.read_bytes(), p.stat().st_mtime_ns)
+            for p in sorted(store.rglob("*"))
+            if p.is_file()
+        }
+        capsys.readouterr()
+        args = ["store", "gc", "--store", str(store), "--dry-run",
+                "--older-than", "0", "--format", "json"]
+        assert main(args) == 0
+        counters = json.loads(capsys.readouterr().out)
+        assert counters["dry_run"] == 1
+        after = {
+            str(p.relative_to(store)): (p.read_bytes(), p.stat().st_mtime_ns)
+            for p in sorted(store.rglob("*"))
+            if p.is_file()
+        }
+        assert after == before
+
+    def test_store_migrate_rewrites_v1_records(self, capsys, tmp_path):
+        from repro.store import ArtifactStore
+
+        v1 = ArtifactStore(tmp_path / "store", version=1)
+        v1.put("ab" + "0" * 30, {0: {"x": 1.5}, 1: {"x": 2.5}})
+        assert main(["store", "migrate", "--store", str(tmp_path / "store"),
+                     "--format", "json"]) == 0
+        counters = json.loads(capsys.readouterr().out)
+        assert counters["records_migrated"] == 2
+        assert counters["files_removed"] == 1
+        assert ArtifactStore(tmp_path / "store").get("ab" + "0" * 30) == {
+            0: {"x": 1.5},
+            1: {"x": 2.5},
+        }
 
 
 class TestServiceCommands:
