@@ -38,12 +38,11 @@ from repro.experiments.figures import (
     ProbabilityCurve,
     write_csv,
 )
-from repro.experiments.matrix import (
-    DEFAULT_ESTIMATORS,
-    ESTIMATOR_NAMES,
-    MatrixConfig,
-    run_matrix,
-)
+# The matrix module is the single source of truth for estimator names:
+# the parser reads matrix.ESTIMATOR_NAMES at build time (not import time)
+# so registering a new estimator updates the CLI surfaces too.
+from repro.experiments import matrix as matrix_experiments
+from repro.experiments.matrix import MatrixConfig, run_matrix
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import render_table2, run_table2
 from repro.imcis.algorithm import IMCISConfig, imcis_estimate, imcis_from_sample
@@ -366,7 +365,13 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         for path in result.write(args.out).values():
             print("wrote", path)
     if args.check and failing:
-        print(f"FAIL: {len(failing)} cell(s) miss gamma_true")
+        # Name the offending cells on stderr so a failing --check run is
+        # diagnosable from the error stream alone (CI logs, `2>errors`).
+        names = ", ".join(f"({cell.study}, {cell.estimator})" for cell in failing)
+        print(
+            f"FAIL: {len(failing)} cell(s) miss gamma_true: {names}",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -687,9 +692,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--estimators",
-        default=",".join(DEFAULT_ESTIMATORS),
-        help=f"comma-separated estimators out of {', '.join(ESTIMATOR_NAMES)} "
-        "(default: %(default)s)",
+        default=",".join(matrix_experiments.DEFAULT_ESTIMATORS),
+        help="comma-separated estimators out of "
+        f"{', '.join(matrix_experiments.ESTIMATOR_NAMES)} (default: %(default)s)",
     )
     p.add_argument(
         "--quick",
@@ -870,7 +875,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--url", default="http://127.0.0.1:8000", help="service root URL")
     p.add_argument("--study", required=True, choices=study_names)
     p.add_argument(
-        "--estimator", default="is", choices=list(ESTIMATOR_NAMES), help="estimator to run"
+        "--estimator",
+        default="is",
+        choices=list(matrix_experiments.ESTIMATOR_NAMES),
+        help="estimator to run",
     )
     p.add_argument("--reps", type=int, default=4, help="repetitions of the cell")
     p.add_argument("--samples", type=int, default=None, help="traces per repetition")

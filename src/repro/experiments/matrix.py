@@ -18,7 +18,14 @@ Estimator semantics — each cell estimates the study's ground truth γ:
   whereas the Table II experiments deliberately weight against ``Â`` to
   exhibit the coverage failure;
 * ``imcis`` runs Algorithm 1 over the study's IMC on the same kind of
-  sample; its conservative interval covers γ whenever ``A ∈ [Â]``.
+  sample; its conservative interval covers γ whenever ``A ∈ [Â]``;
+* ``ce`` iterates the cross-entropy refiner before estimating: part of
+  the trace budget refines the proposal towards the zero-variance
+  measure, the remainder funds a final fused-weight IS run under the
+  refined proposal;
+* ``imc`` is the Importance-Markov-Chain resampling estimator: batched
+  IS draws with ESS-driven stopping, then weight-proportional replica
+  counts whose total alone estimates γ.
 
 Determinism contract: every cell derives its repetition seeds from the
 root seed alone — identically for every cell, so a single-study run
@@ -46,20 +53,30 @@ from repro.errors import EstimationError, StoreError
 from repro.imcis.algorithm import IMCISConfig, imcis_from_sample
 from repro.imcis.random_search import RandomSearchConfig
 from repro.importance.bounded import run_bounded_importance_sampling
+from repro.importance.cross_entropy import cross_entropy_estimate
 from repro.importance.estimator import estimate_from_sample, run_importance_sampling
+from repro.importance.imc import run_imc_estimate
+from repro.importance.zero_variance import zero_variance_proposal
 from repro.models.registry import REGISTRY, PreparedStudy, StudyRegistry
 from repro.smc.bayes import bayesian_estimate
 from repro.smc.estimators import monte_carlo_estimate
 from repro.smc.results import ConfidenceInterval
 from repro.store.cache import map_repetitions_cached
-from repro.store.codecs import decode_interval, encode_interval
+from repro.store.codecs import (
+    decode_interval,
+    encode_ce_estimate,
+    encode_imc_estimate,
+    encode_interval,
+)
 from repro.store.keys import code_versions, config_key, describe_study, seed_entropy
 from repro.store.store import ArtifactStore
 from repro.util.rng import spawn_seeds
 from repro.util.tables import format_number, format_table
 
-#: Estimators the matrix knows how to run.
-ESTIMATOR_NAMES = ("mc", "bayes", "is", "imcis")
+#: Estimators the matrix knows how to run. The service's request
+#: validation and the CLI's ``--estimators`` surfaces derive from this
+#: tuple — it is the single source of truth for estimator names.
+ESTIMATOR_NAMES = ("mc", "bayes", "is", "imcis", "ce", "imc")
 #: The default cell set: the paper's estimator stack (the crude baselines
 #: cannot see rare events at smoke-run sample sizes).
 DEFAULT_ESTIMATORS = ("is", "imcis")
@@ -105,6 +122,22 @@ class MatrixConfig:
         Interval confidence level; ``None`` defers to each study.
     search_rounds : int
         The IMCIS random-search stopping parameter ``R``.
+    ce_rounds : int
+        Refinement rounds of the ``ce`` estimator.
+    ce_refine_fraction : float
+        Fraction of each ``ce`` repetition's budget spent refining.
+    ce_smoothing : float
+        CE smoothing λ (1 = no smoothing).
+    ce_support_floor : float
+        CE support-floor mixing weight towards the original row.
+    imc_batches : int
+        Batches the ``imc`` estimator splits its budget into.
+    imc_ess_target : float, optional
+        Stop ``imc`` sampling early once the accumulated effective sample
+        size reaches this value (``None``: always run the full budget).
+    imc_replica_budget : int, optional
+        Target total replica count of the ``imc`` resampling draw
+        (``None``: the number of traces actually drawn).
     quick : bool
         Apply each study's quick factory parameters.
     seed : int
@@ -121,6 +154,13 @@ class MatrixConfig:
     n_samples: int | None = None
     confidence: float | None = None
     search_rounds: int = 1000
+    ce_rounds: int = 2
+    ce_refine_fraction: float = 0.5
+    ce_smoothing: float = 0.5
+    ce_support_floor: float = 0.05
+    imc_batches: int = 4
+    imc_ess_target: float | None = None
+    imc_replica_budget: int | None = None
     quick: bool = False
     seed: int = 2018
     workers: "int | str | None" = None
@@ -135,6 +175,13 @@ class MatrixConfig:
             "n_samples": self.n_samples,
             "confidence": self.confidence,
             "search_rounds": self.search_rounds,
+            "ce_rounds": self.ce_rounds,
+            "ce_refine_fraction": self.ce_refine_fraction,
+            "ce_smoothing": self.ce_smoothing,
+            "ce_support_floor": self.ce_support_floor,
+            "imc_batches": self.imc_batches,
+            "imc_ess_target": self.imc_ess_target,
+            "imc_replica_budget": self.imc_replica_budget,
             "quick": self.quick,
             "seed": self.seed,
             "workers": self.workers,
@@ -167,11 +214,19 @@ class MatrixConfig:
 
 @dataclass(frozen=True)
 class _CellOutcome:
-    """One repetition of one cell."""
+    """One repetition of one cell.
+
+    ``detail`` carries estimator-specific diagnostics as an
+    already-encoded JSON payload (the ``ce``/``imc`` codecs of
+    :mod:`repro.store.codecs`); the aggregation ignores it, but cached
+    records keep refinement/resampling health inspectable without
+    resimulation.
+    """
 
     estimate: float
     interval: ConfidenceInterval
     ess: float | None
+    detail: "dict | None" = None
 
 
 @dataclass(frozen=True)
@@ -184,15 +239,25 @@ class _CellContext:
     confidence: float
     search_rounds: int
     backend: str | None
+    ce_rounds: int = 2
+    ce_refine_fraction: float = 0.5
+    ce_smoothing: float = 0.5
+    ce_support_floor: float = 0.05
+    imc_batches: int = 4
+    imc_ess_target: float | None = None
+    imc_replica_budget: int | None = None
 
 
 def _encode_cell_outcome(outcome: _CellOutcome) -> dict:
     """JSON payload of one cell repetition (exact float round-trip)."""
-    return {
+    payload = {
         "estimate": outcome.estimate,
         "interval": encode_interval(outcome.interval),
         "ess": outcome.ess,
     }
+    if outcome.detail is not None:
+        payload["detail"] = outcome.detail
+    return payload
 
 
 def _decode_cell_outcome(payload: dict) -> _CellOutcome:
@@ -201,6 +266,7 @@ def _decode_cell_outcome(payload: dict) -> _CellOutcome:
         estimate=payload["estimate"],
         interval=decode_interval(payload["interval"]),
         ess=payload["ess"],
+        detail=payload.get("detail"),
     )
 
 
@@ -208,10 +274,26 @@ def _cell_key(context: _CellContext, seed: int) -> str:
     """Content address of one cell's repetition stream.
 
     Deliberately excludes the repetition and worker counts (repetition
-    seeds are prefix-stable spawns of *seed*) and includes the search
-    rounds only for the estimator that uses them, so tuning ``R`` does
-    not evict the ``mc``/``bayes``/``is`` cells.
+    seeds are prefix-stable spawns of *seed*) and includes each
+    estimator's private tuning knobs only for that estimator — tuning
+    the IMCIS search rounds or the CE budget split does not evict the
+    other estimators' cells.
     """
+    ce_params = None
+    if context.estimator == "ce":
+        ce_params = {
+            "rounds": context.ce_rounds,
+            "refine_fraction": context.ce_refine_fraction,
+            "smoothing": context.ce_smoothing,
+            "support_floor": context.ce_support_floor,
+        }
+    imc_params = None
+    if context.estimator == "imc":
+        imc_params = {
+            "batches": context.imc_batches,
+            "ess_target": context.imc_ess_target,
+            "replica_budget": context.imc_replica_budget,
+        }
     return config_key(
         {
             "kind": "matrix-cell",
@@ -220,6 +302,8 @@ def _cell_key(context: _CellContext, seed: int) -> str:
             "n_samples": context.n_samples,
             "confidence": context.confidence,
             "search_rounds": context.search_rounds if context.estimator == "imcis" else None,
+            "ce": ce_params,
+            "imc": imc_params,
             "backend": context.backend or "auto",
             "seed_entropy": seed_entropy(seed),
             "versions": code_versions(),
@@ -232,18 +316,21 @@ def _draw_sample(
     rng: np.random.Generator,
     original=None,
     keep_counts: bool = True,
+    n_samples: int | None = None,
 ):
     """Draw one IS sample under the study's (possibly unrolled) proposal.
 
     *original* fuses that chain's IS numerator into the simulation loop;
     ``keep_counts=False`` additionally drops the per-trace tables (enough
-    for a single-chain estimate, not for IMCIS).
+    for a single-chain estimate, not for IMCIS). *n_samples* overrides the
+    cell's per-repetition budget (the ``imc`` estimator draws in batches).
     """
     study = context.prepared.study
+    size = context.n_samples if n_samples is None else n_samples
     if context.prepared.unrolled_proposal is not None:
         return run_bounded_importance_sampling(
             context.prepared.unrolled_proposal,
-            context.n_samples,
+            size,
             rng,
             backend=context.backend,
             original=original,
@@ -252,7 +339,7 @@ def _draw_sample(
     return run_importance_sampling(
         study.proposal,
         study.formula,
-        context.n_samples,
+        size,
         rng,
         backend=context.backend,
         original=original,
@@ -295,6 +382,49 @@ def _matrix_repetition(context: _CellContext, seed: np.random.SeedSequence) -> _
         sample = _draw_sample(context, child, original=target, keep_counts=False)
         result = estimate_from_sample(target, sample, context.confidence)
         return _CellOutcome(result.estimate, result.interval, result.ess)
+    if context.estimator == "ce":
+        # Iterated optimise-then-estimate. Unrolled studies (whose
+        # study.proposal is an untilted placeholder) seed from the
+        # bounded zero-variance tilt of the learnt centre — the module
+        # docstring's recommendation for rare bounded events.
+        initial = study.proposal
+        if context.prepared.unrolled_proposal is not None:
+            initial = zero_variance_proposal(
+                study.center, study.formula, mixing=0.2, bounded=True
+            )
+        ce = cross_entropy_estimate(
+            target,
+            study.formula,
+            context.n_samples,
+            child,
+            rounds=context.ce_rounds,
+            refine_fraction=context.ce_refine_fraction,
+            smoothing=context.ce_smoothing,
+            support_floor=context.ce_support_floor,
+            initial_proposal=initial,
+            confidence=context.confidence,
+            backend=context.backend,
+        )
+        result = ce.result
+        return _CellOutcome(
+            result.estimate, result.interval, result.ess, detail=encode_ce_estimate(ce)
+        )
+    if context.estimator == "imc":
+        # Batched fused-weight draws, then weight-proportional replicas.
+        imc = run_imc_estimate(
+            target,
+            lambda n: _draw_sample(context, child, original=target, keep_counts=False, n_samples=n),
+            context.n_samples,
+            child,
+            batches=context.imc_batches,
+            ess_target=context.imc_ess_target,
+            replica_budget=context.imc_replica_budget,
+            confidence=context.confidence,
+        )
+        result = imc.result
+        return _CellOutcome(
+            result.estimate, result.interval, result.ess, detail=encode_imc_estimate(imc)
+        )
     sample = _draw_sample(context, child, original=study.imc.center)
     if context.estimator == "imcis":
         config = IMCISConfig(
@@ -539,6 +669,13 @@ def run_matrix(
                 confidence=confidence,
                 search_rounds=config.search_rounds,
                 backend=backend,
+                ce_rounds=config.ce_rounds,
+                ce_refine_fraction=config.ce_refine_fraction,
+                ce_smoothing=config.ce_smoothing,
+                ce_support_floor=config.ce_support_floor,
+                imc_batches=config.imc_batches,
+                imc_ess_target=config.imc_ess_target,
+                imc_replica_budget=config.imc_replica_budget,
             )
             cell_event = {
                 "study": study.name,

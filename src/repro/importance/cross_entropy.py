@@ -28,7 +28,8 @@ or from a tilted instance, as the experiments do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 from scipy import sparse
@@ -36,8 +37,13 @@ from scipy import sparse
 from repro.core import linalg
 from repro.core.dtmc import DTMC
 from repro.errors import EstimationError
-from repro.importance.estimator import log_weights, run_importance_sampling
+from repro.importance.estimator import (
+    estimate_from_sample,
+    log_weights,
+    run_importance_sampling,
+)
 from repro.properties.logic import Formula
+from repro.smc.results import EstimationResult
 from repro.util.rng import ensure_rng
 
 
@@ -80,16 +86,32 @@ def cross_entropy_update(
     support_floor: float = 0.05,
 ) -> DTMC:
     """One CE update of the proposal from weighted success statistics."""
-    if not 0.0 < smoothing <= 1.0:
-        raise EstimationError("smoothing must be in (0, 1]")
-    if not 0.0 <= support_floor < 1.0:
-        raise EstimationError("support_floor must be in [0, 1)")
     if log_w.size == 0:
+        _validate_ce_parameters(smoothing, support_floor)
         return current
     # Normalise weights for numerical stability (scale cancels in the ratio).
     weights = np.exp(log_w - log_w.max())
     edge_stats, state_stats = _weighted_transition_stats(sample_counts, weights)
+    return _chain_from_stats(original, current, edge_stats, state_stats, smoothing, support_floor)
 
+
+def _validate_ce_parameters(smoothing: float, support_floor: float) -> None:
+    if not 0.0 < smoothing <= 1.0:
+        raise EstimationError("smoothing must be in (0, 1]")
+    if not 0.0 <= support_floor < 1.0:
+        raise EstimationError("support_floor must be in [0, 1)")
+
+
+def _chain_from_stats(
+    original: DTMC,
+    current: DTMC,
+    edge_stats: "dict[tuple[int, int], float]",
+    state_stats: "dict[int, float]",
+    smoothing: float,
+    support_floor: float,
+) -> DTMC:
+    """Build the updated proposal from (possibly accumulated) CE stats."""
+    _validate_ce_parameters(smoothing, support_floor)
     rows, cols, data = [], [], []
     updated_states = set()
     for state, total in state_stats.items():
@@ -164,3 +186,157 @@ def cross_entropy_proposal(
             original, proposal, sample.counts, log_w, smoothing, support_floor
         )
     return CrossEntropyResult(proposal, n_iterations, successes)
+
+
+@dataclass(frozen=True)
+class CrossEntropyEstimate:
+    """Outcome of an iterated optimise-then-estimate cross-entropy run.
+
+    Attributes
+    ----------
+    result:
+        The final importance-sampling estimate, drawn under the refined
+        proposal (``method == "cross-entropy"``).
+    proposal:
+        The refined proposal the final run sampled under (``None`` when
+        the estimate was decoded from a stored record — the store codec
+        keeps the scalar results, not the chain).
+    rounds:
+        Number of refinement rounds executed.
+    refine_samples:
+        Total traces spent on refinement (``rounds ×`` per-round budget).
+    final_samples:
+        Traces spent on the final estimation run.
+    n_satisfied_per_round:
+        Successful-trace count of each refinement round, in order.
+    """
+
+    result: EstimationResult
+    proposal: DTMC | None
+    rounds: int
+    refine_samples: int
+    final_samples: int
+    n_satisfied_per_round: tuple[int, ...]
+
+
+def cross_entropy_estimate(
+    original: DTMC,
+    formula: Formula,
+    n_samples: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    rounds: int = 3,
+    refine_fraction: float = 0.5,
+    smoothing: float = 1.0,
+    support_floor: float = 0.05,
+    initial_proposal: DTMC | None = None,
+    confidence: float = 0.95,
+    max_steps: int | None = None,
+    backend: str | None = "auto",
+    workers: "int | str | None" = None,
+) -> CrossEntropyEstimate:
+    """Iterated optimise-then-estimate: CE refinement, then one IS run.
+
+    The *n_samples* budget is split: ``refine_fraction`` of it is divided
+    evenly across *rounds* CE refinement rounds (each sampling under the
+    current proposal, with per-trace count tables kept for the update), and
+    the remainder funds a final fused-weight IS run under the refined
+    proposal — so the total simulation cost matches a plain ``is`` run of
+    the same budget.
+
+    Unlike :func:`cross_entropy_proposal`, the weighted transition
+    statistics *accumulate* across rounds — every refinement trace informs
+    the final fit (each round's weights target the same zero-variance
+    stats, so pooling them is consistent), which keeps the fitted rows
+    from thrashing at small per-round budgets.
+
+    A refinement round that sees no successful trace raises
+    :class:`~repro.errors.EstimationError` immediately rather than letting
+    zero weights poison the update: seed with a better *initial_proposal*
+    (e.g. :func:`~repro.importance.zero_variance.zero_variance_proposal`)
+    or raise the budget.
+    """
+    _validate_ce_parameters(smoothing, support_floor)
+    if n_samples <= 0:
+        raise EstimationError("n_samples must be positive")
+    if rounds <= 0:
+        raise EstimationError("rounds must be positive")
+    if not 0.0 < refine_fraction < 1.0:
+        raise EstimationError("refine_fraction must be in (0, 1)")
+    per_round = int(n_samples * refine_fraction) // rounds
+    if per_round <= 0:
+        raise EstimationError(
+            f"budget too small: {n_samples} samples leave no traces for "
+            f"{rounds} refinement round(s) at refine_fraction={refine_fraction}"
+        )
+    final_samples = n_samples - rounds * per_round
+    generator = ensure_rng(rng)
+    proposal = initial_proposal if initial_proposal is not None else original
+    successes: list[int] = []
+    edge_stats: "dict[tuple[int, int], float]" = {}
+    state_stats: "dict[int, float]" = {}
+    shift: float | None = None
+    for round_index in range(rounds):
+        sample = run_importance_sampling(
+            proposal,
+            formula,
+            per_round,
+            generator,
+            max_steps=max_steps,
+            backend=backend,
+            workers=workers,
+            original=original,
+            keep_counts=True,
+        )
+        successes.append(sample.n_satisfied)
+        if sample.n_satisfied == 0:
+            raise EstimationError(
+                f"cross-entropy round {round_index + 1}/{rounds} saw no "
+                f"successful trace in {per_round} samples; seed with a "
+                "better initial_proposal (e.g. zero_variance_proposal) or "
+                "raise the budget"
+            )
+        log_w = log_weights(original, sample)
+        # One weight scale across all rounds: stats are normalised by the
+        # running maximum log weight, rescaling the accumulators when a
+        # new round raises it (the common scale cancels in the ratio).
+        round_max = float(log_w.max())
+        if shift is None:
+            shift = round_max
+        elif round_max > shift:
+            factor = math.exp(shift - round_max)
+            edge_stats = {key: value * factor for key, value in edge_stats.items()}
+            state_stats = {key: value * factor for key, value in state_stats.items()}
+            shift = round_max
+        weights = np.exp(log_w - shift)
+        new_edges, new_states = _weighted_transition_stats(sample.counts, weights)
+        for key, value in new_edges.items():
+            edge_stats[key] = edge_stats.get(key, 0.0) + value
+        for key, value in new_states.items():
+            state_stats[key] = state_stats.get(key, 0.0) + value
+        proposal = _chain_from_stats(
+            original, proposal, edge_stats, state_stats, smoothing, support_floor
+        )
+    final_sample = run_importance_sampling(
+        proposal,
+        formula,
+        final_samples,
+        generator,
+        max_steps=max_steps,
+        backend=backend,
+        workers=workers,
+        original=original,
+        keep_counts=False,
+    )
+    result = replace(
+        estimate_from_sample(original, final_sample, confidence),
+        method="cross-entropy",
+    )
+    return CrossEntropyEstimate(
+        result=result,
+        proposal=proposal,
+        rounds=rounds,
+        refine_samples=rounds * per_round,
+        final_samples=final_samples,
+        n_satisfied_per_round=tuple(successes),
+    )

@@ -1,0 +1,251 @@
+"""The Importance-Markov-Chain resampling estimator.
+
+Implements the resampling scheme of Andral, Douc & Robert ("The Importance
+Markov chain", 2022) on top of the ensemble engine: traces are drawn under
+the proposal in batches with fused log-weight accumulation, and each
+successful trace is replicated a weight-proportional number of times,
+
+    E[R_k] = κ · L_k,     R_k = ⌊κ L_k⌋ + Bernoulli(frac(κ L_k)),
+
+so that the replica count ``Σ R_k`` alone estimates the target:
+``γ̂ = Σ R_k / (κ N)``. The estimator is unbiased for any κ — the constant
+cancels — and its variance decomposes into the underlying IS variance plus
+a residual-Bernoulli term ``Σ frac(1−frac) / (κN)²``, both of which the
+reported confidence interval covers.
+
+Batched sampling gives the ESS-driven stopping rule: after each batch the
+effective sample size of the accumulated weights is checked against a
+target, and sampling stops early once the weighted sample is already worth
+that many ideal draws. Batches are drawn sequentially from one generator,
+so the estimate is bitwise invariant to the engine worker count (the
+per-batch samples are, and the replica draw happens once at the end).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.dtmc import DTMC
+from repro.errors import EstimationError
+from repro.importance.estimator import (
+    ISSample,
+    ess_from_log_weights,
+    log_weights,
+    moments_from_log_weights,
+    run_importance_sampling,
+)
+from repro.properties.logic import Formula
+from repro.smc.intervals import normal_ci
+from repro.smc.results import EstimationResult
+from repro.util.rng import ensure_rng
+
+#: Estimation-method tag carried by IMC results.
+IMC_METHOD = "importance-markov-chain"
+
+
+@dataclass(frozen=True)
+class IMCEstimate:
+    """Outcome of an Importance-Markov-Chain run.
+
+    Attributes
+    ----------
+    result:
+        The replica-count estimate with a confidence interval covering
+        both the IS variance and the resampling residual
+        (``method == "importance-markov-chain"``).
+    batches_run:
+        Batches actually drawn (< ``batches_max`` on ESS early stop).
+    batches_max:
+        Batch budget the run was configured with.
+    replica_budget:
+        Target total replica count ``κ · Σ L_k``.
+    replica_total:
+        Realised total replica count ``Σ R_k``.
+    kappa:
+        The replication constant κ implied by the budget and the weights.
+    """
+
+    result: EstimationResult
+    batches_run: int
+    batches_max: int
+    replica_budget: int
+    replica_total: int
+    kappa: float
+
+
+def imc_from_log_weights(
+    log_w: np.ndarray,
+    n_total: int,
+    rng: np.random.Generator | int | None = None,
+    replica_budget: int | None = None,
+    confidence: float = 0.95,
+    n_undecided: int = 0,
+) -> tuple[EstimationResult, int, float]:
+    """Replica-count estimate from accumulated log weights.
+
+    Returns ``(result, replica_total, kappa)``. *replica_budget* fixes
+    ``Σ E[R_k]``; κ follows as ``replica_budget / Σ L_k`` and cancels in
+    the estimate, which therefore stays unbiased. The interval uses
+    ``σ_eff² = σ_IS² + N · Var(γ̂ | weights)`` so it covers the residual
+    Bernoulli noise of the replica draw as well as the IS variance.
+    """
+    if n_total <= 0:
+        raise EstimationError("n_total must be positive")
+    budget = int(replica_budget) if replica_budget is not None else int(n_total)
+    if budget <= 0:
+        raise EstimationError("replica_budget must be positive")
+    if log_w.size == 0:
+        result = EstimationResult(
+            estimate=0.0,
+            std_dev=0.0,
+            n_samples=n_total,
+            interval=normal_ci(0.0, 0.0, n_total, confidence),
+            n_satisfied=0,
+            n_undecided=n_undecided,
+            method=IMC_METHOD,
+            ess=0.0,
+        )
+        return result, 0, 0.0
+    shift = float(log_w.max())
+    scaled = np.exp(log_w - shift)
+    scaled_sum = float(scaled.sum())
+    # Σ L_k = e^shift · scaled_sum; κ = budget / Σ L_k.
+    sum_l = math.exp(shift) * scaled_sum
+    kappa = budget / sum_l
+    expected = budget * scaled / scaled_sum  # κ · L_k, exactly
+    floors = np.floor(expected)
+    fracs = expected - floors
+    generator = ensure_rng(rng)
+    replicas = floors + (generator.random(fracs.size) < fracs)
+    replica_total = int(replicas.sum())
+    gamma = replica_total * sum_l / (budget * n_total)
+    _, std_is = moments_from_log_weights(log_w, n_total)
+    # Var(γ̂ | weights) = Σ frac(1−frac) · (Σ L / (budget·N))².
+    resample_var = float(np.sum(fracs * (1.0 - fracs))) * (sum_l / (budget * n_total)) ** 2
+    std_eff = math.sqrt(std_is * std_is + n_total * resample_var)
+    result = EstimationResult(
+        estimate=gamma,
+        std_dev=std_eff,
+        n_samples=n_total,
+        interval=normal_ci(gamma, std_eff, n_total, confidence),
+        n_satisfied=int(log_w.size),
+        n_undecided=n_undecided,
+        method=IMC_METHOD,
+        ess=ess_from_log_weights(log_w),
+    )
+    return result, replica_total, kappa
+
+
+def run_imc_estimate(
+    original: DTMC,
+    sampler: Callable[[int], ISSample],
+    n_samples: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    batches: int = 4,
+    ess_target: float | None = None,
+    replica_budget: int | None = None,
+    confidence: float = 0.95,
+) -> IMCEstimate:
+    """Drive *sampler* in batches, then resample by replica counts.
+
+    *sampler* draws ``n`` traces and returns an :class:`ISSample` whose
+    weights :func:`log_weights` can evaluate against *original* (fused or
+    counted). The *n_samples* budget splits evenly over *batches*; after
+    each batch the accumulated ESS is checked against *ess_target* and
+    sampling stops early once reached. The replica draw consumes *rng*
+    once, after sampling, keeping the estimate deterministic for a given
+    stop point.
+    """
+    if n_samples <= 0:
+        raise EstimationError("n_samples must be positive")
+    if batches <= 0:
+        raise EstimationError("batches must be positive")
+    if n_samples < batches:
+        raise EstimationError(
+            f"budget too small: {n_samples} samples cannot fill {batches} batches"
+        )
+    base, remainder = divmod(n_samples, batches)
+    sizes = [base + (1 if index < remainder else 0) for index in range(batches)]
+    generator = ensure_rng(rng)
+    chunks: list[np.ndarray] = []
+    n_total = 0
+    n_undecided = 0
+    batches_run = 0
+    for size in sizes:
+        sample = sampler(size)
+        chunks.append(log_weights(original, sample))
+        n_total += sample.n_total
+        n_undecided += sample.n_undecided
+        batches_run += 1
+        if ess_target is not None and ess_target > 0.0:
+            if ess_from_log_weights(np.concatenate(chunks)) >= ess_target:
+                break
+    log_w = np.concatenate(chunks) if chunks else np.empty(0)
+    budget = replica_budget if replica_budget is not None else n_total
+    result, replica_total, kappa = imc_from_log_weights(
+        log_w, n_total, generator, budget, confidence, n_undecided
+    )
+    return IMCEstimate(
+        result=result,
+        batches_run=batches_run,
+        batches_max=batches,
+        replica_budget=int(budget),
+        replica_total=replica_total,
+        kappa=kappa,
+    )
+
+
+def imc_estimate(
+    original: DTMC,
+    proposal: DTMC,
+    formula: Formula,
+    n_samples: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    batches: int = 4,
+    ess_target: float | None = None,
+    replica_budget: int | None = None,
+    confidence: float = 0.95,
+    max_steps: int | None = None,
+    initial_state: int | None = None,
+    backend: str | None = "auto",
+    workers: "int | str | None" = None,
+) -> IMCEstimate:
+    """One-call IMC estimation: batch-sample under *proposal*, resample.
+
+    Batches go through :func:`run_importance_sampling` with the original
+    chain fused in (``keep_counts=False``) — the same fastest path the
+    plain ``is`` estimator uses — so the only extra cost over IS is the
+    replica draw.
+    """
+    generator = ensure_rng(rng)
+
+    def sampler(n: int) -> ISSample:
+        return run_importance_sampling(
+            proposal,
+            formula,
+            n,
+            generator,
+            max_steps=max_steps,
+            initial_state=initial_state,
+            backend=backend,
+            workers=workers,
+            original=original,
+            keep_counts=False,
+        )
+
+    return run_imc_estimate(
+        original,
+        sampler,
+        n_samples,
+        generator,
+        batches=batches,
+        ess_target=ess_target,
+        replica_budget=replica_budget,
+        confidence=confidence,
+    )

@@ -73,7 +73,7 @@ def tilt_by_values(chain: DTMC, values: np.ndarray, mixing: float = 0.0) -> DTMC
     return DTMC(result, chain.initial_state, chain.labels, chain.state_names)
 
 
-def zero_variance_values(chain: DTMC, spec: UntilSpec) -> np.ndarray:
+def zero_variance_values(chain: DTMC, spec: UntilSpec, bounded: bool = False) -> np.ndarray:
     """The tilting value vector appropriate for *spec*.
 
     Standard untils use the until value function; the ``lhs_exempt`` shape
@@ -81,26 +81,35 @@ def zero_variance_values(chain: DTMC, spec: UntilSpec) -> np.ndarray:
     initial state is exempt from *lhs*, so its *outgoing* tilt uses the same
     inner values, and no special-casing is needed:
     the resulting proposal never re-enters states violating *lhs*.
+
+    With ``bounded=True`` and a step-bounded *spec*, the vector holds the
+    full-horizon bounded values instead of the unbounded fixpoint — a
+    stationary tilt better matched to the bounded event. Any state on a
+    satisfying bounded path has positive full-horizon value, so absolute
+    continuity along satisfying paths still holds.
     """
+    bound = spec.bound if bounded else None
     if spec.lhs_exempt:
-        return until_values(chain, spec.lhs_mask, spec.lhs_mask & spec.rhs_mask, None)
-    return until_values(chain, spec.lhs_mask, spec.rhs_mask, None)
+        return until_values(chain, spec.lhs_mask, spec.lhs_mask & spec.rhs_mask, bound)
+    return until_values(chain, spec.lhs_mask, spec.rhs_mask, bound)
 
 
 def zero_variance_proposal(
     chain: DTMC,
     formula: Formula | UntilSpec,
     mixing: float = 0.0,
+    bounded: bool = False,
 ) -> DTMC:
     """The zero-variance proposal of *formula* w.r.t. *chain*.
 
     Exact (point-interval estimator) for unbounded untils; for bounded
     untils this is the Markovian approximation described in the module
-    docstring. Raises :class:`~repro.errors.EstimationError` when the
+    docstring (``bounded=True`` tilts by the full-horizon bounded values
+    instead). Raises :class:`~repro.errors.EstimationError` when the
     property has probability zero (no tilting possible).
     """
     spec = formula if isinstance(formula, UntilSpec) else formula.until_spec(chain)
-    values = zero_variance_values(chain, spec)
+    values = zero_variance_values(chain, spec, bounded=bounded)
     if not np.any(values > 0):
         raise EstimationError("the property has probability zero: nothing to tilt")
     return tilt_by_values(chain, values, mixing=mixing)

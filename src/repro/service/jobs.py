@@ -43,7 +43,11 @@ from repro.errors import (
     ServiceError,
     StoreError,
 )
-from repro.experiments.matrix import ESTIMATOR_NAMES, MatrixConfig, run_matrix
+# The matrix module is the single source of truth for estimator names;
+# validation reads matrix.ESTIMATOR_NAMES at request time (not import
+# time) so registering a new estimator updates the 400 responses too.
+from repro.experiments import matrix as matrix_experiments
+from repro.experiments.matrix import MatrixConfig, run_matrix
 from repro.models.registry import REGISTRY, StudyRegistry
 from repro.store.keys import code_versions, config_key
 from repro.store.store import ArtifactStore
@@ -142,9 +146,10 @@ class JobRequest:
             raise ServiceError(
                 f"unknown study {request.study!r}; registered: {registry.list_studies()}"
             )
-        if request.estimator not in ESTIMATOR_NAMES:
+        if request.estimator not in matrix_experiments.ESTIMATOR_NAMES:
             raise ServiceError(
-                f"unknown estimator {request.estimator!r}; known: {list(ESTIMATOR_NAMES)}"
+                f"unknown estimator {request.estimator!r}; "
+                f"known: {list(matrix_experiments.ESTIMATOR_NAMES)}"
             )
         for name in ("repetitions", "search_rounds", "seed"):
             if not isinstance(getattr(request, name), int) or isinstance(

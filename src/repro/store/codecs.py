@@ -13,19 +13,28 @@ The IMCIS codec intentionally drops the random-search trace
 diagnostic — row assignments and improvement history — that no experiment
 artifact aggregates, and it dwarfs the scalar results it accompanies. A
 decoded result therefore has ``search=None``; everything the coverage,
-Table II and figure artifacts read is preserved exactly.
+Table II and figure artifacts read is preserved exactly. The
+cross-entropy codec similarly drops the refined proposal chain (a decoded
+estimate has ``proposal=None``): the scalar results and per-round
+diagnostics are what the matrix artifacts aggregate.
 """
 
 from __future__ import annotations
 
 from repro.imcis.algorithm import IMCISResult
+from repro.importance.cross_entropy import CrossEntropyEstimate
+from repro.importance.imc import IMCEstimate
 from repro.smc.results import ConfidenceInterval, EstimationResult
 
 __all__ = [
+    "decode_ce_estimate",
     "decode_estimation_result",
+    "decode_imc_estimate",
     "decode_imcis_result",
     "decode_interval",
+    "encode_ce_estimate",
     "encode_estimation_result",
+    "encode_imc_estimate",
     "encode_imcis_result",
     "encode_interval",
 ]
@@ -88,6 +97,58 @@ def encode_imcis_result(result: IMCISResult) -> "dict[str, object]":
         "n_satisfied": result.n_satisfied,
         "n_undecided": result.n_undecided,
     }
+
+
+def encode_ce_estimate(estimate: CrossEntropyEstimate) -> "dict[str, object]":
+    """Encode a :class:`~repro.importance.cross_entropy.CrossEntropyEstimate`.
+
+    The refined proposal chain is dropped (see module docstring); every
+    scalar — the final estimate, the budget split, the per-round success
+    counts — round-trips exactly.
+    """
+    return {
+        "result": encode_estimation_result(estimate.result),
+        "rounds": estimate.rounds,
+        "refine_samples": estimate.refine_samples,
+        "final_samples": estimate.final_samples,
+        "n_satisfied_per_round": list(estimate.n_satisfied_per_round),
+    }
+
+
+def decode_ce_estimate(payload: "dict[str, object]") -> CrossEntropyEstimate:
+    """Invert :func:`encode_ce_estimate` (``proposal`` comes back ``None``)."""
+    return CrossEntropyEstimate(
+        result=decode_estimation_result(payload["result"]),
+        proposal=None,
+        rounds=payload["rounds"],
+        refine_samples=payload["refine_samples"],
+        final_samples=payload["final_samples"],
+        n_satisfied_per_round=tuple(payload["n_satisfied_per_round"]),
+    )
+
+
+def encode_imc_estimate(estimate: IMCEstimate) -> "dict[str, object]":
+    """Encode an :class:`~repro.importance.imc.IMCEstimate` (lossless)."""
+    return {
+        "result": encode_estimation_result(estimate.result),
+        "batches_run": estimate.batches_run,
+        "batches_max": estimate.batches_max,
+        "replica_budget": estimate.replica_budget,
+        "replica_total": estimate.replica_total,
+        "kappa": estimate.kappa,
+    }
+
+
+def decode_imc_estimate(payload: "dict[str, object]") -> IMCEstimate:
+    """Invert :func:`encode_imc_estimate`."""
+    return IMCEstimate(
+        result=decode_estimation_result(payload["result"]),
+        batches_run=payload["batches_run"],
+        batches_max=payload["batches_max"],
+        replica_budget=payload["replica_budget"],
+        replica_total=payload["replica_total"],
+        kappa=payload["kappa"],
+    )
 
 
 def decode_imcis_result(payload: "dict[str, object]") -> IMCISResult:

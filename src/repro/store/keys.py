@@ -54,7 +54,9 @@ __all__ = [
 
 #: Version of the on-disk record format; part of every key, so a format
 #: change can never misinterpret records written by an older layout.
-STORE_SCHEMA = 1
+#: Bumped to 2 when matrix cell records grew estimator-specific detail
+#: payloads (the ``ce``/``imc`` diagnostics).
+STORE_SCHEMA = 2
 
 
 def canonical_json(payload: object) -> str:

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import DTMC, IMC
+
+#: Environment switch for the slow statistical sweeps (tests/statistical/).
+NIGHTLY_ENV = "REPRO_NIGHTLY"
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``nightly``-marked tests unless ``REPRO_NIGHTLY=1`` is set."""
+    if os.environ.get(NIGHTLY_ENV) == "1":
+        return
+    skip = pytest.mark.skip(reason=f"nightly sweep; set {NIGHTLY_ENV}=1 to run")
+    for item in items:
+        if "nightly" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture

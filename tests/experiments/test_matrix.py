@@ -15,6 +15,8 @@ from repro.experiments.matrix import (
     ESTIMATOR_NAMES,
     RECORD_FIELDS,
     MatrixConfig,
+    _cell_key,
+    _CellContext,
     resolve_studies,
     run_matrix,
 )
@@ -97,6 +99,72 @@ class TestRunMatrix:
 
     def test_default_estimators_are_known(self):
         assert set(DEFAULT_ESTIMATORS) <= set(ESTIMATOR_NAMES)
+
+    def test_adaptive_estimators_run(self):
+        """The registry's ce and imc estimators produce complete cells."""
+        config = replace(QUICK_CONFIG, estimators=("ce", "imc"), n_samples=400)
+        result = run_matrix(config)
+        assert [(c.study, c.estimator) for c in result.cells] == [
+            ("illustrative", "ce"),
+            ("illustrative", "imc"),
+            ("knuth-yao", "ce"),
+            ("knuth-yao", "imc"),
+        ]
+        for cell in result.cells:
+            assert cell.ess_mean is not None
+            assert cell.ci_low <= cell.ci_high
+            assert cell.estimate_mean > 0.0
+
+    def test_adaptive_workers_bitwise_parity(self):
+        config = replace(QUICK_CONFIG, estimators=("ce", "imc"), n_samples=400)
+        serial = run_matrix(replace(config, workers=1))
+        pooled = run_matrix(replace(config, workers=4))
+        assert serial.to_csv_text() == pooled.to_csv_text()
+        assert serial.to_json_text() == pooled.to_json_text()
+
+    def test_ce_config_knobs_change_cells(self):
+        """The CE budget-split knobs actually reach the estimator."""
+        config = replace(QUICK_CONFIG, estimators=("ce",), n_samples=400)
+        base = run_matrix(config)
+        tuned = run_matrix(replace(config, ce_rounds=1, ce_smoothing=1.0))
+        assert base.to_csv_text() != tuned.to_csv_text()
+
+
+class TestCellKeys:
+    """Store keys isolate each estimator's private tuning knobs."""
+
+    def make_context(self, estimator: str, **overrides) -> _CellContext:
+        prepared = REGISTRY.make_study("illustrative", rng=0, quick=True)
+        fields = dict(
+            prepared=prepared,
+            estimator=estimator,
+            n_samples=200,
+            confidence=0.95,
+            search_rounds=60,
+            backend="auto",
+        )
+        fields.update(overrides)
+        return _CellContext(**fields)
+
+    def test_ce_knobs_only_key_ce_cells(self):
+        assert _cell_key(self.make_context("is"), 11) == _cell_key(
+            self.make_context("is", ce_rounds=5), 11
+        )
+        assert _cell_key(self.make_context("ce"), 11) != _cell_key(
+            self.make_context("ce", ce_rounds=5), 11
+        )
+
+    def test_imc_knobs_only_key_imc_cells(self):
+        assert _cell_key(self.make_context("ce"), 11) == _cell_key(
+            self.make_context("ce", imc_batches=8), 11
+        )
+        assert _cell_key(self.make_context("imc"), 11) != _cell_key(
+            self.make_context("imc", imc_batches=8), 11
+        )
+
+    def test_estimators_never_collide(self):
+        keys = {_cell_key(self.make_context(name), 11) for name in ESTIMATOR_NAMES}
+        assert len(keys) == len(ESTIMATOR_NAMES)
 
 
 class TestDeterminism:

@@ -7,6 +7,8 @@ from repro.analysis import probability
 from repro.core import DTMC
 from repro.errors import EstimationError
 from repro.importance import (
+    CrossEntropyEstimate,
+    cross_entropy_estimate,
     cross_entropy_proposal,
     cross_entropy_update,
     importance_sampling_estimate,
@@ -14,6 +16,7 @@ from repro.importance import (
     run_importance_sampling,
     zero_variance_proposal,
 )
+from repro.models.registry import REGISTRY
 from repro.properties import parse_property
 
 from tests.conftest import illustrative_matrix
@@ -111,3 +114,131 @@ class TestUpdate:
     def test_smoothing_bounds(self, chain):
         with pytest.raises(EstimationError):
             cross_entropy_update(chain, chain, [], np.empty(0), smoothing=0.0)
+
+
+class TestSafeguards:
+    """Edge cases of the CE safeguards: support floor and smoothing."""
+
+    def test_floor_keeps_never_observed_transition(self, chain):
+        """A transition no successful trace ever takes keeps positive mass.
+
+        The hand-crafted count tables only ever leave state 0 via state 1 —
+        the 0→3 failure edge is *never observed* — yet with a positive
+        support floor the updated proposal must keep sampling it, or the
+        likelihood ratio against the original chain becomes unbounded.
+        """
+        counts = [{(0, 1): 1, (1, 2): 1}, {(0, 1): 2, (1, 0): 1, (1, 2): 1}]
+        log_w = np.zeros(2)
+        updated = cross_entropy_update(chain, chain, counts, log_w, support_floor=0.1)
+        assert updated.probability(0, 3) > 0.0
+        assert updated.probability(0, 3) == pytest.approx(0.1 * chain.probability(0, 3))
+
+    def test_zero_floor_starves_unobserved_transition(self, chain):
+        """Without the floor the same update drops the unobserved edge."""
+        counts = [{(0, 1): 1, (1, 2): 1}]
+        updated = cross_entropy_update(chain, chain, counts, np.zeros(1), support_floor=0.0)
+        assert updated.probability(0, 3) == 0.0
+
+    def test_smoothing_zero_rejected(self, chain):
+        """λ=0 would ignore every sample — a misconfiguration, not a run."""
+        with pytest.raises(EstimationError, match="smoothing"):
+            cross_entropy_update(chain, chain, [], np.empty(0), smoothing=0.0)
+        with pytest.raises(EstimationError, match="smoothing"):
+            cross_entropy_estimate(
+                chain, parse_property('F "goal"'), 100, rng=0, smoothing=0.0
+            )
+
+    def test_smoothing_one_replaces_row(self, chain):
+        """λ=1 is full replacement: the current proposal leaves no trace."""
+        counts = [{(1, 2): 3, (1, 0): 1}]
+        current = zero_variance_proposal(chain, parse_property('F "goal"'), mixing=0.5)
+        updated = cross_entropy_update(
+            chain, current, counts, np.zeros(1), smoothing=1.0, support_floor=0.0
+        )
+        assert updated.probability(1, 2) == pytest.approx(0.75)
+        assert updated.probability(1, 0) == pytest.approx(0.25)
+
+    def test_fractional_smoothing_interpolates(self, chain):
+        """0<λ<1 lands between the current row and the full-replacement row."""
+        counts = [{(1, 2): 3, (1, 0): 1}]
+        full = cross_entropy_update(
+            chain, chain, counts, np.zeros(1), smoothing=1.0, support_floor=0.0
+        )
+        half = cross_entropy_update(
+            chain, chain, counts, np.zeros(1), smoothing=0.5, support_floor=0.0
+        )
+        expected = 0.5 * full.probability(1, 2) + 0.5 * chain.probability(1, 2)
+        assert half.probability(1, 2) == pytest.approx(expected)
+
+
+class TestCrossEntropyEstimate:
+    """The iterated optimise-then-estimate loop."""
+
+    def test_budget_split_and_metadata(self, chain, rng):
+        formula = parse_property('F "goal"')
+        ce = cross_entropy_estimate(
+            chain, formula, 1000, rng, rounds=2, refine_fraction=0.4
+        )
+        assert isinstance(ce, CrossEntropyEstimate)
+        assert ce.rounds == 2
+        assert ce.refine_samples == 400
+        assert ce.final_samples == 600
+        assert ce.refine_samples + ce.final_samples == 1000
+        assert len(ce.n_satisfied_per_round) == 2
+        assert ce.result.method == "cross-entropy"
+        assert ce.proposal is not None
+
+    def test_estimate_matches_exact(self, chain):
+        formula = parse_property('F "goal"')
+        exact = probability(chain, formula)
+        ce = cross_entropy_estimate(chain, formula, 4000, rng=3, rounds=2)
+        assert ce.result.estimate == pytest.approx(exact, rel=0.1)
+        assert ce.result.interval.contains(exact)
+
+    def test_zero_success_round_raises(self, rng):
+        """A dead refinement round raises — no NaN weights propagate."""
+        rare = DTMC(
+            illustrative_matrix(1e-7, 1e-7), 0, labels={"goal": [2], "init": [0]}
+        )
+        with pytest.raises(EstimationError, match="no successful trace"):
+            cross_entropy_estimate(rare, parse_property('F "goal"'), 200, rng, rounds=1)
+
+    def test_invalid_budgets_rejected(self, chain):
+        formula = parse_property('F "goal"')
+        with pytest.raises(EstimationError, match="n_samples"):
+            cross_entropy_estimate(chain, formula, 0, rng=0)
+        with pytest.raises(EstimationError, match="rounds"):
+            cross_entropy_estimate(chain, formula, 100, rng=0, rounds=0)
+        with pytest.raises(EstimationError, match="refine_fraction"):
+            cross_entropy_estimate(chain, formula, 100, rng=0, refine_fraction=1.0)
+        with pytest.raises(EstimationError, match="budget too small"):
+            cross_entropy_estimate(chain, formula, 4, rng=0, rounds=3)
+
+    def test_deterministic_under_seed(self, chain):
+        formula = parse_property('F "goal"')
+        first = cross_entropy_estimate(chain, formula, 600, rng=7, rounds=2)
+        second = cross_entropy_estimate(chain, formula, 600, rng=7, rounds=2)
+        assert first.result.estimate == second.result.estimate
+        assert first.n_satisfied_per_round == second.n_satisfied_per_round
+
+    def test_zero_variance_seed_converges_on_repair_study(self):
+        """Seeded from a zero-variance proposal, CE covers γ on group-repair.
+
+        The group-repair event (γ ≈ 1.2e-7) is far too rare for CE started
+        from the original chain — the documented remedy is seeding with a
+        zero-variance proposal, which must make the loop converge.
+        """
+        study = REGISTRY.make_study("group-repair", rng=2018, quick=True).study
+        target = study.true_chain if study.true_chain is not None else study.center
+        zv = zero_variance_proposal(target, study.formula, mixing=0.2)
+        ce = cross_entropy_estimate(
+            target,
+            study.formula,
+            2000,
+            rng=2018,
+            rounds=2,
+            smoothing=0.5,
+            initial_proposal=zv,
+        )
+        assert all(n > 0 for n in ce.n_satisfied_per_round)
+        assert ce.result.interval.contains(study.gamma_true)

@@ -1,0 +1,141 @@
+"""Unit tests for the Importance-Markov-Chain resampling estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import probability
+from repro.core import DTMC
+from repro.errors import EstimationError
+from repro.importance import (
+    IMCEstimate,
+    imc_estimate,
+    imc_from_log_weights,
+    run_imc_estimate,
+    run_importance_sampling,
+    zero_variance_proposal,
+)
+from repro.importance.imc import IMC_METHOD
+from repro.properties import parse_property
+
+from tests.conftest import illustrative_matrix
+
+
+@pytest.fixture
+def chain():
+    return DTMC(illustrative_matrix(0.2, 0.3), 0, labels={"goal": [2], "init": [0]})
+
+
+class TestReplicaCounts:
+    def test_uniform_weights_give_exact_replicas(self):
+        """Equal weights and an integer budget leave nothing to the
+        Bernoulli residual: every trace gets exactly budget/K replicas."""
+        log_w = np.zeros(10)
+        result, replica_total, kappa = imc_from_log_weights(
+            log_w, n_total=100, rng=0, replica_budget=20
+        )
+        assert replica_total == 20
+        assert kappa == pytest.approx(2.0)
+        assert result.estimate == pytest.approx(10 / 100)
+        assert result.method == IMC_METHOD
+
+    def test_estimate_invariant_to_budget_in_expectation(self):
+        """κ cancels: the estimate is unbiased for any replica budget."""
+        rng = np.random.default_rng(5)
+        log_w = np.log(rng.uniform(0.5, 2.0, size=200))
+        gamma_is = float(np.exp(log_w).sum()) / 1000
+        for budget in (50, 200, 5000):
+            draws = [
+                imc_from_log_weights(log_w, 1000, seed, replica_budget=budget)[0].estimate
+                for seed in range(200)
+            ]
+            assert np.mean(draws) == pytest.approx(gamma_is, rel=0.02)
+
+    def test_zero_success_returns_zero_estimate(self):
+        result, replica_total, kappa = imc_from_log_weights(np.empty(0), 50, rng=0)
+        assert result.estimate == 0.0
+        assert result.n_satisfied == 0
+        assert replica_total == 0
+        assert kappa == 0.0
+
+    def test_effective_std_covers_resampling_noise(self):
+        """σ_eff is at least the plain IS σ — never smaller."""
+        rng = np.random.default_rng(9)
+        log_w = np.log(rng.uniform(0.1, 3.0, size=50))
+        from repro.importance import moments_from_log_weights
+
+        _, std_is = moments_from_log_weights(log_w, 500)
+        result, _, _ = imc_from_log_weights(log_w, 500, rng=1, replica_budget=30)
+        assert result.std_dev >= std_is
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(EstimationError, match="n_total"):
+            imc_from_log_weights(np.zeros(1), 0)
+        with pytest.raises(EstimationError, match="replica_budget"):
+            imc_from_log_weights(np.zeros(1), 10, replica_budget=0)
+
+
+class TestRunner:
+    def make_sampler(self, chain, formula, generator):
+        def sampler(n):
+            return run_importance_sampling(
+                chain, formula, n, generator, original=chain, keep_counts=False
+            )
+
+        return sampler
+
+    def test_batches_partition_budget(self, chain, rng):
+        formula = parse_property('F "goal"')
+        imc = run_imc_estimate(
+            chain, self.make_sampler(chain, formula, rng), 1001, rng, batches=4
+        )
+        assert isinstance(imc, IMCEstimate)
+        assert imc.batches_run == imc.batches_max == 4
+        assert imc.result.n_samples == 1001
+        assert imc.replica_budget == 1001
+
+    def test_ess_target_stops_early(self, chain, rng):
+        formula = parse_property('F "goal"')
+        imc = run_imc_estimate(
+            chain,
+            self.make_sampler(chain, formula, rng),
+            2000,
+            rng,
+            batches=8,
+            ess_target=1.0,
+        )
+        assert imc.batches_run < imc.batches_max
+        assert imc.result.n_samples == 2000 // 8 * imc.batches_run
+
+    def test_invalid_budgets_rejected(self, chain, rng):
+        sampler = self.make_sampler(chain, parse_property('F "goal"'), rng)
+        with pytest.raises(EstimationError, match="n_samples"):
+            run_imc_estimate(chain, sampler, 0, rng)
+        with pytest.raises(EstimationError, match="batches"):
+            run_imc_estimate(chain, sampler, 100, rng, batches=0)
+        with pytest.raises(EstimationError, match="budget too small"):
+            run_imc_estimate(chain, sampler, 3, rng, batches=4)
+
+
+class TestEstimate:
+    def test_matches_exact_probability(self, chain):
+        formula = parse_property('F "goal"')
+        exact = probability(chain, formula)
+        proposal = zero_variance_proposal(chain, formula, mixing=0.3)
+        imc = imc_estimate(chain, proposal, formula, 4000, rng=11)
+        assert imc.result.estimate == pytest.approx(exact, rel=0.1)
+        assert imc.result.interval.contains(exact)
+
+    def test_deterministic_under_seed(self, chain):
+        formula = parse_property('F "goal"')
+        first = imc_estimate(chain, chain, formula, 800, rng=17)
+        second = imc_estimate(chain, chain, formula, 800, rng=17)
+        assert first.result.estimate == second.result.estimate
+        assert first.replica_total == second.replica_total
+
+    def test_worker_count_invariance(self, chain):
+        """Fused batches shard deterministically: workers don't change bits."""
+        formula = parse_property('F "goal"')
+        serial = imc_estimate(chain, chain, formula, 800, rng=23, workers=1)
+        pooled = imc_estimate(chain, chain, formula, 800, rng=23, workers=4)
+        assert serial.result.estimate == pooled.result.estimate
+        assert serial.replica_total == pooled.replica_total

@@ -1,0 +1,1 @@
+"""Statistical coverage harness: seeded tolerance checks for every estimator."""

@@ -4,13 +4,18 @@ import numpy as np
 import pytest
 
 from repro.imcis.algorithm import IMCISResult
+from repro.importance import CrossEntropyEstimate, IMCEstimate
 from repro.smc.results import ConfidenceInterval, EstimationResult
 from repro.store.cache import map_repetitions_cached
 from repro.store.codecs import (
+    decode_ce_estimate,
     decode_estimation_result,
+    decode_imc_estimate,
     decode_imcis_result,
     decode_interval,
+    encode_ce_estimate,
     encode_estimation_result,
+    encode_imc_estimate,
     encode_imcis_result,
     encode_interval,
 )
@@ -134,3 +139,53 @@ class TestCodecs:
         assert decoded.center_estimate.ess == center.ess
         assert decoded.search is None
         assert decoded.mid_value == result.mid_value
+
+    def test_ce_estimate_round_trip_drops_proposal(self):
+        result = EstimationResult(
+            estimate=1.1770000000000001e-7,
+            std_dev=2.3e-8,
+            n_samples=500,
+            interval=ConfidenceInterval(1.0e-7, 1.4e-7, 0.95),
+            n_satisfied=210,
+            method="cross-entropy",
+            ess=190.25,
+        )
+        ce = CrossEntropyEstimate(
+            result=result,
+            proposal=object(),  # any chain; the codec must not serialise it
+            rounds=2,
+            refine_samples=250,
+            final_samples=250,
+            n_satisfied_per_round=(98, 112),
+        )
+        payload = encode_ce_estimate(ce)
+        assert "proposal" not in payload
+        decoded = decode_ce_estimate(payload)
+        assert decoded.proposal is None
+        assert decoded.result.estimate == result.estimate
+        assert decoded.result.interval == result.interval
+        assert decoded.rounds == 2
+        assert decoded.refine_samples == 250
+        assert decoded.final_samples == 250
+        assert decoded.n_satisfied_per_round == (98, 112)
+
+    def test_imc_estimate_round_trip_is_exact(self):
+        result = EstimationResult(
+            estimate=0.008178000000000001,
+            std_dev=0.0009,
+            n_samples=1000,
+            interval=ConfidenceInterval(0.0076, 0.0088, 0.95),
+            n_satisfied=310,
+            method="importance-markov-chain",
+            ess=287.5,
+        )
+        imc = IMCEstimate(
+            result=result,
+            batches_run=3,
+            batches_max=4,
+            replica_budget=1000,
+            replica_total=998,
+            kappa=0.12345678901234567,
+        )
+        decoded = decode_imc_estimate(encode_imc_estimate(imc))
+        assert decoded == imc

@@ -116,6 +116,19 @@ class TestCommands:
         for name in ("matrix.csv", "matrix.json", "matrix.md", "matrix_timing.csv"):
             assert (tmp_path / name).exists()
 
+    def test_matrix_check_failure_names_cells_on_stderr(self, capsys):
+        """--check failures name each offending (study, estimator) cell on
+        stderr, so shell pipelines and CI logs can grep the diagnosis even
+        when stdout is redirected to an artifact."""
+        code = main(
+            ["matrix", "--quick", "--studies", "illustrative", "--estimators", "mc",
+             "--reps", "2", "--samples", "200", "--workers", "1", "--check"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err
+        assert "(illustrative, mc)" in err
+
     def test_table2_illustrative(self, capsys):
         code = main(
             ["table2", "--study", "illustrative", "--reps", "3", "--samples", "600",
