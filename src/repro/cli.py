@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
+import os
 import signal
 import sys
 import threading
@@ -50,6 +52,8 @@ from repro.imcis.random_search import RandomSearchConfig
 from repro.importance.bounded import run_bounded_importance_sampling
 from repro.models import illustrative, repair_group
 from repro.models.registry import REGISTRY
+from repro.obs import trace as obs_trace
+from repro.obs.runprofile import RunProfile
 from repro.service import ServiceClient, ServiceConfig, create_server
 from repro.smc.kernels import kernel_runtime_info
 from repro.store import ArtifactStore, RunManifest
@@ -61,6 +65,14 @@ def _kernel_tier_note() -> str:
     if info["numba_available"]:
         return f"(kernel tier: numba {info['numba_version']})"
     return "(kernel tier: numpy fallback, numba unavailable)"
+
+
+def _obs_note() -> str:
+    """Observability status note appended to ``--version`` output."""
+    status = obs_trace.status()
+    state = "on" if status["enabled"] else "off"
+    sink = status["trace_file"] or "none"
+    return f"(obs: tracing {state}, ring {status['ring_size']}, sink {sink})"
 
 
 def _workers_arg(value: str) -> "int | str":
@@ -307,6 +319,13 @@ def _matrix_config(args: argparse.Namespace) -> MatrixConfig:
 
 def cmd_matrix(args: argparse.Namespace) -> int:
     """Run the cross-study experiment matrix over the registry."""
+    if args.profile is not None:
+        # The profile distills the span stream, so profiling turns
+        # tracing on; stale buffered events are dropped so the profile
+        # covers exactly this run. Results are unaffected (tracing
+        # observes, never perturbs — see repro.obs).
+        obs_trace.configure(enabled=True)
+        obs_trace.reset()
     store = ArtifactStore(args.store) if args.store else None
     manifest: RunManifest | None = None
     if args.resume:
@@ -355,6 +374,12 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     print(result.render())
     elapsed = time.time() - started
     print(f"[{len(result.cells)} cells x {config.repetitions} repetitions in {elapsed:.1f}s]")
+    if args.profile is not None:
+        profile = RunProfile.from_events(obs_trace.events())
+        args.profile.parent.mkdir(parents=True, exist_ok=True)
+        args.profile.write_text(profile.to_json() + "\n")
+        print(profile.render())
+        print("wrote", args.profile)
     failing = result.failing_cells()
     for cell in failing:
         print(
@@ -504,6 +529,13 @@ def cmd_store(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the estimation service until SIGINT/SIGTERM, then drain."""
+    if args.access_log:
+        logger = logging.getLogger("repro.service")
+        if not logger.handlers:
+            handler = logging.StreamHandler()
+            handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(message)s"))
+            logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -513,6 +545,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=None if args.workers == 1 else args.workers,
         fleet_root=args.fleet,
         reuse_port=args.reuse_port,
+        access_log=args.access_log,
     )
     try:
         server = create_server(config)
@@ -638,6 +671,59 @@ def cmd_jobs(args: argparse.Namespace) -> int:
         raise SystemExit(str(error)) from None
 
 
+def _format_trace_record(record: "dict[str, object]") -> str:
+    """One aligned human-readable line for a trace-file record."""
+    kind = str(record.get("kind", "?"))
+    name = str(record.get("name", "?"))
+    depth = int(record.get("depth", 0) or 0)
+    ts = float(record.get("ts", 0.0) or 0.0)
+    clock = time.strftime("%H:%M:%S", time.localtime(ts)) if ts else "--:--:--"
+    duration = record.get("dur_s")
+    timing = f"{float(duration) * 1e3:9.2f}ms" if duration is not None else " " * 11
+    fields = record.get("fields")
+    suffix = ""
+    if isinstance(fields, dict) and fields:
+        pairs = " ".join(f"{key}={fields[key]}" for key in sorted(fields))
+        suffix = f"  {pairs}"
+    error = record.get("error")
+    if error:
+        suffix += f"  error={error}"
+    indent = "  " * depth
+    return f"{clock} {timing}  {indent}{kind:<5} {name}{suffix}"
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Observability utilities (``repro obs tail``)."""
+    path = args.file
+    if path is None:
+        configured = os.environ.get("REPRO_TRACE_FILE", "").strip()
+        if not configured:
+            raise SystemExit("no trace file: pass --file PATH or set REPRO_TRACE_FILE")
+        path = Path(configured)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as error:
+        raise SystemExit(f"cannot read trace file {path}: {error}") from None
+    records: "list[dict[str, object]]" = []
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail line from a live writer
+        if isinstance(record, dict):
+            records.append(record)
+    tail = records[-args.lines :] if args.lines > 0 else records
+    for record in tail:
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            print(_format_trace_record(record))
+    print(f"[{len(tail)} of {len(records)} event(s) from {path}]", file=sys.stderr)
+    return 0
+
+
 def cmd_fig5(args: argparse.Namespace) -> int:
     """Regenerate Figure 5 (probability curve)."""
     grid, values = repair_group.probability_curve(points=args.points)
@@ -656,7 +742,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce 'Importance Sampling of Interval Markov Chains' (DSN 2018)",
     )
     parser.add_argument(
-        "--version", action="version", version=f"%(prog)s {repro.__version__} {_kernel_tier_note()}"
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__} {_kernel_tier_note()} {_obs_note()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -715,6 +803,16 @@ def build_parser() -> argparse.ArgumentParser:
         "configuration, serving already-completed repetitions from the "
         "store (requires --store; run ids are printed at run start and "
         "by `repro store ls`)",
+    )
+    p.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="enable tracing for the run, write the per-phase timing "
+        "profile (simulate / weight-accumulate / store-get / store-put / "
+        "optimize) to PATH as JSON and print its table; never affects "
+        "results",
     )
     # None (not 1000) so cmd_matrix can tell an explicit R from the default.
     p.set_defaults(r_undefeated=None)
@@ -824,6 +922,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bind with SO_REUSEPORT so multiple replicas share one address",
     )
+    p.add_argument(
+        "--access-log",
+        action="store_true",
+        help="log one line per request (method, path, status, duration) "
+        "through the 'repro.service' logger on stderr",
+    )
 
     p = sub.add_parser("worker", help="run a fleet pull worker over a shared store")
     p.add_argument(
@@ -898,6 +1002,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--job", default=None, metavar="JOB_ID", help="show one job in full")
     p.add_argument("--json", action="store_true", help="machine-readable job list")
 
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    q = obs_sub.add_parser("tail", help="show the tail of a JSON-lines trace file")
+    q.add_argument(
+        "--file",
+        type=Path,
+        default=None,
+        help="trace file to read (default: $REPRO_TRACE_FILE)",
+    )
+    q.add_argument(
+        "--lines",
+        type=int,
+        default=20,
+        help="events to show, 0 = all (default: %(default)s)",
+    )
+    q.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw JSON lines instead of the aligned rendering",
+    )
+
     return parser
 
 
@@ -918,6 +1043,7 @@ def main(argv: list[str] | None = None) -> int:
         "worker": cmd_worker,
         "submit": cmd_submit,
         "jobs": cmd_jobs,
+        "obs": cmd_obs,
     }
     return handlers[args.command](args)
 

@@ -35,6 +35,7 @@ from typing import Any, TypeVar
 
 import numpy as np
 
+from repro.obs import metrics as _obs_metrics
 from repro.smc.parallel import resolve_workers
 
 __all__ = [
@@ -62,11 +63,21 @@ def _init_worker(fn: Callable[..., Any], context: Any) -> None:
     _WORKER_TASK = (fn, context)
 
 
-def _run_repetition(seed: np.random.SeedSequence) -> Any:
+def _run_repetition(seed: np.random.SeedSequence) -> "tuple[Any, dict]":
+    """One repetition plus the metric activity it generated.
+
+    The result travels back with a snapshot delta of the worker's metric
+    registry (engine counters, store accounting, shard timings), which
+    the parent merges — per-process observability would otherwise die
+    with the pool.
+    """
     task = _WORKER_TASK
     assert task is not None, "worker pool used before initialization"
     fn, context = task
-    return fn(context, seed)
+    registry = _obs_metrics.registry()
+    before = registry.snapshot()
+    result = fn(context, seed)
+    return result, _obs_metrics.snapshot_delta(before, registry.snapshot())
 
 
 def map_repetitions(
@@ -137,8 +148,11 @@ def map_repetitions(
     try:
         futures = [pool.submit(_run_repetition, seed) for seed in seeds]
         results = []
+        registry = _obs_metrics.registry()
         for future in futures:
-            results.append(future.result())
+            result, metrics_delta = future.result()
+            registry.merge(metrics_delta)
+            results.append(result)
             if progress is not None:
                 progress(len(results), total)
         return results

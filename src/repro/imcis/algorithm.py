@@ -27,6 +27,7 @@ from repro.core.dtmc import DTMC
 from repro.core.imc import IMC
 from repro.errors import EstimationError
 from repro.imcis.candidates import CandidateSpace
+from repro.obs import trace as _obs_trace
 from repro.imcis.objective import ISObjective
 from repro.imcis.random_search import (
     RandomSearchConfig,
@@ -141,15 +142,19 @@ def imcis_from_sample(
             n_undecided=sample.n_undecided,
         )
 
-    tables = ObservationTables.from_sample(sample)
-    objective = ISObjective(tables)
-    space = CandidateSpace(
-        imc,
-        tables,
-        dirichlet=config.search.dirichlet,
-        closed_form_single=config.search.closed_form_single,
-    )
-    search_result = random_search(objective, space, generator, config.search)
+    with _obs_trace.span(
+        "optimize", method="imcis", n_satisfied=sample.n_satisfied
+    ) as sp:
+        tables = ObservationTables.from_sample(sample)
+        objective = ISObjective(tables)
+        space = CandidateSpace(
+            imc,
+            tables,
+            dirichlet=config.search.dirichlet,
+            closed_form_single=config.search.closed_form_single,
+        )
+        search_result = random_search(objective, space, generator, config.search)
+        sp.annotate(rounds=search_result.rounds_total)
 
     gamma_min = search_result.moments_min.gamma
     sigma_min = search_result.moments_min.sigma

@@ -37,7 +37,10 @@ from scipy import sparse
 from repro.core import linalg
 from repro.core.dtmc import DTMC
 from repro.errors import EstimationError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.importance.estimator import (
+    ess_from_log_weights,
     estimate_from_sample,
     log_weights,
     run_importance_sampling,
@@ -45,6 +48,25 @@ from repro.importance.estimator import (
 from repro.properties.logic import Formula
 from repro.smc.results import EstimationResult
 from repro.util.rng import ensure_rng
+
+_METRIC_CE_ROUNDS = _obs_metrics.registry().counter(
+    "repro_ce_rounds_total",
+    "Cross-entropy refinement rounds executed.",
+)
+
+
+def _ce_round_event(round_index: int, rounds: int, sample, log_w) -> None:
+    """Per-round CE diagnostics on the trace stream (free when disabled)."""
+    if not _obs_trace.enabled():
+        return
+    _obs_trace.event(
+        "ce-round",
+        round=round_index + 1,
+        rounds=rounds,
+        n_satisfied=sample.n_satisfied,
+        ess=ess_from_log_weights(log_w),
+        max_log_weight=float(log_w.max()),
+    )
 
 
 @dataclass
@@ -276,47 +298,50 @@ def cross_entropy_estimate(
     edge_stats: "dict[tuple[int, int], float]" = {}
     state_stats: "dict[int, float]" = {}
     shift: float | None = None
-    for round_index in range(rounds):
-        sample = run_importance_sampling(
-            proposal,
-            formula,
-            per_round,
-            generator,
-            max_steps=max_steps,
-            backend=backend,
-            workers=workers,
-            original=original,
-            keep_counts=True,
-        )
-        successes.append(sample.n_satisfied)
-        if sample.n_satisfied == 0:
-            raise EstimationError(
-                f"cross-entropy round {round_index + 1}/{rounds} saw no "
-                f"successful trace in {per_round} samples; seed with a "
-                "better initial_proposal (e.g. zero_variance_proposal) or "
-                "raise the budget"
+    with _obs_trace.span("optimize", method="ce", rounds=rounds):
+        for round_index in range(rounds):
+            sample = run_importance_sampling(
+                proposal,
+                formula,
+                per_round,
+                generator,
+                max_steps=max_steps,
+                backend=backend,
+                workers=workers,
+                original=original,
+                keep_counts=True,
             )
-        log_w = log_weights(original, sample)
-        # One weight scale across all rounds: stats are normalised by the
-        # running maximum log weight, rescaling the accumulators when a
-        # new round raises it (the common scale cancels in the ratio).
-        round_max = float(log_w.max())
-        if shift is None:
-            shift = round_max
-        elif round_max > shift:
-            factor = math.exp(shift - round_max)
-            edge_stats = {key: value * factor for key, value in edge_stats.items()}
-            state_stats = {key: value * factor for key, value in state_stats.items()}
-            shift = round_max
-        weights = np.exp(log_w - shift)
-        new_edges, new_states = _weighted_transition_stats(sample.counts, weights)
-        for key, value in new_edges.items():
-            edge_stats[key] = edge_stats.get(key, 0.0) + value
-        for key, value in new_states.items():
-            state_stats[key] = state_stats.get(key, 0.0) + value
-        proposal = _chain_from_stats(
-            original, proposal, edge_stats, state_stats, smoothing, support_floor
-        )
+            successes.append(sample.n_satisfied)
+            _METRIC_CE_ROUNDS.inc()
+            if sample.n_satisfied == 0:
+                raise EstimationError(
+                    f"cross-entropy round {round_index + 1}/{rounds} saw no "
+                    f"successful trace in {per_round} samples; seed with a "
+                    "better initial_proposal (e.g. zero_variance_proposal) or "
+                    "raise the budget"
+                )
+            log_w = log_weights(original, sample)
+            _ce_round_event(round_index, rounds, sample, log_w)
+            # One weight scale across all rounds: stats are normalised by the
+            # running maximum log weight, rescaling the accumulators when a
+            # new round raises it (the common scale cancels in the ratio).
+            round_max = float(log_w.max())
+            if shift is None:
+                shift = round_max
+            elif round_max > shift:
+                factor = math.exp(shift - round_max)
+                edge_stats = {key: value * factor for key, value in edge_stats.items()}
+                state_stats = {key: value * factor for key, value in state_stats.items()}
+                shift = round_max
+            weights = np.exp(log_w - shift)
+            new_edges, new_states = _weighted_transition_stats(sample.counts, weights)
+            for key, value in new_edges.items():
+                edge_stats[key] = edge_stats.get(key, 0.0) + value
+            for key, value in new_states.items():
+                state_stats[key] = state_stats.get(key, 0.0) + value
+            proposal = _chain_from_stats(
+                original, proposal, edge_stats, state_stats, smoothing, support_floor
+            )
     final_sample = run_importance_sampling(
         proposal,
         formula,

@@ -22,6 +22,7 @@ from scipy.special import logsumexp
 from repro.core.dtmc import DTMC
 from repro.core.paths import TransitionCounts
 from repro.errors import EstimationError
+from repro.obs import trace as _obs_trace
 from repro.properties.logic import Formula
 from repro.smc.intervals import normal_ci
 from repro.smc.kernels import TraceCounts
@@ -320,18 +321,21 @@ def estimate_from_sample(
     ``ess`` diagnostic — computed from the same log weights, at the cost
     of one extra ``logsumexp``.
     """
-    log_w = log_weights(original, sample)
-    gamma, std_dev = moments_from_log_weights(log_w, sample.n_total)
-    return EstimationResult(
-        estimate=gamma,
-        std_dev=std_dev,
-        n_samples=sample.n_total,
-        interval=normal_ci(gamma, std_dev, sample.n_total, confidence),
-        n_satisfied=sample.n_satisfied,
-        n_undecided=sample.n_undecided,
-        method="importance-sampling",
-        ess=ess_from_log_weights(log_w),
-    )
+    with _obs_trace.span("weights", n_satisfied=sample.n_satisfied) as sp:
+        log_w = log_weights(original, sample)
+        gamma, std_dev = moments_from_log_weights(log_w, sample.n_total)
+        result = EstimationResult(
+            estimate=gamma,
+            std_dev=std_dev,
+            n_samples=sample.n_total,
+            interval=normal_ci(gamma, std_dev, sample.n_total, confidence),
+            n_satisfied=sample.n_satisfied,
+            n_undecided=sample.n_undecided,
+            method="importance-sampling",
+            ess=ess_from_log_weights(log_w),
+        )
+        sp.annotate(ess=result.ess)
+    return result
 
 
 def importance_sampling_estimate(

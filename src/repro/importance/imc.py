@@ -31,6 +31,8 @@ import numpy as np
 
 from repro.core.dtmc import DTMC
 from repro.errors import EstimationError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.importance.estimator import (
     ISSample,
     ess_from_log_weights,
@@ -45,6 +47,15 @@ from repro.util.rng import ensure_rng
 
 #: Estimation-method tag carried by IMC results.
 IMC_METHOD = "importance-markov-chain"
+
+_METRIC_IMC_BATCHES = _obs_metrics.registry().counter(
+    "repro_imc_batches_total",
+    "IMC sampling batches executed.",
+)
+_METRIC_IMC_ESS = _obs_metrics.registry().gauge(
+    "repro_imc_ess",
+    "Most recent accumulated effective sample size of an IMC run.",
+)
 
 
 @dataclass(frozen=True)
@@ -182,8 +193,24 @@ def run_imc_estimate(
         n_total += sample.n_total
         n_undecided += sample.n_undecided
         batches_run += 1
-        if ess_target is not None and ess_target > 0.0:
-            if ess_from_log_weights(np.concatenate(chunks)) >= ess_target:
+        _METRIC_IMC_BATCHES.inc()
+        # The accumulated ESS is computed when the stopping rule needs it
+        # — and also while tracing, so the trace stream carries the full
+        # ESS-convergence trajectory the stopping rule acts on. Tracing
+        # never changes the stop point: the comparison is identical.
+        check_stop = ess_target is not None and ess_target > 0.0
+        if check_stop or _obs_trace.enabled():
+            ess = ess_from_log_weights(np.concatenate(chunks))
+            _METRIC_IMC_ESS.set(ess)
+            _obs_trace.event(
+                "imc-batch",
+                batch=batches_run,
+                batches=batches,
+                ess=ess,
+                ess_target=ess_target,
+                n_total=n_total,
+            )
+            if check_stop and ess >= ess_target:
                 break
     log_w = np.concatenate(chunks) if chunks else np.empty(0)
     budget = replica_budget if replica_budget is not None else n_total

@@ -1,0 +1,65 @@
+"""Observability: metrics, tracing spans and run profiles.
+
+Zero-dependency instrumentation threaded through every layer of the
+stack — the simulation engine, the artifact store, the estimators and
+the service/fleet tier:
+
+* :mod:`repro.obs.metrics` — a process-local metrics registry
+  (counters, gauges, fixed-bucket histograms on lock-free per-thread
+  shards) with Prometheus text exposition and a snapshot/merge
+  transport that carries worker-process counts back to the parent.
+* :mod:`repro.obs.trace` — nestable ``span(...)`` context managers
+  emitting structured events to a bounded in-memory ring and an
+  optional JSON-lines file; off by default, near-free when disabled.
+* :mod:`repro.obs.runprofile` — folds one run's spans into a per-phase
+  profile (simulate / weight-accumulate / store-get / store-put /
+  optimize) rendered as a table or JSON.
+
+The cardinal rule, enforced by ``tests/obs/test_parity.py`` and the
+``bench_obs.py`` CI gate: observing a run never changes it. No RNG
+draw, store key or result byte depends on whether tracing is on.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    snapshot_delta,
+)
+from repro.obs.runprofile import PHASE_NAMES, PhaseStat, RunProfile
+from repro.obs.trace import (
+    DEFAULT_RING_SIZE,
+    annotate,
+    configure,
+    enabled,
+    event,
+    events,
+    reset,
+    span,
+    status,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "snapshot_delta",
+    "DEFAULT_LATENCY_BUCKETS",
+    "PhaseStat",
+    "RunProfile",
+    "PHASE_NAMES",
+    "annotate",
+    "configure",
+    "enabled",
+    "event",
+    "events",
+    "reset",
+    "span",
+    "status",
+    "DEFAULT_RING_SIZE",
+]

@@ -54,6 +54,8 @@ from repro.errors import (
     StoreError,
 )
 from repro.models.registry import REGISTRY, StudyRegistry
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.service.jobs import JobEvent, JobRequest, JobState, execute_request
 from repro.store.keys import payload_checksum
 from repro.store.leases import Lease, LeaseManager, default_owner_id
@@ -65,6 +67,27 @@ __all__ = [
     "FleetWorker",
     "run_worker",
 ]
+
+#: Registry counters mirroring :attr:`FleetWorker.stats`, keyed by the
+#: same counter names; ``stale`` covers fencing-rejected (stale) commits.
+_WORKER_STAT_METRICS = {
+    "claimed": _obs_metrics.registry().counter(
+        "repro_fleet_claims_total",
+        "Queued jobs claimed by fleet workers in this process.",
+    ),
+    "completed": _obs_metrics.registry().counter(
+        "repro_fleet_completed_total",
+        "Jobs committed complete by fleet workers in this process.",
+    ),
+    "failed": _obs_metrics.registry().counter(
+        "repro_fleet_failed_total",
+        "Jobs committed failed by fleet workers in this process.",
+    ),
+    "stale": _obs_metrics.registry().counter(
+        "repro_fleet_stale_commits_total",
+        "Worker attempts rejected by lease fencing (stale commits).",
+    ),
+}
 
 #: Job-document format version.
 DOCUMENT_VERSION = 1
@@ -554,6 +577,11 @@ class FleetWorker:
         """Ask the loop to exit after the job in flight (signal-safe)."""
         self.stop_event.set()
 
+    def _count(self, key: str) -> None:
+        """Bump one worker counter and its registry mirror together."""
+        self.stats[key] += 1
+        _WORKER_STAT_METRICS[key].inc()
+
     # -- execution --------------------------------------------------------
 
     def _effective_request(self, request: JobRequest) -> JobRequest:
@@ -584,7 +612,7 @@ class FleetWorker:
         try:
             queue.mark_running(job_id, lease)
         except StaleLeaseError:
-            self.stats["stale"] += 1
+            self._count("stale")
             return
         beat = threading.Thread(target=_heartbeat, name=f"heartbeat-{job_id}", daemon=True)
         beat.start()
@@ -592,12 +620,14 @@ class FleetWorker:
         error: "str | None" = None
         try:
             request = self._effective_request(FleetJob(queue, job_id).request)
-            result = execute_request(
-                request,
-                registry=self.registry,
-                store=ArtifactStore.open(queue.store_root),
-                progress=_progress,
-            )
+            with _obs_trace.span("fleet-job", job=job_id, owner=self.owner) as sp:
+                result = execute_request(
+                    request,
+                    registry=self.registry,
+                    store=ArtifactStore.open(queue.store_root),
+                    progress=_progress,
+                )
+                sp.annotate(cells=len(result.get("records", ())))
         except (ModelError, EstimationError, ServiceError, StoreError) as exc:
             error = str(exc)
         except Exception as exc:  # noqa: BLE001 — a fleet worker must never die silently
@@ -608,9 +638,9 @@ class FleetWorker:
         try:
             queue.commit(job_id, lease_box["lease"], result, error=error)
         except StaleLeaseError:
-            self.stats["stale"] += 1
+            self._count("stale")
             return
-        self.stats["completed" if error is None else "failed"] += 1
+        self._count("completed" if error is None else "failed")
 
     def run_once(self) -> int:
         """One queue scan: claim and execute what this worker can.
@@ -631,7 +661,7 @@ class FleetWorker:
                 self.queue.marker_path(job_id).unlink(missing_ok=True)
                 self.queue.leases.release(lease)
                 continue
-            self.stats["claimed"] += 1
+            self._count("claimed")
             self._execute_claimed(job_id, lease)
             executed += 1
         return executed

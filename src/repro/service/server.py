@@ -3,6 +3,7 @@
 Endpoints (all JSON unless noted)::
 
     GET  /healthz              liveness + queue/job accounting
+    GET  /metrics              Prometheus text exposition (not JSON)
     GET  /v1/studies           the study registry, as the CLI sees it
     GET  /v1/store             the artifact store's O(index) summary
                                (same document as `repro store ls --format json`)
@@ -25,14 +26,18 @@ unknown job or route, 429 queue full, 503 draining.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import socket
+import time
+from collections.abc import Callable
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import repro
 from repro.errors import QueueFullError, ServiceError
 from repro.models.registry import REGISTRY, StudyRegistry
+from repro.obs import metrics as _obs_metrics
 from repro.service.fleet import FleetQueue
 from repro.service.jobs import Job, JobQueue, JobRequest, JobState
 from repro.store.store import ArtifactStore
@@ -45,6 +50,58 @@ __all__ = [
 
 #: Seconds an SSE handler waits for news before emitting a keep-alive.
 SSE_POLL_SECONDS = 5.0
+
+#: The access log (and BaseHTTPRequestHandler notices, at debug level).
+_LOGGER = logging.getLogger("repro.service")
+
+_METRIC_REQUESTS = _obs_metrics.registry().counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, route template and status.",
+    labelnames=("method", "route", "status"),
+)
+_METRIC_REQUEST_SECONDS = _obs_metrics.registry().histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency by route template.",
+    labelnames=("route",),
+)
+_METRIC_QUEUE_DEPTH = _obs_metrics.registry().gauge(
+    "repro_queue_depth",
+    "Jobs currently waiting in the service queue (refreshed per scrape).",
+)
+_METRIC_JOBS = _obs_metrics.registry().gauge(
+    "repro_jobs",
+    "Known jobs by lifecycle state (refreshed per scrape).",
+    labelnames=("state",),
+)
+_METRIC_HEARTBEAT_AGE = _obs_metrics.registry().gauge(
+    "repro_fleet_worker_heartbeat_age_seconds",
+    "Seconds since each live lease owner's last heartbeat (fleet mode).",
+    labelnames=("owner",),
+)
+
+#: Every lifecycle state ``repro_jobs`` reports, so counts that drop to
+#: zero overwrite their previous scrape instead of going stale.
+_JOB_STATES = (
+    JobState.QUEUED,
+    JobState.RUNNING,
+    JobState.COMPLETE,
+    JobState.FAILED,
+    JobState.CANCELLED,
+)
+
+
+def _route_template(path: str) -> str:
+    """Collapse a request path onto its route template.
+
+    Metric labels must stay low-cardinality: job ids (content addresses)
+    would mint one series per job, so they collapse onto ``{id}``, and
+    anything unrecognised — typos, scanners — onto ``other``.
+    """
+    if path in ("/", "/healthz", "/metrics", "/v1/studies", "/v1/store", "/v1/jobs"):
+        return path
+    if path.startswith("/v1/jobs/"):
+        return "/v1/jobs/{id}/events" if path.endswith("/events") else "/v1/jobs/{id}"
+    return "other"
 
 
 @dataclass(frozen=True)
@@ -79,6 +136,11 @@ class ServiceConfig:
     reuse_port:
         Bind with ``SO_REUSEPORT`` so multiple fleet replicas can share
         one address and the kernel load-balances connections.
+    access_log:
+        Emit one structured access-log line per request (method, path,
+        status, duration) through the ``repro.service`` logger. Off by
+        default — the service is driven programmatically and from CI —
+        and enabled by ``repro serve --access-log``.
     """
 
     host: str = "127.0.0.1"
@@ -90,6 +152,7 @@ class ServiceConfig:
     history: int = 256
     fleet_root: "os.PathLike | str | None" = None
     reuse_port: bool = False
+    access_log: bool = False
 
 
 class EstimationService:
@@ -199,16 +262,53 @@ class EstimationService:
 class _Handler(BaseHTTPRequestHandler):
     """Routes HTTP requests into the :class:`EstimationService`."""
 
-    #: Quiet by default — the service is driven programmatically and from
-    #: CI; per-request stderr lines would drown real diagnostics.
+    #: Status of the response in flight (set by ``send_response``).
+    _status: int = 0
+
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
-        pass
+        # BaseHTTPRequestHandler's own notices (malformed request lines
+        # and the like) go through the service logger at debug level;
+        # the per-request access log is emitted by ``_dispatch`` with
+        # timing attached. Nothing reaches stderr unless the operator
+        # configures the ``repro.service`` logger.
+        _LOGGER.debug("%s %s", self.address_string(), format % args)
 
     @property
     def service(self) -> EstimationService:
         return self.server.service  # type: ignore[attr-defined]
 
     # -- plumbing ---------------------------------------------------------
+
+    def send_response(self, code: int, message: str | None = None) -> None:
+        self._status = code
+        super().send_response(code, message)
+
+    def _dispatch(self, handler: "Callable[[], None]") -> None:
+        """Run one route handler under request accounting.
+
+        Always records the ``repro_http_*`` metrics; additionally emits
+        one access-log line when the instance was configured with
+        ``access_log=True``. Accounting never touches the response.
+        """
+        self._status = 0
+        started = time.perf_counter()
+        try:
+            handler()
+        finally:
+            duration = time.perf_counter() - started
+            route = _route_template(self.path.split("?", 1)[0].rstrip("/") or "/")
+            _METRIC_REQUESTS.labels(
+                method=self.command, route=route, status=str(self._status or 0)
+            ).inc()
+            _METRIC_REQUEST_SECONDS.labels(route=route).observe(duration)
+            if self.service.config.access_log:
+                _LOGGER.info(
+                    "%s %s %s %.1fms",
+                    self.command,
+                    self.path,
+                    self._status or "-",
+                    duration * 1000.0,
+                )
 
     def _send_json(self, document: object, status: int = 200) -> None:
         body = (json.dumps(document, indent=2) + "\n").encode("utf-8")
@@ -244,13 +344,46 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError("request body must be a JSON object")
         return document
 
+    def _send_metrics(self) -> None:
+        """Serve the Prometheus exposition, refreshing scrape-time gauges.
+
+        Counters and histograms accumulate as the process works; the
+        queue/job/lease gauges are snapshots of shared state, so they are
+        recomputed here — every scrape sees the live queue depth, the job
+        census and (fleet mode) each live worker's heartbeat age.
+        """
+        service = self.service
+        _METRIC_QUEUE_DEPTH.set(float(service.queue.queued))
+        counts = service.queue.counts()
+        for state in _JOB_STATES:
+            _METRIC_JOBS.set(float(counts.get(state, 0)), state=state)
+        if isinstance(service.queue, FleetQueue):
+            now = time.time()
+            for lease in service.queue.leases.live_leases():
+                age = max(0.0, lease.ttl - (lease.deadline - now))
+                _METRIC_HEARTBEAT_AGE.set(age, owner=lease.owner)
+        body = _obs_metrics.registry().render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- routes -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch(self._handle_post)
+
+    def _handle_get(self) -> None:
         try:
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
             if path == "/healthz":
                 self._send_json(self.service.health())
+            elif path == "/metrics":
+                self._send_metrics()
             elif path == "/v1/studies":
                 self._send_json(self.service.studies())
             elif path == "/v1/store":
@@ -269,7 +402,7 @@ class _Handler(BaseHTTPRequestHandler):
         except BrokenPipeError:  # client went away mid-stream
             pass
 
-    def do_POST(self) -> None:  # noqa: N802 — http.server API
+    def _handle_post(self) -> None:
         try:
             path = self.path.split("?", 1)[0].rstrip("/")
             if path != "/v1/jobs":

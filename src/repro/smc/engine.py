@@ -42,6 +42,7 @@ backend-agnostic.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from collections.abc import Callable, Iterator
 
@@ -50,6 +51,8 @@ import numpy as np
 from repro.core.dtmc import DTMC, ROW_ATOL
 from repro.core.paths import TransitionCounts
 from repro.errors import EstimationError, ModelError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.properties import monitor as mon
 from repro.properties.logic import Formula
 from repro.smc import kernels as _kernels
@@ -85,6 +88,74 @@ DEFAULT_MAX_ENSEMBLE = 65_536
 #: ``count_mode="satisfied"``) are dropped so memory tracks the keys of
 #: eventually-useful traces plus one window, not traces × steps.
 COMPACT_INTERVAL = 256
+
+
+# Engine metrics, always on at batch granularity (a handful of counter
+# adds per ensemble — invisible next to the simulation itself). Per-step
+# futility-cut counting is the one detail too hot to afford by default:
+# it is gated on tracing being enabled (see ``_count_cuts``).
+_METRIC_TRACES = _obs_metrics.registry().counter(
+    "repro_traces_simulated_total",
+    "Traces simulated, by backend.",
+    ("backend",),
+)
+_METRIC_STEPS = _obs_metrics.registry().counter(
+    "repro_trace_steps_total",
+    "Simulated trace-steps, by backend.",
+    ("backend",),
+)
+_METRIC_SATISFIED = _obs_metrics.registry().counter(
+    "repro_traces_satisfied_total",
+    "Simulated traces that satisfied the property, by backend.",
+    ("backend",),
+)
+_METRIC_CUTS = _obs_metrics.registry().counter(
+    "repro_futility_cuts_total",
+    "Traces cut early by the futility mask, by backend (the array "
+    "backends run the per-step census only while tracing is enabled).",
+    ("backend",),
+)
+_METRIC_BATCH_SECONDS = _obs_metrics.registry().histogram(
+    "repro_simulate_seconds",
+    "Wall time of one run_ensemble call, by backend.",
+    ("backend",),
+)
+
+#: The kernel tier bound at import, annotated on kernel-backend spans.
+_KERNEL_TIER = str(_kernels.kernel_runtime_info()["tier"])
+
+_ENSEMBLE_CELLS: "dict[str, tuple]" = {}
+
+
+def _ensemble_cells(backend: str) -> tuple:
+    cells = _ENSEMBLE_CELLS.get(backend)
+    if cells is None:
+        cells = _ENSEMBLE_CELLS[backend] = (
+            _METRIC_TRACES.labels(backend=backend),
+            _METRIC_STEPS.labels(backend=backend),
+            _METRIC_SATISFIED.labels(backend=backend),
+            _METRIC_CUTS.labels(backend=backend),
+            _METRIC_BATCH_SECONDS.labels(backend=backend),
+        )
+    return cells
+
+
+def _record_ensemble(
+    backend: str, result: "EnsembleResult", seconds: float, cuts: int
+) -> None:
+    """Fold one finished ensemble into the engine metrics."""
+    traces, steps, satisfied, cut_cell, batch_seconds = _ensemble_cells(backend)
+    traces.inc(result.n_samples)
+    steps.inc(int(result.lengths.sum()))
+    satisfied.inc(int(np.count_nonzero(result.satisfied)))
+    if cuts:
+        cut_cell.inc(cuts)
+    batch_seconds.observe(seconds)
+
+
+def _count_cuts() -> bool:
+    """Whether the per-step futility-cut census is affordable right now."""
+    return _obs_trace.enabled()
 
 
 def _check_row_sum(total: float, state: int, atol: float = ROW_SUM_ATOL) -> None:
@@ -561,6 +632,7 @@ class SequentialBackend(SimulationBackend):
     def __init__(self, plan: SimulationPlan):
         self._plan = plan
         self._compiled = CompiledChain(plan.chain)
+        self._cuts = 0
 
     @property
     def plan(self) -> SimulationPlan:
@@ -578,6 +650,7 @@ class SequentialBackend(SimulationBackend):
             and plan.futility.applies(state, 0)
         ):
             verdict = mon.Verdict.FALSE
+            self._cuts += 1
         keep_counts = plan.count_mode != "none"
         counts = TransitionCounts() if keep_counts else None
         log_prob = 0.0
@@ -597,6 +670,7 @@ class SequentialBackend(SimulationBackend):
                 and plan.futility.applies(state, steps)
             ):
                 verdict = mon.Verdict.FALSE
+                self._cuts += 1
         satisfied = verdict is mon.Verdict.TRUE
         if plan.count_mode == "satisfied" and not satisfied:
             counts = None
@@ -619,22 +693,34 @@ class SequentialBackend(SimulationBackend):
         tables: "list[TransitionCounts | None] | None" = (
             [] if plan.count_mode != "none" else None
         )
-        for k in range(n_samples):
-            record = self.sample_one(rng)
-            satisfied[k] = record.satisfied
-            decided[k] = record.decided
-            lengths[k] = record.length
-            if logp is not None:
-                logp[k] = record.log_proposal
-            if tables is not None:
-                tables.append(record.counts)
-        return EnsembleResult(
-            satisfied=satisfied,
-            decided=decided,
-            lengths=lengths,
-            log_proposals=logp,
-            count_tables=tables,
+        cuts_before = self._cuts
+        started = _time.perf_counter()
+        with _obs_trace.span("simulate", backend=self.name, traces=n_samples) as sp:
+            for k in range(n_samples):
+                record = self.sample_one(rng)
+                satisfied[k] = record.satisfied
+                decided[k] = record.decided
+                lengths[k] = record.length
+                if logp is not None:
+                    logp[k] = record.log_proposal
+                if tables is not None:
+                    tables.append(record.counts)
+            result = EnsembleResult(
+                satisfied=satisfied,
+                decided=decided,
+                lengths=lengths,
+                log_proposals=logp,
+                count_tables=tables,
+            )
+            sp.annotate(
+                satisfied=int(np.count_nonzero(satisfied)),
+                steps=int(lengths.sum()),
+                futility_cuts=self._cuts - cuts_before,
+            )
+        _record_ensemble(
+            self.name, result, _time.perf_counter() - started, self._cuts - cuts_before
         )
+        return result
 
 
 class VectorizedBackend(SimulationBackend):
@@ -697,23 +783,38 @@ class VectorizedBackend(SimulationBackend):
             raise EstimationError("n_samples must be positive")
         chunks: list[EnsembleResult] = []
         remaining = n_samples
-        while remaining > 0:
-            chunk = self._simulate(min(remaining, self._max_ensemble), rng)
-            chunks.append(chunk)
-            remaining -= chunk.n_samples
-        return EnsembleResult.concatenate(chunks)
+        cuts = 0
+        started = _time.perf_counter()
+        with _obs_trace.span("simulate", backend=self.name, traces=n_samples) as sp:
+            while remaining > 0:
+                chunk, chunk_cuts = self._simulate(min(remaining, self._max_ensemble), rng)
+                chunks.append(chunk)
+                cuts += chunk_cuts
+                remaining -= chunk.n_samples
+            result = EnsembleResult.concatenate(chunks)
+            sp.annotate(
+                satisfied=int(np.count_nonzero(result.satisfied)),
+                steps=int(result.lengths.sum()),
+                futility_cuts=cuts,
+            )
+        _record_ensemble(self.name, result, _time.perf_counter() - started, cuts)
+        return result
 
-    def _simulate(self, n: int, rng: np.random.Generator) -> EnsembleResult:
+    def _simulate(self, n: int, rng: np.random.Generator) -> "tuple[EnsembleResult, int]":
         plan, csr = self._plan, self._csr
         vm = plan.vector_monitor
         assert vm is not None
         fut = plan.futility
         keep_counts = plan.count_mode != "none"
+        count_cuts = _count_cuts()
+        cuts = 0
 
         states = np.full(n, plan.initial_state, dtype=np.int64)
         verdicts = vm.update(states, 0).copy()
         if fut is not None and 0 >= fut.start_position:
             cut = (verdicts == mon.VECTOR_UNDECIDED) & fut.mask[states]
+            if count_cuts:
+                cuts += int(np.count_nonzero(cut))
             verdicts[cut] = mon.VECTOR_FALSE
         lengths = np.zeros(n, dtype=np.int64)
         logp = np.zeros(n, dtype=np.float64) if plan.record_log_prob else None
@@ -743,6 +844,8 @@ class VectorizedBackend(SimulationBackend):
                 # Copy only when a cut actually lands: the monitor owns the
                 # returned array, but most steps cut nothing.
                 if cut.any():
+                    if count_cuts:
+                        cuts += int(np.count_nonzero(cut))
                     codes = codes.copy()
                     codes[cut] = mon.VECTOR_FALSE
             verdicts[active] = codes
@@ -770,13 +873,16 @@ class VectorizedBackend(SimulationBackend):
                 counts_list[k] = TransitionCounts()
             if step_traces:
                 self._fill_counts(counts_list, want, step_traces, step_keys)
-        return EnsembleResult(
-            satisfied=satisfied,
-            decided=decided,
-            lengths=lengths,
-            log_proposals=logp,
-            count_tables=counts_list,
-            log_numerators=lognum,
+        return (
+            EnsembleResult(
+                satisfied=satisfied,
+                decided=decided,
+                lengths=lengths,
+                log_proposals=logp,
+                count_tables=counts_list,
+                log_numerators=lognum,
+            ),
+            cuts,
         )
 
     def _fill_counts(
@@ -925,21 +1031,40 @@ class KernelBackend(SimulationBackend):
             raise EstimationError("n_samples must be positive")
         chunks: list[EnsembleResult] = []
         remaining = n_samples
-        while remaining > 0:
-            chunk = self._simulate(min(remaining, self._max_ensemble), rng)
-            chunks.append(chunk)
-            remaining -= chunk.n_samples
-        return EnsembleResult.concatenate(chunks)
+        cuts = 0
+        started = _time.perf_counter()
+        with _obs_trace.span(
+            "simulate", backend=self.name, traces=n_samples, tier=_KERNEL_TIER
+        ) as sp:
+            while remaining > 0:
+                chunk, chunk_cuts = self._simulate(min(remaining, self._max_ensemble), rng)
+                chunks.append(chunk)
+                cuts += chunk_cuts
+                remaining -= chunk.n_samples
+            result = EnsembleResult.concatenate(chunks)
+            sp.annotate(
+                satisfied=int(np.count_nonzero(result.satisfied)),
+                steps=int(result.lengths.sum()),
+                futility_cuts=cuts,
+            )
+        _record_ensemble(self.name, result, _time.perf_counter() - started, cuts)
+        return result
 
-    def _simulate(self, n: int, rng: np.random.Generator) -> EnsembleResult:
+    def _simulate(self, n: int, rng: np.random.Generator) -> "tuple[EnsembleResult, int]":
         plan, csr = self._plan, self._csr
         fut = plan.futility
         keep_counts = plan.count_mode != "none"
+        count_cuts = _count_cuts()
+        cuts = 0
 
         states = np.full(n, plan.initial_state, dtype=np.int64)
         verdicts = self._codes(states, 0)
         if fut is not None and 0 >= fut.start_position:
+            if count_cuts:
+                false_before = int(np.count_nonzero(verdicts == mon.VECTOR_FALSE))
             _kernels.futility_cut(verdicts, fut.mask, states)
+            if count_cuts:
+                cuts += int(np.count_nonzero(verdicts == mon.VECTOR_FALSE)) - false_before
         lengths = np.zeros(n, dtype=np.int64)
         logp = np.zeros(n, dtype=np.float64) if plan.record_log_prob else None
         wlogs = self._wlogs
@@ -970,7 +1095,13 @@ class KernelBackend(SimulationBackend):
             time += 1
             codes = self._codes(nxt, time)
             if fut is not None and time >= fut.start_position:
+                if count_cuts:
+                    false_before = int(np.count_nonzero(codes == mon.VECTOR_FALSE))
                 _kernels.futility_cut(codes, fut.mask, nxt)
+                if count_cuts:
+                    cuts += (
+                        int(np.count_nonzero(codes == mon.VECTOR_FALSE)) - false_before
+                    )
             verdicts[active] = codes
             active = active[codes == mon.VECTOR_UNDECIDED]
             if (
@@ -996,13 +1127,16 @@ class KernelBackend(SimulationBackend):
             count_arrays = TraceCounts.from_step_keys(
                 n, csr.n_states, want, step_traces, step_keys
             )
-        return EnsembleResult(
-            satisfied=satisfied,
-            decided=decided,
-            lengths=lengths,
-            log_proposals=logp,
-            log_numerators=lognum,
-            count_arrays=count_arrays,
+        return (
+            EnsembleResult(
+                satisfied=satisfied,
+                decided=decided,
+                lengths=lengths,
+                log_proposals=logp,
+                log_numerators=lognum,
+                count_arrays=count_arrays,
+            ),
+            cuts,
         )
 
 

@@ -39,12 +39,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import EstimationError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.smc.engine import (
     EnsembleResult,
     SimulationBackend,
@@ -169,16 +172,41 @@ class _PlanSpec:
 #: Per-worker simulation backend, installed once by the pool initializer.
 _WORKER_BACKEND: SimulationBackend | None = None
 
+_METRIC_SHARDS = _obs_metrics.registry().counter(
+    "repro_parallel_shards_total",
+    "Simulation shards executed by pool workers.",
+)
+_METRIC_SHARD_SECONDS = _obs_metrics.registry().histogram(
+    "repro_shard_seconds",
+    "Wall time of one pool-worker shard (merged from the workers).",
+)
+
 
 def _init_worker(spec: _PlanSpec) -> None:
     global _WORKER_BACKEND
     _WORKER_BACKEND = spec.build_backend()
 
 
-def _run_shard(n_traces: int, seed: np.random.SeedSequence) -> EnsembleResult:
+def _run_shard(
+    n_traces: int, seed: np.random.SeedSequence
+) -> "tuple[EnsembleResult, dict]":
+    """Execute one shard and report its metric activity alongside it.
+
+    The worker's process-local registry accumulates across every shard
+    the persistent pool hands it, so each shard snapshots before and
+    after and ships only the delta — the parent merges it, which is how
+    engine counters (and any store activity a repetition performs) keep
+    counting across the process boundary.
+    """
     backend = _WORKER_BACKEND
     assert backend is not None, "worker pool used before initialization"
-    return backend.run_ensemble(n_traces, np.random.default_rng(seed))
+    registry = _obs_metrics.registry()
+    before = registry.snapshot()
+    started = time.perf_counter()
+    result = backend.run_ensemble(n_traces, np.random.default_rng(seed))
+    _METRIC_SHARD_SECONDS.observe(time.perf_counter() - started)
+    _METRIC_SHARDS.inc()
+    return result, _obs_metrics.snapshot_delta(before, registry.snapshot())
 
 
 class ParallelBackend(SimulationBackend):
@@ -258,25 +286,37 @@ class ParallelBackend(SimulationBackend):
             return self._inner.run_ensemble(n_samples, rng)
         sizes = shard_sizes(n_samples, self._shard_size)
         seeds = spawn_seeds(rng, len(sizes))
-        if self._workers == 1:
-            # Same shard/seed schedule, executed in-process: results stay
-            # invariant to the worker count.
-            chunks = [
-                self._inner.run_ensemble(n, np.random.default_rng(seed))
-                for n, seed in zip(sizes, seeds)
-            ]
-        else:
-            pool = self._ensure_pool()
-            futures = [pool.submit(_run_shard, n, seed) for n, seed in zip(sizes, seeds)]
-            try:
-                chunks = [f.result() for f in futures]
-            except BaseException:
-                # Aborted (a shard failed, or SIGINT raised
-                # KeyboardInterrupt in the caller): cancel every shard not
-                # yet started and shut the pool down so no worker outlives
-                # the interrupted batch.
-                self.close(cancel_futures=True)
-                raise
+        with _obs_trace.span(
+            "parallel-shards",
+            shards=len(sizes),
+            workers=self._workers,
+            traces=n_samples,
+        ):
+            if self._workers == 1:
+                # Same shard/seed schedule, executed in-process: results stay
+                # invariant to the worker count.
+                chunks = [
+                    self._inner.run_ensemble(n, np.random.default_rng(seed))
+                    for n, seed in zip(sizes, seeds)
+                ]
+            else:
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(_run_shard, n, seed) for n, seed in zip(sizes, seeds)
+                ]
+                try:
+                    shards = [f.result() for f in futures]
+                except BaseException:
+                    # Aborted (a shard failed, or SIGINT raised
+                    # KeyboardInterrupt in the caller): cancel every shard not
+                    # yet started and shut the pool down so no worker outlives
+                    # the interrupted batch.
+                    self.close(cancel_futures=True)
+                    raise
+                registry = _obs_metrics.registry()
+                for _, delta in shards:
+                    registry.merge(delta)
+                chunks = [result for result, _ in shards]
         return EnsembleResult.concatenate(chunks)
 
     def close(self, cancel_futures: bool = False) -> None:

@@ -21,6 +21,7 @@ from typing import Any, TypeVar
 
 import numpy as np
 
+from repro.obs import trace as _obs_trace
 from repro.store.store import ArtifactStore
 
 __all__ = ["map_repetitions_cached"]
@@ -87,6 +88,7 @@ def map_repetitions_cached(
     hits = len(seeds) - len(miss_indices)
     store.stats.hits += hits
     store.stats.misses += len(miss_indices)
+    _obs_trace.annotate(cache_hits=hits, cache_misses=len(miss_indices))
     if progress is not None and hits:
         progress(hits, len(seeds))
     if miss_indices:

@@ -47,6 +47,7 @@ from pathlib import Path
 import threading
 
 from repro.errors import LeaseError, StaleLeaseError
+from repro.obs import metrics as _obs_metrics
 from repro.store.keys import payload_checksum
 
 __all__ = [
@@ -57,6 +58,15 @@ __all__ = [
 
 #: Lease record format version (bumped on incompatible layout changes).
 LEASE_VERSION = 1
+
+_METRIC_LEASE_CLAIMS = _obs_metrics.registry().counter(
+    "repro_lease_claims_total",
+    "Successful lease claims (first claims, re-claims and takeovers).",
+)
+_METRIC_LEASE_EXPIRIES = _obs_metrics.registry().counter(
+    "repro_lease_expiries_total",
+    "Claims that took over an expired (never released) lease.",
+)
 
 # flock is per open-file-description: a second open of the same lock file
 # by the same process blocks against the first, so a naive context manager
@@ -250,6 +260,24 @@ class LeaseManager:
         """The current lease record of *name* (live, expired or released)."""
         return self._read(name)
 
+    def live_leases(self) -> "list[Lease]":
+        """Every currently live lease under this root, name-sorted.
+
+        A lock-free scrape-time survey (records are read with the usual
+        torn-write tolerance): the fleet front end turns these into
+        per-owner heartbeat-age gauges on ``/metrics``.
+        """
+        leases_dir = self.root / "leases"
+        if not leases_dir.is_dir():
+            return []
+        now = time.time()
+        live: "list[Lease]" = []
+        for path in sorted(leases_dir.glob("*.json")):
+            lease = self._read(path.stem)
+            if lease is not None and not lease.expired(now):
+                live.append(lease)
+        return live
+
     def claim(self, name: str, owner: str) -> Lease | None:
         """Try to claim *name* for *owner*.
 
@@ -269,6 +297,10 @@ class LeaseManager:
                 name=name, owner=owner, token=token, deadline=now + self.ttl, ttl=self.ttl
             )
             self._write(lease)
+            _METRIC_LEASE_CLAIMS.inc()
+            if current is not None and not current.released:
+                # The previous owner went silent past its TTL: a takeover.
+                _METRIC_LEASE_EXPIRIES.inc()
             return lease
 
     def renew(self, lease: Lease) -> Lease:

@@ -49,6 +49,8 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import StoreError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.store import index as index_module
 from repro.store.format import SegmentWriter, read_frame, scan_segment
 from repro.store.index import (
@@ -167,6 +169,20 @@ class RunRecord:
         return RunRecord(key=key, index=index, payload=payload)
 
 
+#: StoreStats fields mirrored into the metrics registry on increment, so
+#: store accounting shows up on ``/metrics`` and survives the worker
+#: process boundary via the registry snapshot/merge transport (the plain
+#: dataclass fields stay the per-handle truth they always were).
+_STATS_COUNTERS = {
+    field: _obs_metrics.registry().counter(
+        f"repro_store_{field}_total",
+        f"Artifact-store {field.replace('_', ' ')} across every handle "
+        "of this process.",
+    )
+    for field in ("hits", "misses", "writes", "corrupt", "segment_reads")
+}
+
+
 @dataclass
 class StoreStats:
     """Hit/miss accounting of one process's store usage.
@@ -174,6 +190,11 @@ class StoreStats:
     ``segment_reads`` counts record frames read from v2 segments — the
     observable proof that listings (``describe``/``iter_keys``) are
     O(index): they leave the counter untouched.
+
+    Every positive increment of a field is mirrored into the process
+    metrics registry (``repro_store_<field>_total``), so ``/metrics``
+    and cross-process merges see store accounting without the call
+    sites changing.
     """
 
     hits: int = 0
@@ -181,6 +202,14 @@ class StoreStats:
     writes: int = 0
     corrupt: int = 0
     segment_reads: int = 0
+
+    def __setattr__(self, name: str, value: object) -> None:
+        counter = _STATS_COUNTERS.get(name)
+        if counter is not None:
+            delta = value - getattr(self, name, 0)  # type: ignore[operator]
+            if delta > 0:
+                counter.inc(delta)
+        object.__setattr__(self, name, value)
 
     def summary(self) -> str:
         """One-line human-readable account."""
@@ -451,8 +480,16 @@ class ArtifactStore:
         still holds legacy v1 lines for *key*, both are merged with the
         v2 copy winning (they are bitwise-identical by construction).
         """
-        if self.version == 1:
-            return self._legacy_load(key)
+        with _obs_trace.span("store-get", key=key[:12]) as sp:
+            if self.version == 1:
+                payloads = self._legacy_load(key)
+                sp.annotate(frames=len(payloads))
+                return payloads
+            payloads = self._get_v2(key)
+            sp.annotate(frames=len(payloads))
+            return payloads
+
+    def _get_v2(self, key: str) -> "dict[int, dict[str, object]]":
         payloads = self._legacy_load(key)
         entries = load_index(self._index_dir()).get(key, [])
         by_segment: "dict[str, list[IndexEntry]]" = {}
@@ -497,21 +534,24 @@ class ArtifactStore:
         """
         if not payloads:
             return
-        if self.version == 1:
-            self._legacy_append(key, payloads)
-            return
-        if self._writer is None:
-            self._writer = SegmentWriter(self._segments_dir())
-        batch: "list[IndexEntry]" = []
-        for index, payload in sorted(payloads.items()):
-            offset, length = self._writer.append(key, int(index), dict(payload))
-            batch.append(
-                IndexEntry(segment=self._writer.name, offset=offset, length=length, index=index)
-            )
-        self._writer.flush()
-        append_delta(self._index_dir(), self._writer.name, {key: batch})
-        self._write_marker()
-        self.stats.writes += len(batch)
+        with _obs_trace.span("store-put", key=key[:12], frames=len(payloads)):
+            if self.version == 1:
+                self._legacy_append(key, payloads)
+                return
+            if self._writer is None:
+                self._writer = SegmentWriter(self._segments_dir())
+            batch: "list[IndexEntry]" = []
+            for index, payload in sorted(payloads.items()):
+                offset, length = self._writer.append(key, int(index), dict(payload))
+                batch.append(
+                    IndexEntry(
+                        segment=self._writer.name, offset=offset, length=length, index=index
+                    )
+                )
+            self._writer.flush()
+            append_delta(self._index_dir(), self._writer.name, {key: batch})
+            self._write_marker()
+            self.stats.writes += len(batch)
 
     def iter_keys(self) -> "Iterator[str]":
         """Every stored key (index union legacy read-through), sorted.

@@ -118,7 +118,14 @@ class TestApiReference:
 
     @pytest.mark.parametrize(
         "package_name",
-        ["repro.experiments", "repro.importance", "repro.store", "repro.service", "repro.smc"],
+        [
+            "repro.experiments",
+            "repro.importance",
+            "repro.store",
+            "repro.service",
+            "repro.smc",
+            "repro.obs",
+        ],
     )
     def test_every_exported_symbol_is_covered(self, package_name):
         """Each ``__all__`` symbol is rendered (its defining module has a

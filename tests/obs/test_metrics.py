@@ -1,0 +1,195 @@
+"""Unit tests for the zero-dependency metrics registry."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    registry,
+    snapshot_delta,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_events_total", "events")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labels_bind_independent_cells(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_hits_total", "hits", labelnames=("kind",))
+        counter.labels(kind="a").inc()
+        counter.labels(kind="a").inc()
+        counter.labels(kind="b").inc(5)
+        assert counter.value(kind="a") == 2.0
+        assert counter.value(kind="b") == 5.0
+
+    def test_wrong_labels_rejected(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_bad_total", "", labelnames=("kind",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.labels(other="x")
+
+    def test_get_or_create_is_idempotent_but_kind_checked(self):
+        reg = MetricsRegistry()
+        first = reg.counter("t_same_total", "one")
+        assert reg.counter("t_same_total", "one") is first
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("t_same_total", "now a gauge")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("t_same_total", "one", labelnames=("x",))
+
+    def test_threaded_increments_merge_exactly(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_threaded_total", "")
+        per_thread, threads = 10_000, 8
+
+        def work():
+            bound = counter
+            for _ in range(per_thread):
+                bound.inc()
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert counter.value() == per_thread * threads
+
+
+class TestGauge:
+    def test_set_inc_value(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("t_depth", "")
+        gauge.set(4.0)
+        gauge.inc(-1.5)
+        assert gauge.value() == 2.5
+
+    def test_labelled_last_write_wins(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("t_age", "", labelnames=("owner",))
+        gauge.set(1.0, owner="w1")
+        gauge.set(9.0, owner="w1")
+        assert gauge.value(owner="w1") == 9.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("t_seconds", "", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        cell = hist.snapshot_cell()
+        assert cell["counts"] == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+        assert cell["count"] == 4
+        assert cell["sum"] == pytest.approx(6.05)
+
+    def test_empty_cell_shape(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("t_empty_seconds", "", buckets=(1.0,))
+        cell = hist.snapshot_cell()
+        assert cell == {"counts": [0, 0], "sum": 0.0, "count": 0}
+
+    def test_needs_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one bucket"):
+            reg.histogram("t_none_seconds", "", buckets=())
+
+
+class TestRender:
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_requests_total", "requests", labelnames=("route",))
+        counter.labels(route="/healthz").inc(3)
+        gauge = reg.gauge("t_queue_depth", "depth")
+        gauge.set(2)
+        hist = reg.histogram("t_latency_seconds", "latency", buckets=(0.5,))
+        hist.observe(0.1)
+        hist.observe(7.0)
+        text = reg.render()
+        assert "# TYPE t_requests_total counter" in text
+        assert 't_requests_total{route="/healthz"} 3' in text
+        assert "# TYPE t_queue_depth gauge" in text
+        assert "t_queue_depth 2" in text
+        assert 't_latency_seconds_bucket{le="0.5"} 1' in text
+        assert 't_latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "t_latency_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("t_weird_total", "", labelnames=("path",))
+        counter.labels(path='a"b\\c').inc()
+        assert 't_weird_total{path="a\\"b\\\\c"} 1' in reg.render()
+
+    def test_inf_and_int_formatting(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("t_inf", "")
+        gauge.set(math.inf)
+        assert "t_inf +Inf" in reg.render()
+
+
+class TestTransport:
+    def test_snapshot_merge_round_trip(self):
+        worker = MetricsRegistry()
+        worker.counter("t_traces_total", "", labelnames=("backend",)).labels(
+            backend="kernel"
+        ).inc(7)
+        worker.gauge("t_ess", "").set(12.5)
+        worker.histogram("t_shard_seconds", "", buckets=(1.0,)).observe(0.25)
+        parent = MetricsRegistry()
+        parent.merge(worker.snapshot())
+        assert parent.counter(
+            "t_traces_total", labelnames=("backend",)
+        ).value(backend="kernel") == 7
+        assert parent.gauge("t_ess").value() == 12.5
+        cell = parent.histogram("t_shard_seconds", buckets=(1.0,)).snapshot_cell()
+        assert cell["count"] == 1
+
+    def test_merge_adds_counters_and_histograms(self):
+        parent = MetricsRegistry()
+        parent.counter("t_total", "").inc(1)
+        worker = MetricsRegistry()
+        worker.counter("t_total", "").inc(2)
+        parent.merge(worker.snapshot())
+        parent.merge(worker.snapshot())
+        assert parent.counter("t_total").value() == 5.0
+
+    def test_snapshot_delta_isolates_one_task(self):
+        worker = MetricsRegistry()
+        counter = worker.counter("t_steps_total", "")
+        hist = worker.histogram("t_s", "", buckets=(1.0,))
+        counter.inc(10)  # pre-existing activity from an earlier task
+        hist.observe(0.5)
+        before = worker.snapshot()
+        counter.inc(3)
+        hist.observe(2.0)
+        delta = snapshot_delta(before, worker.snapshot())
+        parent = MetricsRegistry()
+        parent.merge(delta)
+        assert parent.counter("t_steps_total").value() == 3.0
+        cell = parent.histogram("t_s", buckets=(1.0,)).snapshot_cell()
+        assert cell["count"] == 1
+        assert cell["counts"] == [0, 1]
+
+    def test_snapshot_delta_drops_idle_metrics(self):
+        worker = MetricsRegistry()
+        worker.counter("t_idle_total", "").inc(4)
+        before = worker.snapshot()
+        delta = snapshot_delta(before, worker.snapshot())
+        assert "t_idle_total" not in delta
+
+
+class TestDefaultRegistry:
+    def test_registry_is_a_process_singleton(self):
+        assert registry() is registry()
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)

@@ -1,0 +1,109 @@
+"""The no-perturbation invariant, held bitwise.
+
+Observability observes — it must never consume RNG draws, change store
+keys or alter a single result byte. These tests run the same estimators
+with tracing fully off and fully on (ring + JSONL sink) and compare
+every numeric output field with ``==`` on floats, i.e. bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DTMC
+from repro.importance import importance_sampling_estimate
+from repro.importance.imc import imc_estimate
+from repro.obs import trace
+from repro.properties import parse_property
+
+from tests.conftest import illustrative_matrix
+
+
+@pytest.fixture()
+def setup():
+    original = DTMC(illustrative_matrix(0.05, 0.3), 0, labels={"goal": [2], "init": [0]})
+    proposal = DTMC(illustrative_matrix(0.5, 0.6), 0, labels={"goal": [2], "init": [0]})
+    formula = parse_property('F "goal"')
+    return original, proposal, formula
+
+
+@pytest.fixture()
+def traced(tmp_path):
+    """Turn tracing (ring + sink) on for the duration of the context."""
+    prior = trace.status()
+
+    class _Toggle:
+        def on(self):
+            trace.reset()
+            trace.configure(enabled=True, trace_file=str(tmp_path / "trace.jsonl"))
+
+        def off(self):
+            trace.configure(enabled=False, trace_file="")
+            trace.reset()
+
+    toggle = _Toggle()
+    yield toggle
+    trace.configure(
+        enabled=bool(prior["enabled"]), trace_file=str(prior["trace_file"] or "")
+    )
+    trace.reset()
+
+
+def result_fields(result):
+    return (
+        result.estimate,
+        result.std_dev,
+        result.n_samples,
+        result.n_satisfied,
+        result.interval.low,
+        result.interval.high,
+        result.ess,
+    )
+
+
+@pytest.mark.parametrize("backend", ["sequential", "vectorized", "kernel"])
+def test_is_estimate_bitwise_invariant_to_tracing(setup, traced, backend):
+    original, proposal, formula = setup
+    traced.off()
+    baseline = importance_sampling_estimate(
+        original, proposal, formula, 1500, np.random.default_rng(7), backend=backend
+    )
+    traced.on()
+    traced_run = importance_sampling_estimate(
+        original, proposal, formula, 1500, np.random.default_rng(7), backend=backend
+    )
+    assert len(trace.events()) > 0  # tracing demonstrably captured the run
+    traced.off()
+    assert result_fields(baseline) == result_fields(traced_run)
+
+
+def test_imc_ess_stop_point_invariant_to_tracing(setup, traced):
+    """Tracing computes the ESS trajectory; the stop decision must not move."""
+    original, proposal, formula = setup
+    kwargs = dict(batches=6, ess_target=150.0, replica_budget=1000)
+    traced.off()
+    baseline = imc_estimate(
+        original, proposal, formula, 1200, np.random.default_rng(11), **kwargs
+    )
+    traced.on()
+    traced_run = imc_estimate(
+        original, proposal, formula, 1200, np.random.default_rng(11), **kwargs
+    )
+    traced.off()
+    assert baseline.batches_run == traced_run.batches_run
+    assert baseline.replica_total == traced_run.replica_total
+    assert baseline.kappa == traced_run.kappa
+    assert result_fields(baseline.result) == result_fields(traced_run.result)
+
+
+def test_parallel_fanout_bitwise_invariant_to_tracing(setup, traced):
+    original, proposal, formula = setup
+    traced.off()
+    baseline = importance_sampling_estimate(
+        original, proposal, formula, 1200, np.random.default_rng(3), workers=2
+    )
+    traced.on()
+    traced_run = importance_sampling_estimate(
+        original, proposal, formula, 1200, np.random.default_rng(3), workers=2
+    )
+    traced.off()
+    assert result_fields(baseline) == result_fields(traced_run)

@@ -1,0 +1,272 @@
+"""Service observability: /metrics, access log, SSE under slow consumers.
+
+Covers the scrape endpoint in both local and fleet modes (including the
+scrape-time queue/job/heartbeat gauges), concurrent scrapes, the
+structured access log behind ``ServiceConfig.access_log``, keep-alive
+cadence for slow SSE consumers, and the ``events_since`` gap-replay
+contract the SSE stream is built on.
+"""
+
+import logging
+import socket
+import threading
+import time
+import urllib.request
+
+import pytest
+
+import repro.service.jobs as jobs_module
+import repro.service.server as server_module
+from repro.service import ServiceClient, ServiceConfig, create_server
+from repro.service.jobs import Job, JobRequest
+
+PAYLOAD = {"study": "illustrative", "estimator": "is", "repetitions": 2, "n_samples": 400}
+
+
+@pytest.fixture()
+def live_service(tmp_path):
+    server = create_server(
+        ServiceConfig(port=0, store_root=tmp_path / "store", capacity=4, job_workers=1)
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=30.0)
+    yield server, client
+    server.service.stop(timeout=10)
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def blocked_executor(monkeypatch):
+    release = threading.Event()
+    started = threading.Event()
+
+    def _blocking_execute(job, registry=None, store_root=None):
+        job.mark_running()
+        started.set()
+        release.wait(timeout=60)
+        job.complete({"records": [], "csv": "", "summary": {}})
+
+    monkeypatch.setattr(jobs_module, "execute_job", _blocking_execute)
+    yield started, release
+    release.set()
+
+
+def scrape(server) -> "tuple[int, str, str]":
+    host, port = server.server_address[:2]
+    with urllib.request.urlopen(f"http://{host}:{port}/metrics", timeout=10) as response:
+        return response.status, response.headers.get("Content-Type", ""), response.read().decode()
+
+
+def metric_value(text: str, prefix: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(prefix) and not line.startswith("#"):
+            return float(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"no sample starting with {prefix!r} in scrape")
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_prometheus_text(self, live_service):
+        server, client = live_service
+        client.health()  # guarantee at least one accounted request
+        status, content_type, text = scrape(server)
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'route="/healthz"' in text
+        assert "repro_http_request_seconds_bucket" in text
+
+    def test_queue_and_job_gauges_refresh_per_scrape(self, live_service, blocked_executor):
+        server, client = live_service
+        started, release = blocked_executor
+        client.submit({**PAYLOAD, "seed": 1})
+        assert started.wait(timeout=10)
+        client.submit({**PAYLOAD, "seed": 2})  # queued behind the blocked job
+        _, _, text = scrape(server)
+        assert metric_value(text, "repro_queue_depth") == 1.0
+        assert metric_value(text, 'repro_jobs{state="running"}') == 1.0
+        release.set()
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            _, _, text = scrape(server)
+            if metric_value(text, 'repro_jobs{state="complete"}') == 2.0:
+                break
+            time.sleep(0.1)
+        assert metric_value(text, "repro_queue_depth") == 0.0
+        assert metric_value(text, 'repro_jobs{state="running"}') == 0.0
+
+    def test_concurrent_scrapes_all_succeed(self, live_service):
+        server, _ = live_service
+        results: "list[tuple[int, str, str]]" = []
+        errors: "list[Exception]" = []
+
+        def one_scrape():
+            try:
+                results.append(scrape(server))
+            except Exception as error:  # noqa: BLE001 — collected for the assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=one_scrape) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=15)
+        assert not errors
+        assert len(results) == 8
+        for status, content_type, text in results:
+            assert status == 200
+            assert content_type.startswith("text/plain")
+            assert "repro_queue_depth" in text
+            assert text.endswith("\n")
+
+
+class TestFleetMetrics:
+    def test_fleet_scrape_serves_queue_and_heartbeat_series(self, tmp_path):
+        server = create_server(ServiceConfig(port=0, fleet_root=tmp_path / "store"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}", timeout=30.0)
+            client.submit(PAYLOAD)  # queued durably; no worker is running
+            _, _, text = scrape(server)
+            assert metric_value(text, "repro_queue_depth") == 1.0
+            assert metric_value(text, 'repro_jobs{state="queued"}') == 1.0
+            # A worker claims a lease and heartbeats: the next scrape
+            # surfaces its heartbeat age under its owner identity.
+            queue = server.service.queue
+            lease = queue.leases.claim("job-heartbeat-probe", "host:1:abc")
+            assert lease is not None
+            _, _, text = scrape(server)
+            age = metric_value(
+                text, 'repro_fleet_worker_heartbeat_age_seconds{owner="host:1:abc"}'
+            )
+            assert 0.0 <= age < queue.leases.ttl
+            assert metric_value(text, "repro_lease_claims_total") >= 1.0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestAccessLog:
+    def _capture(self):
+        records: "list[logging.LogRecord]" = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record: logging.LogRecord) -> None:
+                records.append(record)
+
+        return records, _Capture()
+
+    def test_access_log_emits_structured_line(self, tmp_path):
+        records, handler = self._capture()
+        logger = logging.getLogger("repro.service")
+        previous_level = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        server = create_server(ServiceConfig(port=0, access_log=True))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            ServiceClient(f"http://{host}:{port}", timeout=10.0).health()
+            deadline = time.time() + 5
+            while time.time() < deadline and not any(
+                record.levelno == logging.INFO for record in records
+            ):
+                time.sleep(0.05)
+            lines = [r.getMessage() for r in records if r.levelno == logging.INFO]
+            assert lines, "no access-log line emitted"
+            assert any(
+                "GET" in line and "/healthz" in line and "200" in line and "ms" in line
+                for line in lines
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            logger.removeHandler(handler)
+            logger.setLevel(previous_level)
+
+    def test_access_log_off_by_default(self, live_service):
+        records, handler = self._capture()
+        logger = logging.getLogger("repro.service")
+        previous_level = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            _, client = live_service
+            client.health()
+            time.sleep(0.2)
+            assert not any(record.levelno >= logging.INFO for record in records)
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(previous_level)
+
+
+class TestSlowConsumers:
+    def test_keepalive_cadence_while_job_is_quiet(
+        self, live_service, blocked_executor, monkeypatch
+    ):
+        """A slow stream with no events gets keep-alive comments on the
+        poll cadence, so proxies do not drop the connection."""
+        monkeypatch.setattr(server_module, "SSE_POLL_SECONDS", 0.2)
+        server, client = live_service
+        started, release = blocked_executor
+        submitted = client.submit(PAYLOAD)
+        assert started.wait(timeout=10)
+        host, port = server.server_address[:2]
+        conn = socket.create_connection((host, port), timeout=10)
+        try:
+            conn.sendall(
+                f"GET /v1/jobs/{submitted['id']}/events HTTP/1.1\r\n"
+                f"Host: {host}\r\n\r\n".encode()
+            )
+            conn.settimeout(2.0)
+            buffered = b""
+            deadline = time.time() + 5
+            while time.time() < deadline and buffered.count(b": keep-alive") < 2:
+                try:
+                    chunk = conn.recv(4096)
+                except TimeoutError:
+                    break
+                if not chunk:
+                    break
+                buffered += chunk
+            assert buffered.count(b": keep-alive") >= 2
+            # The replayed history still framed correctly before the idle
+            # stretch: the stream starts with the queued/running events.
+            assert b"event: queued" in buffered
+            assert b"event: running" in buffered
+            release.set()
+            tail = b""
+            conn.settimeout(5.0)
+            while b"event: complete" not in tail:
+                chunk = conn.recv(4096)
+                if not chunk:
+                    break
+                tail += chunk
+            assert b"event: complete" in tail
+        finally:
+            conn.close()
+            release.set()
+
+    def test_events_since_replays_exactly_the_gap(self):
+        """A consumer that reconnects mid-stream passes the next seq it
+        needs; the log replays from there, and a fully-drained terminal
+        log returns [] — the stream's stop condition."""
+        job = Job("job-gap", JobRequest(study="illustrative", estimator="is"))
+        job.mark_running()
+        job.record_progress({"n": 1})
+        job.record_progress({"n": 2})
+        job.complete({"summary": {}})
+        replay = job.events_since(2, timeout=1.0)
+        assert [event.seq for event in replay] == [2, 3, 4]
+        assert [event.event for event in replay] == ["progress", "progress", "complete"]
+        assert job.events_since(5, timeout=0.1) == []
